@@ -1,0 +1,85 @@
+"""Shared session fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  The
+expensive inputs — a fully populated world, the §6.1 feasibility crawl, and
+the §7 measurement campaigns — are built once per session here and shared;
+the ``benchmark`` fixture then times the analysis stage that actually
+produces each table or figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CampaignConfig, EncoreDeployment
+from repro.core.targets import TargetList
+from repro.core.task_generation import TaskGenerationLimits, TaskGenerationPipeline
+from repro.population.world import World, WorldConfig
+
+#: Scale factor relative to the paper's seven-month campaign (141,626
+#: measurements).  The benchmarks run roughly a fifth of that volume so the
+#: whole harness finishes in a few minutes; all reported comparisons are
+#: shape- and threshold-based, not absolute counts.
+CAMPAIGN_VISITS = 25_000
+DETECTION_VISITS = 15_000
+SOUNDNESS_VISITS = 10_000
+
+
+@pytest.fixture(scope="session")
+def full_world() -> World:
+    """A world containing all 178 online high-value domains."""
+    return World(WorldConfig(seed=2015))
+
+
+@pytest.fixture(scope="session")
+def feasibility(full_world: World):
+    """The §6.1 crawl: expand, fetch, and analyse the full target list."""
+    pipeline = TaskGenerationPipeline(
+        full_world.search, full_world.headless, TaskGenerationLimits()
+    )
+    return pipeline.run(TargetList.high_value().entries)
+
+
+@pytest.fixture(scope="session")
+def detection_deployment() -> EncoreDeployment:
+    return EncoreDeployment.detection_experiment(seed=2015, visits=DETECTION_VISITS)
+
+
+@pytest.fixture(scope="session")
+def detection_result(detection_deployment: EncoreDeployment):
+    return detection_deployment.run_campaign()
+
+
+@pytest.fixture(scope="session")
+def soundness_deployment() -> EncoreDeployment:
+    return EncoreDeployment.soundness_experiment(seed=2016, visits=SOUNDNESS_VISITS)
+
+
+@pytest.fixture(scope="session")
+def soundness_result(soundness_deployment: EncoreDeployment):
+    return soundness_deployment.run_campaign()
+
+
+@pytest.fixture(scope="session")
+def scale_deployment() -> EncoreDeployment:
+    """The full §7 campaign configuration (targets + testbed split)."""
+    world = World(WorldConfig(seed=2017))
+    config = CampaignConfig(
+        visits=CAMPAIGN_VISITS,
+        include_testbed=True,
+        testbed_fraction=0.3,
+        favicons_only=True,
+        seed=2017,
+    )
+    return EncoreDeployment(world, config)
+
+
+@pytest.fixture(scope="session")
+def scale_result(scale_deployment: EncoreDeployment):
+    return scale_deployment.run_campaign()
+
+
+@pytest.fixture(scope="session")
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(777)

@@ -1,0 +1,58 @@
+"""Figure 4 — CDF of images per domain, by image-size class.
+
+Paper claims: 70% of the 178 domains embed at least one image; over 60% of
+domains host images deliverable in a single packet (<= ~1 KB); a third of
+domains host hundreds of such small images.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.analysis.stats import Ecdf, fraction_at_least
+from repro.web.resources import KILOBYTE
+
+CDF_POINTS = [0, 1, 5, 10, 50, 100, 250, 500, 1000, 2000]
+
+
+def build_series(report):
+    """The three CDF series Fig. 4 plots."""
+    series = {}
+    for label, limit in (("<= 1 KB", KILOBYTE), ("<= 5 KB", 5 * KILOBYTE), ("all", None)):
+        counts = report.images_per_domain(limit)
+        series[label] = Ecdf(counts).series(CDF_POINTS)
+    return series
+
+
+class TestFigure4:
+    def test_images_per_domain_cdf(self, benchmark, feasibility):
+        report = feasibility.report
+        series = benchmark(build_series, report)
+
+        rows = [
+            [str(point)] + [f"{series[label][index][1]:.2f}" for label in ("<= 1 KB", "<= 5 KB", "all")]
+            for index, point in enumerate(CDF_POINTS)
+        ]
+        print()
+        print("Figure 4 — CDF of images per domain (178 domains):")
+        print(format_table(["images", "<= 1 KB", "<= 5 KB", "all"], rows))
+
+        all_counts = report.images_per_domain()
+        small_counts = report.images_per_domain(KILOBYTE)
+        # ~70% of domains embed at least one image.
+        frac_with_image = fraction_at_least(all_counts, 1)
+        assert 0.60 <= frac_with_image <= 0.85
+        # Over 60% of domains host single-packet-sized images.
+        assert fraction_at_least(small_counts, 1) >= 0.60
+        # Roughly a third of domains host hundreds of such images.
+        frac_hundreds = fraction_at_least(small_counts, 100)
+        assert 0.20 <= frac_hundreds <= 0.50
+
+    def test_size_class_ordering(self, feasibility):
+        """Smaller size classes can never contain more images than larger ones."""
+        report = feasibility.report
+        for domain in report.domains:
+            assert domain.image_count_under_1kb <= domain.image_count_under_5kb
+            assert domain.image_count_under_5kb <= domain.image_count_total
+
+    def test_crawl_covers_the_full_online_list(self, feasibility):
+        assert len(feasibility.report.domains) == 178

@@ -1,0 +1,51 @@
+"""Figure 5 — CDF of page sizes (sum of all objects a page loads).
+
+Paper claims: page sizes are spread relatively evenly between 0 and 2 MB with
+a very long tail, and over half of pages load at least half a megabyte of
+objects.  This is the network overhead an inline-frame task would impose.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.analysis.stats import Ecdf, fraction_at_least
+from repro.web.resources import KILOBYTE, MEGABYTE
+
+CDF_POINTS_KB = [50, 100, 250, 500, 750, 1000, 1500, 2000, 4000]
+
+
+def build_series(report):
+    sizes_kb = [size / KILOBYTE for size in report.page_sizes_bytes()]
+    return Ecdf(sizes_kb).series(CDF_POINTS_KB)
+
+
+class TestFigure5:
+    def test_page_size_cdf(self, benchmark, feasibility):
+        report = feasibility.report
+        series = benchmark(build_series, report)
+
+        print()
+        print(f"Figure 5 — CDF of page sizes over {len(report.all_pages)} pages:")
+        print(format_table(["page size (KB)", "CDF"],
+                           [[f"{x:.0f}", f"{y:.2f}"] for x, y in series]))
+
+        sizes = report.page_sizes_bytes()
+        # Over half of pages load at least half a megabyte of objects.
+        assert fraction_at_least(sizes, 512 * KILOBYTE) >= 0.50
+        # The bulk of the distribution lies below 2 MB, with a long tail above.
+        cdf = Ecdf(sizes)
+        assert cdf(2 * MEGABYTE) >= 0.80
+        assert cdf(2 * MEGABYTE) < 1.0
+        assert max(sizes) > 2 * MEGABYTE
+
+    def test_distribution_is_spread_not_clustered(self, feasibility):
+        """'Distributed relatively evenly between 0–2 MB': no single 250 KB
+        bucket below 2 MB holds a majority of pages."""
+        sizes = feasibility.report.page_sizes_bytes()
+        cdf = Ecdf(sizes)
+        bucket_edges_kb = list(range(0, 2001, 250))
+        bucket_masses = [
+            cdf(high * KILOBYTE) - cdf(low * KILOBYTE)
+            for low, high in zip(bucket_edges_kb, bucket_edges_kb[1:])
+        ]
+        assert max(bucket_masses) < 0.5

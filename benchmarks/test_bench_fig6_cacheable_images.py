@@ -1,0 +1,55 @@
+"""Figure 6 — CDF of cacheable images per page, by page-size class.
+
+Paper claims: roughly 70% of all pages embed at least one cacheable image and
+half of pages cache five or more; the numbers drop considerably when
+restricting to pages of at most 100 KB (only ~30% of those embed a cacheable
+image), which is what limits the inline-frame task's reach.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.analysis.stats import Ecdf, fraction_at_least
+from repro.web.resources import KILOBYTE
+
+CDF_POINTS = [0, 1, 2, 5, 10, 20, 50]
+SIZE_CLASSES = [("<= 100 KB", 100 * KILOBYTE), ("<= 500 KB", 500 * KILOBYTE), ("all", None)]
+
+
+def build_series(report):
+    series = {}
+    for label, limit in SIZE_CLASSES:
+        counts = report.cacheable_images_per_page(limit)
+        series[label] = Ecdf(counts).series(CDF_POINTS)
+    return series
+
+
+class TestFigure6:
+    def test_cacheable_images_per_page_cdf(self, benchmark, feasibility):
+        report = feasibility.report
+        series = benchmark(build_series, report)
+
+        rows = [
+            [str(point)] + [f"{series[label][index][1]:.2f}" for label, _ in SIZE_CLASSES]
+            for index, point in enumerate(CDF_POINTS)
+        ]
+        print()
+        print("Figure 6 — CDF of cacheable images per page:")
+        print(format_table(["cacheable images", "<= 100 KB", "<= 500 KB", "all"], rows))
+
+        all_counts = report.cacheable_images_per_page()
+        small_counts = report.cacheable_images_per_page(100 * KILOBYTE)
+        # ~70% of all pages embed at least one cacheable image.
+        assert 0.55 <= fraction_at_least(all_counts, 1) <= 0.85
+        # About half of all pages cache five or more images.
+        assert 0.40 <= fraction_at_least(all_counts, 5) <= 0.75
+        # Small pages are far less amenable: ~30% have a cacheable image.
+        assert fraction_at_least(small_counts, 1) <= 0.45
+        # The drop from "all pages" to "small pages" is substantial.
+        assert fraction_at_least(all_counts, 1) - fraction_at_least(small_counts, 1) >= 0.25
+
+    def test_smaller_page_classes_are_subsets(self, feasibility):
+        report = feasibility.report
+        assert len(report.cacheable_images_per_page(100 * KILOBYTE)) <= len(
+            report.cacheable_images_per_page(500 * KILOBYTE)
+        ) <= len(report.cacheable_images_per_page())

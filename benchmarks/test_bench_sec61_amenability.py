@@ -1,0 +1,60 @@
+"""§6.1 headline amenability numbers.
+
+Paper claims: Encore can measure filtering of upwards of 50% of domains
+(using small images), but fewer than 10% of individual URLs once pages are
+limited to 100 KB for the hidden-iframe task.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.web.resources import KILOBYTE
+
+
+def amenability_summary(report):
+    return {
+        "domains_1kb": report.fraction_domains_measurable(KILOBYTE),
+        "domains_5kb": report.fraction_domains_measurable(5 * KILOBYTE),
+        "pages_100kb": report.fraction_pages_measurable(100 * KILOBYTE),
+        "pages_500kb": report.fraction_pages_measurable(500 * KILOBYTE),
+    }
+
+
+class TestSection61:
+    def test_amenability(self, benchmark, feasibility):
+        summary = benchmark(amenability_summary, feasibility.report)
+
+        print()
+        print("§6.1 — amenability of the high-value list to Encore's tasks:")
+        print(format_table(
+            ["metric", "value"],
+            [
+                ["domains measurable with <= 1 KB images", f"{summary['domains_1kb']:.0%}"],
+                ["domains measurable with <= 5 KB images", f"{summary['domains_5kb']:.0%}"],
+                ["URLs measurable with 100 KB iframe limit", f"{summary['pages_100kb']:.0%}"],
+                ["URLs measurable with 500 KB iframe limit", f"{summary['pages_500kb']:.0%}"],
+            ],
+        ))
+
+        # Over half of domains are measurable even with conservative 1 KB images.
+        assert summary["domains_1kb"] >= 0.50
+        # Relaxing the image limit can only help.
+        assert summary["domains_5kb"] >= summary["domains_1kb"]
+        # Fewer than 10% of URLs are measurable with the 100 KB iframe limit.
+        assert summary["pages_100kb"] < 0.10
+        # Domain-level measurement is dramatically easier than URL-level
+        # measurement — the paper's central feasibility observation.
+        assert summary["domains_1kb"] > 4 * summary["pages_100kb"]
+
+    def test_generated_tasks_reflect_amenability(self, feasibility):
+        """Domains that the report calls measurable actually receive tasks."""
+        from repro.core.tasks import TaskType
+
+        tasks_by_domain = {}
+        for task in feasibility.tasks:
+            tasks_by_domain.setdefault(task.target_domain, set()).add(task.task_type)
+        measurable = [d for d in feasibility.report.domains if d.measurable_with_images(KILOBYTE)]
+        with_image_task = sum(
+            1 for d in measurable if TaskType.IMAGE in tasks_by_domain.get(d.domain, set())
+        )
+        assert with_image_task / len(measurable) >= 0.9

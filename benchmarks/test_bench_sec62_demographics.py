@@ -1,0 +1,60 @@
+"""§6.2 — who performs Encore measurements?
+
+Paper numbers for one month of analytics on an academic home page:
+1,171 visits; most visitors from the US but more than 10 users from each of
+10 other countries; 16% of visitors in countries with well-known filtering
+policies; 999 visits attempted a measurement task; 45% of visitors stayed
+longer than 10 seconds and 35% longer than a minute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reports import format_table
+from repro.population.analytics import VisitGenerator
+
+
+def generate_month(seed: int = 62):
+    return VisitGenerator(rng=np.random.default_rng(seed)).generate_month()
+
+
+class TestSection62:
+    def test_origin_site_demographics(self, benchmark):
+        month = benchmark(generate_month)
+        summary = month.summary()
+
+        print()
+        print("§6.2 — one month of visits to an academic origin page:")
+        print(format_table(
+            ["metric", "paper", "reproduced"],
+            [
+                ["total visits", 1171, int(summary["total_visits"])],
+                ["visits attempting a task", 999, int(summary["task_attempts"])],
+                ["countries with 10+ visits", ">= 10", int(summary["countries_with_10_plus_visits"])],
+                ["share from filtering countries", "16%",
+                 f"{summary['filtering_country_fraction']:.0%}"],
+                ["visitors staying > 10 s", "45%", f"{summary['dwell_over_10s_fraction']:.0%}"],
+                ["visitors staying > 60 s", "35%", f"{summary['dwell_over_60s_fraction']:.0%}"],
+            ],
+        ))
+
+        assert summary["total_visits"] == 1171
+        # The vast majority of visits attempt a task (paper: 999 of 1,171).
+        assert 0.75 * 1171 <= summary["task_attempts"] <= 0.95 * 1171
+        assert summary["countries_with_10_plus_visits"] >= 10
+        assert 0.08 <= summary["filtering_country_fraction"] <= 0.30
+        assert 0.35 <= summary["dwell_over_10s_fraction"] <= 0.60
+        assert 0.25 <= summary["dwell_over_60s_fraction"] <= 0.45
+
+    def test_us_dominates_but_does_not_monopolise(self):
+        month = generate_month(seed=63)
+        counts = month.visits_by_country
+        us_share = counts["US"] / month.total_visits
+        assert counts.most_common(1)[0][0] == "US"
+        assert 0.25 <= us_share <= 0.55
+
+    def test_long_dwellers_can_run_multiple_tasks(self):
+        month = generate_month(seed=64)
+        multi = sum(1 for v in month.visits if v.client.can_run_multiple_tasks)
+        assert multi / month.total_visits >= 0.20

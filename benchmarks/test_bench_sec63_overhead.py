@@ -1,0 +1,59 @@
+"""§6.3 — will webmasters install Encore?  Deployment overhead accounting.
+
+Paper claims: the snippet adds only ~100 bytes to each origin page and needs
+no extra origin-server connections; measurement tasks that detect filtering
+of a domain (small images / favicons) incur client-side overheads that are an
+insignificant fraction of a typical page's network usage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reports import format_table
+from repro.core.origin import OriginSite, client_overhead_report, snippet_overhead_bytes
+from repro.core.tasks import TaskType
+from repro.web.resources import KILOBYTE
+
+
+def overhead_summary(world, tasks):
+    origins = [
+        OriginSite(site=world.universe.site(domain), coordination_url=world.coordination_url)
+        for domain in world.origin_domains
+    ]
+    per_task = client_overhead_report(tasks)
+    return {
+        "snippet_bytes": snippet_overhead_bytes(world.coordination_url),
+        "origin_page_fraction": float(np.median([o.page_overhead_fraction() for o in origins])),
+        "per_task_median_bytes": per_task.summary(),
+    }
+
+
+class TestSection63:
+    def test_deployment_overheads(self, benchmark, full_world, feasibility):
+        summary = benchmark(overhead_summary, full_world, feasibility.tasks)
+
+        rows = [
+            ["snippet size (bytes)", "~100", summary["snippet_bytes"]],
+            ["snippet / median origin page weight", "insignificant",
+             f"{summary['origin_page_fraction']:.4%}"],
+        ]
+        for task_type, median in sorted(summary["per_task_median_bytes"].items()):
+            rows.append([f"median client overhead per {task_type} task", "", f"{median} B"])
+        print()
+        print("§6.3 — origin- and client-side overhead of deploying Encore:")
+        print(format_table(["metric", "paper", "reproduced"], rows))
+
+        # The webmaster-side snippet is on the order of 100 bytes.
+        assert 50 <= summary["snippet_bytes"] <= 150
+        # It is a vanishing fraction of a typical page's weight.
+        assert summary["origin_page_fraction"] < 0.005
+        # Domain-level (image) tasks cost clients at most a few KB...
+        assert summary["per_task_median_bytes"][TaskType.IMAGE.value] <= 5 * KILOBYTE
+        # ...whereas page-level (iframe) tasks are orders of magnitude heavier,
+        # which is why the Task Generator is conservative about them.
+        if TaskType.INLINE_FRAME.value in summary["per_task_median_bytes"]:
+            assert (
+                summary["per_task_median_bytes"][TaskType.INLINE_FRAME.value]
+                > 10 * summary["per_task_median_bytes"][TaskType.IMAGE.value]
+            )

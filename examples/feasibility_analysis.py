@@ -1,0 +1,79 @@
+"""Reproduce the §6.1 feasibility analysis (Figures 4, 5, and 6).
+
+Runs the first two stages of the task-generation pipeline (Pattern Expander,
+Target Fetcher) over the 178-domain high-value target list, then asks the
+statistics-emitting Task Generator the paper's questions: how many images of
+which sizes does each domain host, how heavy are its pages, and how many
+cacheable images does each page embed?  The output prints the CDF series the
+paper's figures plot and the headline amenability numbers.
+
+Run with::
+
+    python examples/feasibility_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import TargetList, TaskGenerationLimits, TaskGenerationPipeline, World, WorldConfig
+from repro.analysis.stats import Ecdf
+from repro.analysis.reports import format_table
+from repro.web.resources import KILOBYTE
+
+
+def print_cdf(title: str, values, points, unit: str = "") -> None:
+    cdf = Ecdf(values)
+    rows = [[f"{point}{unit}", f"{cdf(point):.2f}"] for point in points]
+    print(title)
+    print(format_table(["x", "CDF(x)"], rows))
+    print()
+
+
+def main(seed: int = 5) -> None:
+    world = World(WorldConfig(seed=seed))
+    pipeline = TaskGenerationPipeline(world.search, world.headless, TaskGenerationLimits())
+    target_list = TargetList.high_value()
+    result = pipeline.run(target_list.entries)
+    report = result.report
+    print(f"Crawled {len(report.domains)} domains, {len(report.all_pages)} pages, "
+          f"generated {len(result.tasks)} measurement tasks.\n")
+
+    # Figure 4: images per domain, by size class.
+    points = [0, 1, 10, 50, 100, 500, 1000, 2000]
+    print_cdf("Figure 4 — images per domain (<= 1 KB):",
+              report.images_per_domain(KILOBYTE), points)
+    print_cdf("Figure 4 — images per domain (<= 5 KB):",
+              report.images_per_domain(5 * KILOBYTE), points)
+    print_cdf("Figure 4 — images per domain (any size):",
+              report.images_per_domain(), points)
+
+    # Figure 5: page sizes.
+    size_points = [50, 100, 250, 500, 1000, 1500, 2000]
+    print_cdf("Figure 5 — page sizes (KB):",
+              [s / KILOBYTE for s in report.page_sizes_bytes()], size_points, unit=" KB")
+
+    # Figure 6: cacheable images per page, by page-size class.
+    cache_points = [0, 1, 2, 5, 10, 25, 50]
+    print_cdf("Figure 6 — cacheable images per page (pages <= 100 KB):",
+              report.cacheable_images_per_page(100 * KILOBYTE), cache_points)
+    print_cdf("Figure 6 — cacheable images per page (pages <= 500 KB):",
+              report.cacheable_images_per_page(500 * KILOBYTE), cache_points)
+    print_cdf("Figure 6 — cacheable images per page (all pages):",
+              report.cacheable_images_per_page(), cache_points)
+
+    # §6.1 headline numbers.
+    print("Amenability summary (§6.1):")
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["domains measurable with <= 1 KB images",
+             f"{report.fraction_domains_measurable(KILOBYTE):.0%}"],
+            ["domains measurable with <= 5 KB images",
+             f"{report.fraction_domains_measurable(5 * KILOBYTE):.0%}"],
+            ["pages measurable with 100 KB iframe limit",
+             f"{report.fraction_pages_measurable():.0%}"],
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""What deploying Encore looks like from a webmaster's side (§5.4, §6.2, §6.3).
+
+Shows the one-line snippet a webmaster adds to their page, the byte overhead
+it imposes on the origin and on visiting clients, and the demographics of who
+would end up contributing measurements — a synthetic month of analytics
+matching the paper's pilot deployment on an academic home page.
+
+Run with::
+
+    python examples/webmaster_integration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import World, WorldConfig
+from repro.analysis.reports import format_table
+from repro.core.origin import OriginSite, client_overhead_report, snippet_overhead_bytes
+from repro.core.targets import TargetList
+from repro.core.task_generation import TaskGenerationLimits, TaskGenerationPipeline
+from repro.population.analytics import VisitGenerator
+
+
+def main(seed: int = 9) -> None:
+    world = World(WorldConfig(seed=seed, target_list_total=40, target_list_online=32,
+                              origin_site_count=6))
+
+    # --- The webmaster-side install -------------------------------------
+    origin = OriginSite(
+        site=world.universe.site(world.origin_domains[0]),
+        coordination_url=world.coordination_url,
+    )
+    print("Webmaster adds this single line to their pages:")
+    print(f"  {origin.embed_snippet}")
+    print(f"Snippet size: {snippet_overhead_bytes(world.coordination_url)} bytes "
+          f"({origin.page_overhead_fraction():.4%} of the site's median page weight)\n")
+
+    # --- Client-side overhead of the tasks the site would serve ---------
+    pipeline = TaskGenerationPipeline(world.search, world.headless, TaskGenerationLimits())
+    generation = pipeline.run(TargetList.high_value(total=40, online=32).entries)
+    overhead = client_overhead_report(generation.tasks)
+    rows = [[task_type, f"{median} B"] for task_type, median in sorted(overhead.summary().items())]
+    print("Median network overhead a visitor incurs per task type:")
+    print(format_table(["task type", "median bytes"], rows))
+    print()
+
+    # --- Who would contribute measurements (§6.2) -----------------------
+    month = VisitGenerator(rng=np.random.default_rng(seed)).generate_month()
+    summary = month.summary()
+    print("One synthetic month of visits to an academic origin page:")
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["total visits", int(summary["total_visits"])],
+            ["visits that attempted a task", int(summary["task_attempts"])],
+            ["countries with 10+ visits", int(summary["countries_with_10_plus_visits"])],
+            ["share from filtering countries", f"{summary['filtering_country_fraction']:.0%}"],
+            ["visitors staying > 10 s", f"{summary['dwell_over_10s_fraction']:.0%}"],
+            ["visitors staying > 60 s", f"{summary['dwell_over_60s_fraction']:.0%}"],
+        ],
+    ))
+    print()
+    top = month.visits_by_country.most_common(8)
+    print("Top visitor countries:")
+    print(format_table(["country", "visits"], [[code, count] for code, count in top]))
+
+
+if __name__ == "__main__":
+    main()

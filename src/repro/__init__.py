@@ -1,0 +1,70 @@
+"""repro: a reproduction of Encore (Burnett & Feamster, SIGCOMM 2015).
+
+Encore measures Web censorship by inducing unmodified browsers to issue
+cross-origin requests to potentially filtered resources and observing the
+side channels browsers leave open (image ``onload``/``onerror``, style-sheet
+effects, cache timing, Chrome's script semantics).  This package implements
+the full system — measurement tasks, the task-generation pipeline,
+scheduling, coordination and collection servers, and the statistical
+filtering-detection algorithm — together with the simulated substrates the
+offline reproduction needs: a synthetic Web, a network stack with censors, a
+browser model, and a global client population.
+
+Quick start::
+
+    from repro import EncoreDeployment
+
+    deployment = EncoreDeployment.detection_experiment(seed=1, visits=2000)
+    result = deployment.run_campaign()
+    report = result.detect()
+    for detection in report.detections:
+        print(detection.domain, detection.country_code, detection.p_value)
+"""
+
+from repro.core import (
+    BinomialFilteringDetector,
+    CampaignConfig,
+    CampaignResult,
+    CollectionServer,
+    CoordinationServer,
+    EncoreDeployment,
+    FilteringDetection,
+    Measurement,
+    MeasurementTask,
+    Scheduler,
+    TargetList,
+    TaskGenerationLimits,
+    TaskGenerationPipeline,
+    TaskOutcome,
+    TaskPool,
+    TaskResult,
+    TaskType,
+    execute_task,
+)
+from repro.population.world import World, WorldConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BinomialFilteringDetector",
+    "CampaignConfig",
+    "CampaignResult",
+    "CollectionServer",
+    "CoordinationServer",
+    "EncoreDeployment",
+    "FilteringDetection",
+    "Measurement",
+    "MeasurementTask",
+    "Scheduler",
+    "TargetList",
+    "TaskGenerationLimits",
+    "TaskGenerationPipeline",
+    "TaskOutcome",
+    "TaskPool",
+    "TaskResult",
+    "TaskType",
+    "execute_task",
+    "World",
+    "WorldConfig",
+    "__version__",
+]

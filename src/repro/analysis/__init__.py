@@ -1,0 +1,25 @@
+"""Statistics and reporting helpers used by the experiments and benchmarks."""
+
+from repro.analysis.stats import (
+    Ecdf,
+    fraction_at_least,
+    fraction_at_most,
+    summarise_distribution,
+)
+from repro.analysis.reports import (
+    SoundnessReport,
+    TaskTypeSoundness,
+    build_soundness_report,
+    format_table,
+)
+
+__all__ = [
+    "Ecdf",
+    "fraction_at_least",
+    "fraction_at_most",
+    "summarise_distribution",
+    "SoundnessReport",
+    "TaskTypeSoundness",
+    "build_soundness_report",
+    "format_table",
+]

@@ -1,0 +1,119 @@
+"""Experiment report builders.
+
+These helpers condense raw measurements into the summaries the paper reports:
+the per-task-type soundness numbers of §7.1 (false positives and negatives
+against the testbed's known ground truth) and simple fixed-width tables the
+benchmark harness prints so its output reads like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.censor.testbed import CensorshipTestbed
+from repro.core.collection import Measurement
+from repro.core.tasks import TaskOutcome, TaskType
+
+
+@dataclass
+class TaskTypeSoundness:
+    """Confusion counts for one task type against testbed ground truth."""
+
+    task_type: TaskType
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def measurements(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Failures reported where no filtering existed (paper: ~5% for images
+        from unreliable networks)."""
+        denominator = self.false_positives + self.true_negatives
+        return self.false_positives / denominator if denominator else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        """Successes reported where filtering existed."""
+        denominator = self.false_negatives + self.true_positives
+        return self.false_negatives / denominator if denominator else 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+
+@dataclass
+class SoundnessReport:
+    """Per-task-type soundness plus overall counts (paper §7.1)."""
+
+    per_task_type: dict[TaskType, TaskTypeSoundness] = field(default_factory=dict)
+
+    @property
+    def total_measurements(self) -> int:
+        return sum(s.measurements for s in self.per_task_type.values())
+
+    def for_type(self, task_type: TaskType) -> TaskTypeSoundness:
+        return self.per_task_type.setdefault(task_type, TaskTypeSoundness(task_type))
+
+    def rows(self) -> list[dict[str, object]]:
+        """One row per task type, ready for table formatting."""
+        return [
+            {
+                "task_type": stats.task_type.value,
+                "measurements": stats.measurements,
+                "detection_rate": round(stats.detection_rate, 3),
+                "false_positive_rate": round(stats.false_positive_rate, 3),
+                "false_negative_rate": round(stats.false_negative_rate, 3),
+            }
+            for stats in self.per_task_type.values()
+        ]
+
+
+def build_soundness_report(
+    measurements: Iterable[Measurement], testbed: CensorshipTestbed
+) -> SoundnessReport:
+    """Compare testbed measurements against ground truth (paper §7.1)."""
+    report = SoundnessReport()
+    for m in measurements:
+        if not m.target_domain.endswith("encore-testbed.net"):
+            continue
+        if m.is_automated or m.outcome is TaskOutcome.INCONCLUSIVE:
+            continue
+        expected_filtered = testbed.expected_filtered(m.target_url.host)
+        stats = report.for_type(m.task_type)
+        reported_filtered = m.failed
+        if expected_filtered and reported_filtered:
+            stats.true_positives += 1
+        elif expected_filtered and not reported_filtered:
+            stats.false_negatives += 1
+        elif not expected_filtered and reported_filtered:
+            stats.false_positives += 1
+        else:
+            stats.true_negatives += 1
+    return report
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table (used by benchmark output)."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+    lines = [render_row(list(headers)), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Distribution summaries: ECDFs, quantiles, threshold fractions.
+
+The paper's feasibility figures (Figs. 4–6) are cumulative distribution
+functions over per-domain and per-page quantities, and Fig. 7 compares two
+load-time distributions.  These helpers compute the same summaries from the
+simulated data so the benchmarks can print the series the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Ecdf:
+    """An empirical cumulative distribution function."""
+
+    values: np.ndarray
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self.values = np.sort(np.asarray(list(values), dtype=float))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __call__(self, x: float) -> float:
+        """P[X <= x] under the empirical distribution."""
+        if len(self.values) == 0:
+            return 0.0
+        return float(np.searchsorted(self.values, x, side="right")) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """The q-th quantile (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if len(self.values) == 0:
+            raise ValueError("empty distribution has no quantiles")
+        return float(np.quantile(self.values, q))
+
+    def series(self, points: Sequence[float]) -> list[tuple[float, float]]:
+        """(x, CDF(x)) pairs at the given x values — a plottable CDF series."""
+        return [(float(x), self(x)) for x in points]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+
+def fraction_at_most(values: Iterable[float], threshold: float) -> float:
+    """Fraction of ``values`` that are <= threshold."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def fraction_at_least(values: Iterable[float], threshold: float) -> float:
+    """Fraction of ``values`` that are >= threshold."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v >= threshold) / len(values)
+
+
+def summarise_distribution(values: Iterable[float]) -> dict[str, float]:
+    """Median, quartiles, and extremes of a distribution (Fig. 7 style)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return {"count": 0.0}
+    return {
+        "count": float(array.size),
+        "min": float(array.min()),
+        "p25": float(np.quantile(array, 0.25)),
+        "median": float(np.quantile(array, 0.5)),
+        "p75": float(np.quantile(array, 0.75)),
+        "p90": float(np.quantile(array, 0.9)),
+        "max": float(array.max()),
+        "mean": float(array.mean()),
+    }

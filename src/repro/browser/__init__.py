@@ -1,0 +1,28 @@
+"""Client browser substrate.
+
+Encore runs inside unmodified Web browsers, so the fidelity of this package
+is what makes the measurement-task semantics meaningful: the same-origin
+policy and which cross-origin embeddings it allows (paper §3.2), per-family
+differences such as Chrome's script ``onload`` behaviour (§4.3.2), the
+browser cache that the inline-frame task's timing side channel relies on, and
+page rendering.
+"""
+
+from repro.browser.profiles import BrowserFamily, BrowserProfile, sample_profile
+from repro.browser.sop import EmbeddingMechanism, embedding_allowed, is_cross_origin
+from repro.browser.cache import BrowserCache
+from repro.browser.events import LoadEvent
+from repro.browser.engine import Browser, PageLoad
+
+__all__ = [
+    "BrowserFamily",
+    "BrowserProfile",
+    "sample_profile",
+    "EmbeddingMechanism",
+    "embedding_allowed",
+    "is_cross_origin",
+    "BrowserCache",
+    "LoadEvent",
+    "Browser",
+    "PageLoad",
+]

@@ -1,0 +1,84 @@
+"""Browser cache model.
+
+The inline-frame measurement task (paper §4.3.2) infers whether a page loaded
+by timing a subsequent fetch of an image that page embeds: if the image is in
+the browser cache, it renders within a few milliseconds.  That makes the
+cache a first-class part of the measurement semantics rather than a mere
+performance optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.web.url import URL
+
+
+@dataclass
+class CacheEntry:
+    """A cached response body."""
+
+    url: str
+    size_bytes: int
+    stored_at_s: float
+    expires_at_s: float
+
+    def fresh(self, now_s: float) -> bool:
+        return now_s < self.expires_at_s
+
+
+class BrowserCache:
+    """A freshness-based browser cache keyed by URL."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError("cache must allow at least one entry")
+        self._entries: dict[str, CacheEntry] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, url: URL | str) -> bool:
+        return str(url) in self._entries
+
+    def store(self, url: URL | str, size_bytes: int, ttl_s: int, now_s: float) -> None:
+        """Cache a response for ``ttl_s`` seconds."""
+        if ttl_s <= 0:
+            return
+        key = str(url)
+        if len(self._entries) >= self._max_entries and key not in self._entries:
+            # Evict the entry closest to expiry; simple but deterministic.
+            oldest = min(self._entries.values(), key=lambda e: e.expires_at_s)
+            del self._entries[oldest.url]
+        self._entries[key] = CacheEntry(
+            url=key,
+            size_bytes=size_bytes,
+            stored_at_s=now_s,
+            expires_at_s=now_s + ttl_s,
+        )
+
+    def lookup(self, url: URL | str, now_s: float) -> CacheEntry | None:
+        """Return a fresh cache entry for ``url`` or None (recording hit/miss)."""
+        key = str(url)
+        entry = self._entries.get(key)
+        if entry is None or not entry.fresh(now_s):
+            if entry is not None:
+                del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def is_cached(self, url: URL | str, now_s: float) -> bool:
+        """True if ``url`` is cached and fresh, without recording a hit."""
+        entry = self._entries.get(str(url))
+        return entry is not None and entry.fresh(now_s)
+
+    def evict(self, url: URL | str) -> None:
+        self._entries.pop(str(url), None)
+
+    def clear(self) -> None:
+        self._entries.clear()

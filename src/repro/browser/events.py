@@ -1,0 +1,26 @@
+"""Load/error events observable from the embedding page.
+
+Browsers expose ``onload`` / ``onerror`` callbacks on embedded elements; the
+absence of either (for mechanisms such as iframes) is itself an outcome that
+measurement tasks must handle (paper §4.2, second requirement).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LoadEvent(enum.Enum):
+    """The event an embedded element fires, as seen by the origin page."""
+
+    LOAD = "load"
+    ERROR = "error"
+    NONE = "none"
+
+    @property
+    def succeeded(self) -> bool:
+        return self is LoadEvent.LOAD
+
+    @property
+    def failed(self) -> bool:
+        return self is LoadEvent.ERROR

@@ -1,0 +1,88 @@
+"""Browser families and their measurement-relevant policies.
+
+The paper's task scheduler must know which browser a client runs because the
+script task type only works on Chrome (§4.3.2, Table 1): Chrome fires
+``onload`` for a cross-origin ``<script>`` whenever the fetch returned HTTP
+200, even when the body is not JavaScript, provided the server's ``nosniff``
+header stops other execution.  Other browsers only fire ``onload`` when the
+body actually evaluates as a script.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class BrowserFamily(enum.Enum):
+    """Browser families the client population runs."""
+
+    CHROME = "chrome"
+    FIREFOX = "firefox"
+    SAFARI = "safari"
+    INTERNET_EXPLORER = "internet_explorer"
+    OPERA = "opera"
+    MOBILE_OTHER = "mobile_other"
+
+
+#: Approximate market shares used when sampling a population (circa 2014,
+#: when the paper's measurements were collected).
+MARKET_SHARE: dict[BrowserFamily, float] = {
+    BrowserFamily.CHROME: 0.48,
+    BrowserFamily.FIREFOX: 0.18,
+    BrowserFamily.SAFARI: 0.14,
+    BrowserFamily.INTERNET_EXPLORER: 0.12,
+    BrowserFamily.OPERA: 0.03,
+    BrowserFamily.MOBILE_OTHER: 0.05,
+}
+
+
+@dataclass(frozen=True)
+class BrowserProfile:
+    """Per-browser capabilities that affect measurement tasks."""
+
+    family: BrowserFamily
+    #: Chrome fires script onload on any HTTP 200 (respecting nosniff).
+    script_onload_on_any_200: bool
+    #: Whether getComputedStyle-based style-sheet verification is reliable.
+    supports_computed_style_check: bool = True
+    #: Whether the browser runs JavaScript at all (tasks need it).
+    javascript_enabled: bool = True
+    #: Whether cross-origin image onload/onerror events are reported.
+    reports_image_events: bool = True
+
+    @property
+    def supports_script_task(self) -> bool:
+        """Only browsers with Chrome's 200-status semantics can run the script
+        task safely and informatively (paper Table 1)."""
+        return self.script_onload_on_any_200 and self.javascript_enabled
+
+    @classmethod
+    def for_family(cls, family: BrowserFamily) -> "BrowserProfile":
+        """The default capability profile for a browser family."""
+        return cls(
+            family=family,
+            script_onload_on_any_200=(family is BrowserFamily.CHROME),
+            supports_computed_style_check=family is not BrowserFamily.MOBILE_OTHER,
+            javascript_enabled=True,
+            reports_image_events=True,
+        )
+
+    @classmethod
+    def chrome(cls) -> "BrowserProfile":
+        return cls.for_family(BrowserFamily.CHROME)
+
+    @classmethod
+    def firefox(cls) -> "BrowserProfile":
+        return cls.for_family(BrowserFamily.FIREFOX)
+
+
+def sample_profile(rng: np.random.Generator) -> BrowserProfile:
+    """Sample a browser profile according to market share."""
+    families = list(MARKET_SHARE)
+    shares = np.array([MARKET_SHARE[f] for f in families], dtype=float)
+    shares = shares / shares.sum()
+    index = int(rng.choice(len(families), p=shares))
+    return BrowserProfile.for_family(families[index])

@@ -1,0 +1,86 @@
+"""Same-origin policy and cross-origin embedding rules.
+
+Browsers restrict cross-origin *reads* from scripts (blocking AJAX without
+CORS), but generally allow cross-origin *embedding* of images, style sheets,
+scripts, and iframes (paper §3.2).  Each embedding mechanism leaks a
+different amount of information back to the embedding page, which is the
+side channel Encore exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.web.url import Origin, URL
+
+
+class EmbeddingMechanism(enum.Enum):
+    """The ways a page can pull in a cross-origin resource."""
+
+    IMG_TAG = "img"
+    STYLESHEET_LINK = "stylesheet"
+    SCRIPT_TAG = "script"
+    IFRAME = "iframe"
+    XHR = "xhr"
+    EMBED = "embed"
+
+
+#: Whether each mechanism may load cross-origin resources at all, absent
+#: explicit CORS headers.  XHR is the notable exception (paper §4.2: "Tasks
+#: cannot use XMLHttpRequest ... because default Cross-origin Resource
+#: Sharing settings prevent such requests").
+_CROSS_ORIGIN_ALLOWED: dict[EmbeddingMechanism, bool] = {
+    EmbeddingMechanism.IMG_TAG: True,
+    EmbeddingMechanism.STYLESHEET_LINK: True,
+    EmbeddingMechanism.SCRIPT_TAG: True,
+    EmbeddingMechanism.IFRAME: True,
+    EmbeddingMechanism.EMBED: True,
+    EmbeddingMechanism.XHR: False,
+}
+
+#: Whether the mechanism gives the embedding page explicit load/error
+#: feedback (Table 1's "limitations" column in condensed form).
+_EXPLICIT_FEEDBACK: dict[EmbeddingMechanism, bool] = {
+    EmbeddingMechanism.IMG_TAG: True,
+    EmbeddingMechanism.STYLESHEET_LINK: True,
+    EmbeddingMechanism.SCRIPT_TAG: True,
+    EmbeddingMechanism.IFRAME: False,
+    EmbeddingMechanism.EMBED: False,
+    EmbeddingMechanism.XHR: True,
+}
+
+
+def is_cross_origin(page_origin: Origin | URL, resource_url: URL) -> bool:
+    """True if ``resource_url`` is cross-origin with respect to the page."""
+    origin = page_origin.origin if isinstance(page_origin, URL) else page_origin
+    return not origin.same_origin(resource_url.origin)
+
+
+def embedding_allowed(mechanism: EmbeddingMechanism, cross_origin: bool) -> bool:
+    """Whether a browser permits the given embedding.
+
+    Same-origin embedding is always allowed; cross-origin embedding is
+    allowed for every mechanism except plain XHR.
+    """
+    if not cross_origin:
+        return True
+    return _CROSS_ORIGIN_ALLOWED[mechanism]
+
+
+def gives_explicit_feedback(mechanism: EmbeddingMechanism) -> bool:
+    """Whether the embedding page gets an unambiguous load/error signal."""
+    return _EXPLICIT_FEEDBACK[mechanism]
+
+
+def usable_for_measurement(mechanism: EmbeddingMechanism, cross_origin: bool = True) -> bool:
+    """Whether Encore can use the mechanism for a measurement task.
+
+    A mechanism must both be permitted across origins and provide some
+    feedback channel; iframes qualify despite lacking explicit feedback
+    because the cache-timing side channel substitutes for it (paper §4.3.2).
+    """
+    if not embedding_allowed(mechanism, cross_origin):
+        return False
+    if mechanism is EmbeddingMechanism.IFRAME:
+        return True
+    return gives_explicit_feedback(mechanism)

@@ -1,0 +1,31 @@
+"""Censorship substrate: blacklist policies, filtering mechanisms, censors.
+
+The paper's adversary (§3.1) filters Web access for subsets of clients using
+a blacklist, acting at the DNS, TCP, or HTTP stage of a connection.  This
+package provides blacklist policies, the seven concrete filtering mechanisms
+the paper's testbed emulates (§7.1), country censor presets matching the
+filtering the paper independently confirms (§7.2), and the testbed itself.
+"""
+
+from repro.censor.policy import BlacklistPolicy, BlockRule
+from repro.censor.mechanisms import Censor, FilteringMechanism
+from repro.censor.censors import (
+    CountryCensorship,
+    build_country_censors,
+    censor_for_country,
+    ground_truth_blocked,
+)
+from repro.censor.testbed import CensorshipTestbed, TestbedHost
+
+__all__ = [
+    "BlacklistPolicy",
+    "BlockRule",
+    "Censor",
+    "FilteringMechanism",
+    "CountryCensorship",
+    "build_country_censors",
+    "censor_for_country",
+    "ground_truth_blocked",
+    "CensorshipTestbed",
+    "TestbedHost",
+]

@@ -1,0 +1,130 @@
+"""Filtering mechanisms and the Censor interceptor.
+
+The paper's soundness testbed (§7.1) emulates seven varieties of DNS, IP, and
+HTTP filtering.  A :class:`Censor` couples a blacklist policy with one of
+those mechanisms and implements the interceptor protocol that the network
+substrate consults at each stage of a fetch
+(:meth:`intercept_dns`, :meth:`intercept_tcp`, :meth:`intercept_http`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.censor.policy import BlacklistPolicy
+from repro.netsim.dns import DNSAction
+from repro.netsim.http import HTTPAction
+from repro.netsim.tcp import TCPAction
+from repro.web.url import URL
+
+
+class FilteringMechanism(enum.Enum):
+    """The seven filtering varieties emulated by the paper's testbed."""
+
+    DNS_NXDOMAIN = "dns_nxdomain"
+    DNS_INJECTION = "dns_injection"
+    IP_DROP = "ip_drop"
+    TCP_RST = "tcp_rst"
+    HTTP_DROP = "http_drop"
+    HTTP_BLOCK_PAGE = "http_block_page"
+    THROTTLING = "throttling"
+
+    @property
+    def stage(self) -> str:
+        """Which connection stage the mechanism acts at."""
+        if self in (FilteringMechanism.DNS_NXDOMAIN, FilteringMechanism.DNS_INJECTION):
+            return "dns"
+        if self in (FilteringMechanism.IP_DROP, FilteringMechanism.TCP_RST):
+            return "tcp"
+        return "http"
+
+    @property
+    def gives_explicit_failure(self) -> bool:
+        """True if the mechanism produces an unambiguous failure signal.
+
+        Throttling and block-page substitution complete the HTTP exchange, so
+        explicit-feedback tasks (images, style sheets) may or may not notice
+        them; the paper notes such subtle filtering is hard for Encore to
+        detect (§1).
+        """
+        return self not in (FilteringMechanism.THROTTLING, FilteringMechanism.HTTP_BLOCK_PAGE)
+
+
+@dataclass
+class Censor:
+    """An on-path censor: a blacklist policy enforced with one mechanism.
+
+    ``name`` identifies the deploying jurisdiction or ISP and is only used
+    for reporting.  A censor can optionally also block Encore's own
+    infrastructure domains (the adversary of §3.1 may filter access to the
+    coordination or collection server), listed in ``blocked_infrastructure``.
+    """
+
+    name: str
+    policy: BlacklistPolicy
+    mechanism: FilteringMechanism
+    blocked_infrastructure: set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # Interceptor protocol (consumed by repro.netsim)
+    # ------------------------------------------------------------------
+    def intercept_dns(self, host: str) -> DNSAction:
+        """Decide what happens to a DNS query for ``host``."""
+        if not self._host_is_targeted(host):
+            return DNSAction.PASS
+        if self.mechanism is FilteringMechanism.DNS_NXDOMAIN:
+            return DNSAction.NXDOMAIN
+        if self.mechanism is FilteringMechanism.DNS_INJECTION:
+            return DNSAction.INJECT
+        return DNSAction.PASS
+
+    def intercept_tcp(self, ip_address: str, host: str) -> TCPAction:
+        """Decide what happens to a TCP connection to ``ip_address``/``host``."""
+        if not self._host_is_targeted(host):
+            return TCPAction.PASS
+        if self.mechanism is FilteringMechanism.IP_DROP:
+            return TCPAction.DROP
+        if self.mechanism is FilteringMechanism.TCP_RST:
+            return TCPAction.RESET
+        return TCPAction.PASS
+
+    def intercept_http(self, url: URL) -> HTTPAction:
+        """Decide what happens to an HTTP request for ``url``."""
+        if not self._url_is_targeted(url):
+            return HTTPAction.PASS
+        if self.mechanism is FilteringMechanism.HTTP_DROP:
+            return HTTPAction.DROP
+        if self.mechanism is FilteringMechanism.HTTP_BLOCK_PAGE:
+            return HTTPAction.BLOCK_PAGE
+        if self.mechanism is FilteringMechanism.THROTTLING:
+            return HTTPAction.THROTTLE
+        if self.mechanism is FilteringMechanism.TCP_RST:
+            # RST censors that match on URL keywords (e.g. the GFW) also fire
+            # at the HTTP stage when only the full URL reveals the match.
+            return HTTPAction.RESET
+        return HTTPAction.PASS
+
+    # ------------------------------------------------------------------
+    # Policy helpers
+    # ------------------------------------------------------------------
+    def _host_is_targeted(self, host: str) -> bool:
+        if any(host == d or host.endswith("." + d) for d in self.blocked_infrastructure):
+            return True
+        return self.policy.blocks_host(host)
+
+    def _url_is_targeted(self, url: URL) -> bool:
+        if self._host_is_targeted(url.host):
+            return True
+        return self.policy.blocks_url(url)
+
+    def would_filter(self, url: URL | str) -> bool:
+        """Ground truth: would this censor interfere with a fetch of ``url``?
+
+        Used only by the evaluation to label expected outcomes; the
+        measurement path never calls it.
+        """
+        parsed = url if isinstance(url, URL) else URL.parse(url)
+        if self.mechanism.stage in ("dns", "tcp"):
+            return self._host_is_targeted(parsed.host)
+        return self._url_is_targeted(parsed)

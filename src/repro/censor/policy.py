@@ -1,0 +1,108 @@
+"""Blacklist policies.
+
+A censor's policy says *what* is filtered: whole domains, URL prefixes
+(a section of a site, or a single page), or keyword matches against the URL.
+The paper assumes blacklist-driven censors that are unwilling to filter all
+Web traffic (§3.1), which is exactly what a finite blacklist expresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.web.url import URL
+
+
+@dataclass(frozen=True)
+class BlockRule:
+    """A single blacklist entry."""
+
+    kind: str  # "domain", "prefix", or "keyword"
+    value: str
+
+    _KINDS = ("domain", "prefix", "keyword")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown rule kind {self.kind!r}")
+        if not self.value:
+            raise ValueError("empty rule value")
+
+    def matches_host(self, host: str) -> bool:
+        """True if the rule applies to ``host`` alone (domain rules only)."""
+        if self.kind != "domain":
+            return False
+        host = host.lower()
+        return host == self.value or host.endswith("." + self.value)
+
+    def matches_url(self, url: URL) -> bool:
+        """True if the rule applies to the full ``url``."""
+        if self.kind == "domain":
+            return self.matches_host(url.host)
+        if self.kind == "prefix":
+            return str(url).startswith(self.value)
+        return self.value in str(url)
+
+
+@dataclass
+class BlacklistPolicy:
+    """A censor's blacklist: a collection of block rules."""
+
+    rules: list[BlockRule] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_domains(cls, domains: Iterable[str]) -> "BlacklistPolicy":
+        """A policy blocking each of ``domains`` entirely."""
+        return cls([BlockRule("domain", d.lower().strip(".")) for d in domains])
+
+    def block_domain(self, domain: str) -> "BlacklistPolicy":
+        self.rules.append(BlockRule("domain", domain.lower().strip(".")))
+        return self
+
+    def block_prefix(self, prefix: str) -> "BlacklistPolicy":
+        self.rules.append(BlockRule("prefix", str(URL.parse(prefix))))
+        return self
+
+    def block_keyword(self, keyword: str) -> "BlacklistPolicy":
+        self.rules.append(BlockRule("keyword", keyword))
+        return self
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self.rules
+
+    def matching_rule_for_host(self, host: str) -> BlockRule | None:
+        """The first domain rule that covers ``host``, or None.
+
+        Only domain rules can match at the DNS/TCP stages, because the censor
+        has not yet seen a URL there.
+        """
+        for rule in self.rules:
+            if rule.matches_host(host):
+                return rule
+        return None
+
+    def matching_rule_for_url(self, url: URL | str) -> BlockRule | None:
+        """The first rule of any kind that covers ``url``, or None."""
+        parsed = url if isinstance(url, URL) else URL.parse(url)
+        for rule in self.rules:
+            if rule.matches_url(parsed):
+                return rule
+        return None
+
+    def blocks_host(self, host: str) -> bool:
+        return self.matching_rule_for_host(host) is not None
+
+    def blocks_url(self, url: URL | str) -> bool:
+        return self.matching_rule_for_url(url) is not None
+
+    @property
+    def blocked_domains(self) -> list[str]:
+        """Domains blocked in their entirety."""
+        return [rule.value for rule in self.rules if rule.kind == "domain"]

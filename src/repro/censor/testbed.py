@@ -1,0 +1,167 @@
+"""The Web-censorship testbed of §7.1.
+
+To confirm that Encore's measurement tasks are sound, the paper built a
+testbed "which has DNS, firewall, and Web server configurations that emulate
+seven varieties of DNS, IP, and HTTP filtering" and directed ~30% of clients
+to measure resources hosted by the testbed or unfiltered control resources.
+This module builds the same thing inside the simulation: one hostname per
+filtering mechanism, each hosting a small image, a style sheet, a script and
+a page, plus an unfiltered control host, and the censor that applies each
+mechanism to its hostname for *every* client that measures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.censor.mechanisms import Censor, FilteringMechanism
+from repro.censor.policy import BlacklistPolicy
+from repro.web.resources import ContentType, Resource
+from repro.web.server import WebUniverse
+from repro.web.sites import Site
+from repro.web.url import URL
+
+
+@dataclass(frozen=True)
+class TestbedHost:
+    """One testbed hostname and the mechanism applied to it (None = control)."""
+
+    domain: str
+    mechanism: FilteringMechanism | None
+
+    @property
+    def is_control(self) -> bool:
+        return self.mechanism is None
+
+
+class CensorshipTestbed:
+    """Builds testbed sites and censors, and knows the expected outcomes."""
+
+    CONTROL_DOMAIN = "control.encore-testbed.net"
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.hosts: list[TestbedHost] = [
+            TestbedHost(f"{mechanism.value.replace('_', '-')}.encore-testbed.net", mechanism)
+            for mechanism in FilteringMechanism
+        ]
+        self.hosts.append(TestbedHost(self.CONTROL_DOMAIN, None))
+        self._sites: dict[str, Site] = {
+            host.domain: self._build_site(host.domain) for host in self.hosts
+        }
+
+    # ------------------------------------------------------------------
+    def _build_site(self, domain: str) -> Site:
+        """A minimal site exposing one resource per task mechanism."""
+        site = Site(domain=domain, category="testbed")
+        base = URL.parse(f"http://{domain}/")
+        favicon = Resource(
+            url=base.with_path("/favicon.ico"),
+            content_type=ContentType.IMAGE,
+            size_bytes=620,
+            cacheable=True,
+            cache_ttl_s=86400,
+        )
+        stylesheet = Resource(
+            url=base.with_path("/static/testbed.css"),
+            content_type=ContentType.STYLESHEET,
+            size_bytes=2048,
+            cacheable=True,
+            cache_ttl_s=86400,
+        )
+        script = Resource(
+            url=base.with_path("/static/testbed.js"),
+            content_type=ContentType.SCRIPT,
+            size_bytes=4096,
+            cacheable=True,
+            cache_ttl_s=86400,
+            nosniff=True,
+        )
+        photo = Resource(
+            url=base.with_path("/static/photo.png"),
+            content_type=ContentType.IMAGE,
+            size_bytes=24 * 1024,
+            cacheable=True,
+            cache_ttl_s=86400,
+        )
+        site.add(favicon)
+        site.add(stylesheet)
+        site.add(script)
+        site.add(photo)
+        page = Resource(
+            url=base.with_path("/index.html"),
+            content_type=ContentType.HTML,
+            size_bytes=6 * 1024,
+            embedded_urls=(favicon.url, stylesheet.url, photo.url),
+        )
+        site.add(page)
+        return site
+
+    # ------------------------------------------------------------------
+    @property
+    def sites(self) -> list[Site]:
+        return list(self._sites.values())
+
+    def register(self, universe: WebUniverse) -> None:
+        """Add every testbed site to ``universe``."""
+        for site in self.sites:
+            if site.domain not in universe:
+                universe.add_site(site)
+
+    def site(self, domain: str) -> Site:
+        return self._sites[domain]
+
+    def host_for_mechanism(self, mechanism: FilteringMechanism) -> TestbedHost:
+        """The testbed host that the given mechanism is applied to."""
+        for host in self.hosts:
+            if host.mechanism is mechanism:
+                return host
+        raise KeyError(mechanism)
+
+    @property
+    def control_host(self) -> TestbedHost:
+        return next(host for host in self.hosts if host.is_control)
+
+    # ------------------------------------------------------------------
+    def censors(self) -> list[Censor]:
+        """The testbed censors: one per mechanism, scoped to its hostname.
+
+        These are placed on *every* client's path during a soundness
+        experiment, so a client measuring, say, the ``tcp-rst`` host always
+        experiences TCP RST filtering regardless of its country — exactly how
+        the paper's testbed emulated filtering for all participants.
+        """
+        result: list[Censor] = []
+        for host in self.hosts:
+            if host.mechanism is None:
+                continue
+            result.append(
+                Censor(
+                    name=f"testbed-{host.mechanism.value}",
+                    policy=BlacklistPolicy.for_domains([host.domain]),
+                    mechanism=host.mechanism,
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def expected_filtered(self, domain: str) -> bool:
+        """Ground truth: should fetches to ``domain`` be disrupted?"""
+        for host in self.hosts:
+            if domain == host.domain or domain.endswith("." + host.domain):
+                return host.mechanism is not None
+        raise KeyError(f"{domain} is not a testbed host")
+
+    def favicon_url(self, host: TestbedHost) -> URL:
+        return URL.parse(f"http://{host.domain}/favicon.ico")
+
+    def stylesheet_url(self, host: TestbedHost) -> URL:
+        return URL.parse(f"http://{host.domain}/static/testbed.css")
+
+    def script_url(self, host: TestbedHost) -> URL:
+        return URL.parse(f"http://{host.domain}/static/testbed.js")
+
+    def page_url(self, host: TestbedHost) -> URL:
+        return URL.parse(f"http://{host.domain}/index.html")

@@ -1,0 +1,79 @@
+"""Encore itself: the paper's primary contribution.
+
+The core package turns a list of potentially censored URL patterns into
+measurement tasks (``task_generation``), schedules and delivers those tasks
+to visiting clients (``scheduler``, ``coordination``), executes them inside
+client browsers (``tasks``), collects the results (``collection``), and
+infers Web filtering from the collected measurements (``inference``).
+``pipeline`` wires the stages into a runnable deployment.
+"""
+
+from repro.core.tasks import (
+    CACHED_PROBE_THRESHOLD_MS,
+    MeasurementTask,
+    TaskOutcome,
+    TaskResult,
+    TaskType,
+    execute_task,
+    measurement_snippet_js,
+    origin_embed_html,
+)
+from repro.core.targets import TargetList, deployment_phases
+from repro.core.task_generation import (
+    DomainAmenability,
+    FeasibilityReport,
+    PageStatistics,
+    PatternExpander,
+    TargetFetcher,
+    TaskGenerationLimits,
+    TaskGenerationPipeline,
+    TaskGenerator,
+)
+from repro.core.scheduler import Scheduler, TaskPool
+from repro.core.coordination import CoordinationServer
+from repro.core.collection import CollectionServer, Measurement
+from repro.core.inference import (
+    AdaptiveFilteringDetector,
+    BinomialFilteringDetector,
+    FilteringDetection,
+)
+from repro.core.robustness import PoisoningAttacker, PoisoningCampaign, ReputationFilter
+from repro.core.origin import OriginSite, snippet_overhead_bytes
+from repro.core.pipeline import CampaignConfig, CampaignResult, EncoreDeployment
+
+__all__ = [
+    "CACHED_PROBE_THRESHOLD_MS",
+    "MeasurementTask",
+    "TaskOutcome",
+    "TaskResult",
+    "TaskType",
+    "execute_task",
+    "measurement_snippet_js",
+    "origin_embed_html",
+    "TargetList",
+    "deployment_phases",
+    "DomainAmenability",
+    "FeasibilityReport",
+    "PageStatistics",
+    "PatternExpander",
+    "TargetFetcher",
+    "TaskGenerationLimits",
+    "TaskGenerationPipeline",
+    "TaskGenerator",
+    "Scheduler",
+    "TaskPool",
+    "CoordinationServer",
+    "CollectionServer",
+    "Measurement",
+    "AdaptiveFilteringDetector",
+    "BinomialFilteringDetector",
+    "FilteringDetection",
+    "PoisoningAttacker",
+    "PoisoningCampaign",
+    "ReputationFilter",
+    "OriginSite",
+    "snippet_overhead_bytes",
+    "CampaignConfig",
+    "CampaignResult",
+    "EncoreDeployment",
+]

@@ -1,0 +1,192 @@
+"""The collection server and measurement records (paper §5.5).
+
+After running a task, a client submits the result — success or failure,
+timing, and the measurement ID — with an AJAX request to the collection
+server.  Submission is itself a network operation the censor can block, so it
+is modelled as a fetch through the client's path.  The server annotates each
+record with what it can observe about the submitter: the source IP (which the
+analysis geolocates), the browser family, and the Referer header unless the
+origin site strips it (the paper notes 3/4 of measurements arrived with the
+Referer stripped, obscuring which origin delivered them).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.browser.engine import Browser
+from repro.core.tasks import TaskOutcome, TaskResult, TaskType
+from repro.population.clients import Client
+from repro.population.geoip import GeoIPDatabase
+from repro.web.url import URL
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measurement as stored by the collection server."""
+
+    measurement_id: str
+    task_type: TaskType
+    target_url: URL
+    target_domain: str
+    outcome: TaskOutcome
+    elapsed_ms: float
+    client_ip: str
+    country_code: str
+    isp: str
+    browser_family: str
+    origin_domain: str | None
+    day: int
+    probe_time_ms: float | None = None
+    is_automated: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is TaskOutcome.SUCCESS
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome is TaskOutcome.FAILURE
+
+
+class CollectionServer:
+    """Receives, geolocates, and stores measurement submissions."""
+
+    #: Fraction of origin sites configured to strip the Referer header when
+    #: their visitors submit results (paper §7: 3/4 of measurements).
+    REFERER_STRIP_FRACTION = 0.75
+
+    def __init__(
+        self,
+        submit_url: URL | str,
+        geoip: GeoIPDatabase | None = None,
+    ) -> None:
+        self.submit_url = submit_url if isinstance(submit_url, URL) else URL.parse(submit_url)
+        self.geoip = geoip or GeoIPDatabase()
+        self.measurements: list[Measurement] = []
+        self.rejected_submissions = 0
+        self.unreachable_submissions = 0
+
+    # ------------------------------------------------------------------
+    # Submission path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        result: TaskResult,
+        client: Client,
+        browser: Browser,
+        origin_domain: str | None,
+        day: int = 0,
+        strip_referer: bool = False,
+    ) -> Measurement | None:
+        """Accept a submission if the client can reach the collection server."""
+        outcome, from_cache, _ = browser.fetch(self.submit_url, use_cache=False)
+        reachable = from_cache or (outcome is not None and outcome.succeeded_with_content)
+        if not reachable:
+            self.unreachable_submissions += 1
+            return None
+        return self.record(result, client, origin_domain, day, strip_referer)
+
+    def record(
+        self,
+        result: TaskResult,
+        client: Client,
+        origin_domain: str | None,
+        day: int = 0,
+        strip_referer: bool = False,
+    ) -> Measurement:
+        """Store a submission that reached the server (no network involved)."""
+        country = self.geoip.lookup(client.ip_address) or client.country_code
+        measurement = Measurement(
+            measurement_id=result.measurement_id,
+            task_type=result.task_type,
+            target_url=result.target_url,
+            target_domain=result.target_domain,
+            outcome=result.outcome,
+            elapsed_ms=result.elapsed_ms,
+            client_ip=client.ip_address,
+            country_code=country,
+            isp=client.isp,
+            browser_family=client.browser.family.value,
+            origin_domain=None if strip_referer else origin_domain,
+            day=day,
+            probe_time_ms=result.probe_time_ms,
+            is_automated=client.is_automated,
+        )
+        self.measurements.append(measurement)
+        return measurement
+
+    # ------------------------------------------------------------------
+    # Query API used by the analysis
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.measurements)
+
+    def filtered(
+        self,
+        domain: str | None = None,
+        country_code: str | None = None,
+        task_type: TaskType | None = None,
+        exclude_automated: bool = True,
+        exclude_inconclusive: bool = True,
+    ) -> list[Measurement]:
+        """Measurements matching the given criteria.
+
+        Automated traffic is excluded by default, matching the paper's
+        exclusion of "erroneously contributed measurements (e.g., from Web
+        crawlers)" (§7.1).
+        """
+        result = []
+        for m in self.measurements:
+            if exclude_automated and m.is_automated:
+                continue
+            if exclude_inconclusive and m.outcome is TaskOutcome.INCONCLUSIVE:
+                continue
+            if domain is not None and m.target_domain != domain:
+                continue
+            if country_code is not None and m.country_code != country_code:
+                continue
+            if task_type is not None and m.task_type is not task_type:
+                continue
+            result.append(m)
+        return result
+
+    def distinct_ips(self) -> int:
+        return len({m.client_ip for m in self.measurements})
+
+    def distinct_countries(self) -> int:
+        return len({m.country_code for m in self.measurements})
+
+    def measurements_by_country(self) -> Counter:
+        return Counter(m.country_code for m in self.measurements)
+
+    def success_counts(
+        self, exclude_automated: bool = True
+    ) -> dict[tuple[str, str], tuple[int, int]]:
+        """Per (domain, country): (total measurements, successes).
+
+        This is exactly the input the binomial detection test consumes.
+        """
+        totals: dict[tuple[str, str], int] = defaultdict(int)
+        successes: dict[tuple[str, str], int] = defaultdict(int)
+        for m in self.measurements:
+            if exclude_automated and m.is_automated:
+                continue
+            if m.outcome is TaskOutcome.INCONCLUSIVE:
+                continue
+            key = (m.target_domain, m.country_code)
+            totals[key] += 1
+            if m.succeeded:
+                successes[key] += 1
+        return {key: (totals[key], successes[key]) for key in totals}
+
+    def summary(self) -> dict[str, float]:
+        """Campaign-scale headline numbers (paper §7)."""
+        return {
+            "measurements": float(len(self.measurements)),
+            "distinct_ips": float(self.distinct_ips()),
+            "countries": float(self.distinct_countries()),
+            "unreachable_submissions": float(self.unreachable_submissions),
+        }

@@ -1,0 +1,314 @@
+"""Filtering detection: the binomial hypothesis test of §7.2.
+
+Individual measurement failures are weak evidence — clients suffer transient
+connectivity problems, browsers misbehave, sites go offline.  The paper
+therefore models each measurement's success as a Bernoulli trial with
+parameter ``p = 0.7`` (in the absence of filtering, clients should succeed at
+least 70% of the time) and, for each resource and region, runs a one-sided
+binomial test: the resource is considered filtered in region ``r`` if the
+observed success count is improbably low at significance 0.05 — *and* the
+same test does not fail in other regions, which rules out the resource simply
+being down for everyone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.collection import CollectionServer, Measurement
+from repro.core.tasks import TaskOutcome
+
+
+def binomial_cdf(successes: int, trials: int, p: float) -> float:
+    """P[Binomial(trials, p) <= successes], computed in log space.
+
+    Exact summation is cheap for the trial counts Encore sees (hundreds to a
+    few thousand per region) and avoids a SciPy dependency in the core
+    library.
+    """
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    if successes < 0:
+        return 0.0
+    if successes >= trials:
+        return 1.0
+    if p == 0.0:
+        return 1.0
+    if p == 1.0:
+        return 0.0
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    total = 0.0
+    for k in range(successes + 1):
+        log_term = (
+            math.lgamma(trials + 1)
+            - math.lgamma(k + 1)
+            - math.lgamma(trials - k + 1)
+            + k * log_p
+            + (trials - k) * log_q
+        )
+        total += math.exp(log_term)
+    return min(1.0, total)
+
+
+@dataclass(frozen=True)
+class RegionStatistics:
+    """Per-(domain, region) measurement counts and the test's p-value."""
+
+    domain: str
+    country_code: str
+    measurements: int
+    successes: int
+    p_value: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.measurements if self.measurements else 0.0
+
+
+@dataclass(frozen=True)
+class FilteringDetection:
+    """A resource the detector considers filtered in a region."""
+
+    domain: str
+    country_code: str
+    measurements: int
+    successes: int
+    p_value: float
+    corroborating_regions: int
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.measurements if self.measurements else 0.0
+
+
+@dataclass
+class DetectionReport:
+    """All region statistics plus the detections they support."""
+
+    statistics: list[RegionStatistics] = field(default_factory=list)
+    detections: list[FilteringDetection] = field(default_factory=list)
+
+    def detected(self, domain: str, country_code: str) -> bool:
+        return any(
+            d.domain == domain and d.country_code == country_code for d in self.detections
+        )
+
+    def detections_for_domain(self, domain: str) -> list[FilteringDetection]:
+        return [d for d in self.detections if d.domain == domain]
+
+    def detected_pairs(self) -> set[tuple[str, str]]:
+        return {(d.domain, d.country_code) for d in self.detections}
+
+
+class BinomialFilteringDetector:
+    """The detection algorithm of §7.2."""
+
+    def __init__(
+        self,
+        success_prior: float = 0.7,
+        significance: float = 0.05,
+        min_measurements: int = 10,
+    ) -> None:
+        if not 0.0 < success_prior < 1.0:
+            raise ValueError("success prior must be in (0, 1)")
+        if not 0.0 < significance < 1.0:
+            raise ValueError("significance must be in (0, 1)")
+        if min_measurements < 1:
+            raise ValueError("min_measurements must be positive")
+        self.success_prior = success_prior
+        self.significance = significance
+        self.min_measurements = min_measurements
+
+    # ------------------------------------------------------------------
+    def region_statistics(
+        self, counts: dict[tuple[str, str], tuple[int, int]]
+    ) -> list[RegionStatistics]:
+        """Per-region statistics from (domain, country) -> (n, successes)."""
+        stats = []
+        for (domain, country), (n, successes) in sorted(counts.items()):
+            if n < self.min_measurements:
+                continue
+            p_value = binomial_cdf(successes, n, self.success_prior)
+            stats.append(
+                RegionStatistics(
+                    domain=domain,
+                    country_code=country,
+                    measurements=n,
+                    successes=successes,
+                    p_value=p_value,
+                )
+            )
+        return stats
+
+    def detect_from_counts(
+        self, counts: dict[tuple[str, str], tuple[int, int]]
+    ) -> DetectionReport:
+        """Run the test over precomputed per-region counts."""
+        stats = self.region_statistics(counts)
+        by_domain: dict[str, list[RegionStatistics]] = {}
+        for stat in stats:
+            by_domain.setdefault(stat.domain, []).append(stat)
+
+        report = DetectionReport(statistics=stats)
+        for domain, domain_stats in by_domain.items():
+            failing = [s for s in domain_stats if s.p_value <= self.significance]
+            # A corroborating region must not merely "not fail the test" (a
+            # handful of measurements never fails it); it must actually show
+            # the resource loading at or above the modelled success rate.
+            passing = [
+                s
+                for s in domain_stats
+                if s.p_value > self.significance and s.success_rate >= self.success_prior
+            ]
+            if not failing or not passing:
+                # Either nothing looks filtered, or the resource looks broken
+                # everywhere (likely a site outage, not regional filtering).
+                continue
+            for stat in failing:
+                report.detections.append(
+                    FilteringDetection(
+                        domain=stat.domain,
+                        country_code=stat.country_code,
+                        measurements=stat.measurements,
+                        successes=stat.successes,
+                        p_value=stat.p_value,
+                        corroborating_regions=len(passing),
+                    )
+                )
+        return report
+
+    # ------------------------------------------------------------------
+    def detect(self, collection: CollectionServer) -> DetectionReport:
+        """Run the test over everything a collection server has gathered."""
+        return self.detect_from_counts(collection.success_counts())
+
+    def detect_from_measurements(self, measurements: Iterable[Measurement]) -> DetectionReport:
+        """Run the test over an explicit list of measurements."""
+        counts: dict[tuple[str, str], tuple[int, int]] = {}
+        totals: dict[tuple[str, str], int] = {}
+        successes: dict[tuple[str, str], int] = {}
+        for m in measurements:
+            if m.is_automated or m.outcome is TaskOutcome.INCONCLUSIVE:
+                continue
+            key = (m.target_domain, m.country_code)
+            totals[key] = totals.get(key, 0) + 1
+            if m.succeeded:
+                successes[key] = successes.get(key, 0) + 1
+        for key in totals:
+            counts[key] = (totals[key], successes.get(key, 0))
+        return self.detect_from_counts(counts)
+
+
+class AdaptiveFilteringDetector(BinomialFilteringDetector):
+    """Per-country success priors (the paper's proposed enhancement, §7.2).
+
+    The paper notes that "possible enhancements include dynamically tuning
+    model parameters to account for differing false positive rates in each
+    country": a fixed prior of 0.7 is conservative for well-connected
+    countries and optimistic for countries with unreliable networks.  This
+    detector estimates each country's baseline success rate from the country's
+    *best-performing* domains — resources presumed reachable there — and uses
+    a discounted version of that baseline as the country-specific prior,
+    clamped to ``[min_prior, max_prior]``.
+    """
+
+    def __init__(
+        self,
+        significance: float = 0.05,
+        min_measurements: int = 10,
+        min_prior: float = 0.5,
+        max_prior: float = 0.9,
+        discount: float = 0.9,
+    ) -> None:
+        super().__init__(
+            success_prior=(min_prior + max_prior) / 2.0,
+            significance=significance,
+            min_measurements=min_measurements,
+        )
+        if not 0.0 < min_prior <= max_prior < 1.0:
+            raise ValueError("need 0 < min_prior <= max_prior < 1")
+        if not 0.0 < discount <= 1.0:
+            raise ValueError("discount must be in (0, 1]")
+        self.min_prior = min_prior
+        self.max_prior = max_prior
+        self.discount = discount
+
+    def country_priors(
+        self, counts: dict[tuple[str, str], tuple[int, int]]
+    ) -> dict[str, float]:
+        """Estimate each country's baseline success probability.
+
+        The baseline is the country's highest per-domain success rate among
+        domains with enough measurements (a censored domain cannot raise it,
+        and network flakiness lowers it for every domain equally), discounted
+        and clamped to the configured bounds.
+        """
+        best: dict[str, float] = {}
+        for (domain, country), (n, successes) in counts.items():
+            if n < self.min_measurements:
+                continue
+            rate = successes / n
+            best[country] = max(best.get(country, 0.0), rate)
+        return {
+            country: float(min(self.max_prior, max(self.min_prior, rate * self.discount)))
+            for country, rate in best.items()
+        }
+
+    def region_statistics(
+        self, counts: dict[tuple[str, str], tuple[int, int]]
+    ) -> list[RegionStatistics]:
+        priors = self.country_priors(counts)
+        stats = []
+        for (domain, country), (n, successes) in sorted(counts.items()):
+            if n < self.min_measurements:
+                continue
+            prior = priors.get(country, self.success_prior)
+            stats.append(
+                RegionStatistics(
+                    domain=domain,
+                    country_code=country,
+                    measurements=n,
+                    successes=successes,
+                    p_value=binomial_cdf(successes, n, prior),
+                )
+            )
+        return stats
+
+    def detect_from_counts(
+        self, counts: dict[tuple[str, str], tuple[int, int]]
+    ) -> DetectionReport:
+        """Same corroboration rule as the base detector, with per-country priors."""
+        priors = self.country_priors(counts)
+        stats = self.region_statistics(counts)
+        by_domain: dict[str, list[RegionStatistics]] = {}
+        for stat in stats:
+            by_domain.setdefault(stat.domain, []).append(stat)
+
+        report = DetectionReport(statistics=stats)
+        for domain, domain_stats in by_domain.items():
+            failing = [s for s in domain_stats if s.p_value <= self.significance]
+            passing = [
+                s
+                for s in domain_stats
+                if s.p_value > self.significance
+                and s.success_rate >= priors.get(s.country_code, self.success_prior)
+            ]
+            if not failing or not passing:
+                continue
+            for stat in failing:
+                report.detections.append(
+                    FilteringDetection(
+                        domain=stat.domain,
+                        country_code=stat.country_code,
+                        measurements=stat.measurements,
+                        successes=stat.successes,
+                        p_value=stat.p_value,
+                        corroborating_regions=len(passing),
+                    )
+                )
+        return report

@@ -1,0 +1,262 @@
+"""End-to-end Encore deployment: wiring the stages into a runnable campaign.
+
+An :class:`EncoreDeployment` composes a :class:`~repro.population.world.World`
+with the core stages — task generation, scheduling, coordination, collection,
+and inference — and drives simulated measurement campaigns: clients visit
+origin sites, receive tasks from the coordination server, execute them in
+their browsers, and submit results to the collection server.  The §7
+experiments (soundness against the testbed, detection of real-world
+filtering, campaign scale) are all thin wrappers around
+:meth:`EncoreDeployment.run_campaign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.censor.testbed import CensorshipTestbed
+from repro.core.collection import CollectionServer, Measurement
+from repro.core.coordination import CoordinationServer
+from repro.core.inference import BinomialFilteringDetector, DetectionReport
+from repro.core.origin import OriginSite
+from repro.core.scheduler import Scheduler, TaskPool
+from repro.core.targets import TargetList
+from repro.core.task_generation import (
+    FeasibilityReport,
+    TaskGenerationLimits,
+    TaskGenerationPipeline,
+)
+from repro.core.tasks import MeasurementTask, TaskType, execute_task
+from repro.population.world import World
+from repro.web.url import URL
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one simulated measurement campaign."""
+
+    #: Number of origin-site visits to simulate.
+    visits: int = 5000
+    #: Length of the campaign in days (timestamps are spread uniformly).
+    days: int = 30
+    #: Domains whose filtering the campaign measures.  The paper's reported
+    #: deployment measured only Facebook, YouTube, and Twitter (§7.2).
+    target_domains: tuple[str, ...] = ("facebook.com", "youtube.com", "twitter.com")
+    #: Whether task generation is restricted to favicons (the paper's
+    #: April 2014 onward configuration).
+    favicons_only: bool = True
+    #: Whether to include the §7.1 soundness testbed and direct a fraction of
+    #: clients at it.
+    include_testbed: bool = True
+    #: Fraction of clients measuring testbed resources (paper: ~30%).
+    testbed_fraction: float = 0.3
+    seed: int = 0
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    config: CampaignConfig
+    collection: CollectionServer
+    coordination: CoordinationServer
+    visits_simulated: int
+    task_executions: int
+    feasibility: FeasibilityReport | None = None
+
+    @property
+    def measurements(self) -> list[Measurement]:
+        return self.collection.measurements
+
+    def detect(
+        self,
+        success_prior: float = 0.7,
+        significance: float = 0.05,
+        min_measurements: int = 10,
+    ) -> DetectionReport:
+        """Run the §7.2 binomial detection over the campaign's measurements."""
+        detector = BinomialFilteringDetector(
+            success_prior=success_prior,
+            significance=significance,
+            min_measurements=min_measurements,
+        )
+        return detector.detect(self.collection)
+
+    def testbed_measurements(self) -> list[Measurement]:
+        return [m for m in self.measurements if m.target_domain.endswith("encore-testbed.net")]
+
+    def target_measurements(self) -> list[Measurement]:
+        return [m for m in self.measurements if not m.target_domain.endswith("encore-testbed.net")]
+
+
+class EncoreDeployment:
+    """A fully wired Encore deployment inside a simulated world."""
+
+    def __init__(self, world: World, config: CampaignConfig | None = None) -> None:
+        self.world = world
+        self.config = config or CampaignConfig()
+        self._rng = np.random.default_rng(self.config.seed + 100)
+
+        # --- Testbed (soundness experiments) ------------------------------
+        self.testbed: CensorshipTestbed | None = None
+        if self.config.include_testbed:
+            self.testbed = CensorshipTestbed(rng=np.random.default_rng(self.config.seed + 7))
+            self.testbed.register(self.world.universe)
+            for censor in self.testbed.censors():
+                self.world.add_global_interceptor(censor)
+
+        # --- Task generation -----------------------------------------------
+        self.generation_limits = TaskGenerationLimits(favicons_only=self.config.favicons_only)
+        self.generation_pipeline = TaskGenerationPipeline(
+            self.world.search, self.world.headless, self.generation_limits
+        )
+        target_list = TargetList.high_value().restrict_to_domains(self.config.target_domains)
+        generation = self.generation_pipeline.run(target_list.entries)
+        self.feasibility = generation.report
+        self.target_tasks: list[MeasurementTask] = generation.tasks
+        self.testbed_tasks: list[MeasurementTask] = (
+            self._build_testbed_tasks() if self.testbed else []
+        )
+
+        # --- Servers ---------------------------------------------------------
+        pools = [
+            TaskPool(
+                name="targets",
+                tasks=self.target_tasks,
+                weight=1.0 - (self.config.testbed_fraction if self.testbed_tasks else 0.0),
+            )
+        ]
+        if self.testbed_tasks:
+            pools.append(
+                TaskPool(name="testbed", tasks=self.testbed_tasks, weight=self.config.testbed_fraction)
+            )
+        self.scheduler = Scheduler(pools, rng=np.random.default_rng(self.config.seed + 11))
+        self.coordination = CoordinationServer(
+            scheduler=self.scheduler,
+            task_url=self.world.coordination_url,
+            collection_url=self.world.collection_url,
+        )
+        self.collection = CollectionServer(
+            submit_url=self.world.collection_url, geoip=self.world.geoip
+        )
+
+        # --- Origin sites ----------------------------------------------------
+        self.origins: list[OriginSite] = []
+        for index, domain in enumerate(self.world.origin_domains):
+            site = self.world.universe.site(domain)
+            self.origins.append(
+                OriginSite(
+                    site=site,
+                    coordination_url=self.world.coordination_url,
+                    strips_referer=(index / max(1, len(self.world.origin_domains)))
+                    < CollectionServer.REFERER_STRIP_FRACTION,
+                    reciprocity_enrolled=index % 3 == 0,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _build_testbed_tasks(self) -> list[MeasurementTask]:
+        """Tasks exercising all four mechanisms against every testbed host."""
+        tasks: list[MeasurementTask] = []
+        assert self.testbed is not None
+        for host in self.testbed.hosts:
+            favicon = self.testbed.favicon_url(host)
+            tasks.append(
+                MeasurementTask.new(TaskType.IMAGE, favicon, category="testbed",
+                                    estimated_overhead_bytes=620)
+            )
+            tasks.append(
+                MeasurementTask.new(
+                    TaskType.STYLE_SHEET,
+                    self.testbed.stylesheet_url(host),
+                    category="testbed",
+                    estimated_overhead_bytes=2048,
+                )
+            )
+            tasks.append(
+                MeasurementTask.new(
+                    TaskType.SCRIPT,
+                    self.testbed.script_url(host),
+                    category="testbed",
+                    estimated_overhead_bytes=4096,
+                )
+            )
+            tasks.append(
+                MeasurementTask.new(
+                    TaskType.INLINE_FRAME,
+                    self.testbed.page_url(host),
+                    probe_image_url=self.testbed.favicon_url(host),
+                    category="testbed",
+                    estimated_overhead_bytes=32 * 1024,
+                )
+            )
+        return tasks
+
+    # ------------------------------------------------------------------
+    def simulate_visit(self, day: int | None = None, country_code: str | None = None) -> int:
+        """Simulate one origin-site visit; returns the number of submissions."""
+        client = self.world.sample_client(country_code)
+        origin = self.origins[int(self._rng.integers(0, len(self.origins)))]
+        browser = self.world.make_browser(client)
+        day = day if day is not None else int(self._rng.integers(0, self.config.days))
+        decision = self.coordination.deliver(client, browser)
+        submissions = 0
+        for task in decision.tasks:
+            result = execute_task(task, browser)
+            measurement = self.collection.submit(
+                result,
+                client,
+                browser,
+                origin_domain=origin.domain,
+                day=day,
+                strip_referer=origin.strips_referer,
+            )
+            if measurement is not None:
+                submissions += 1
+        return submissions
+
+    def run_campaign(self, visits: int | None = None) -> CampaignResult:
+        """Simulate a full campaign of origin-site visits."""
+        visits = visits if visits is not None else self.config.visits
+        executions = 0
+        for _ in range(visits):
+            executions += self.simulate_visit()
+        return CampaignResult(
+            config=self.config,
+            collection=self.collection,
+            coordination=self.coordination,
+            visits_simulated=visits,
+            task_executions=executions,
+            feasibility=self.feasibility,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors for the paper's experiments
+    # ------------------------------------------------------------------
+    @classmethod
+    def soundness_experiment(cls, seed: int = 0, visits: int = 4000) -> "EncoreDeployment":
+        """The §7.1 configuration: testbed measurements enabled."""
+        world = World()
+        config = CampaignConfig(
+            visits=visits,
+            include_testbed=True,
+            testbed_fraction=0.3,
+            favicons_only=True,
+            seed=seed,
+        )
+        return cls(world, config)
+
+    @classmethod
+    def detection_experiment(cls, seed: int = 0, visits: int = 8000) -> "EncoreDeployment":
+        """The §7.2 configuration: measure Facebook, YouTube, and Twitter."""
+        world = World()
+        config = CampaignConfig(
+            visits=visits,
+            include_testbed=False,
+            favicons_only=True,
+            target_domains=("facebook.com", "youtube.com", "twitter.com"),
+            seed=seed,
+        )
+        return cls(world, config)

@@ -1,0 +1,198 @@
+"""Robustness against measurement poisoning (paper §8).
+
+"Attackers may attempt to submit poisoned measurement results to alter the
+conclusions that Encore draws about censorship.  We could try to employ
+reputation systems to thwart such attacks, although it would be practically
+impossible to completely prevent such poisoning from untrusted clients."
+
+This module implements both sides of that sentence so the trade-off can be
+studied: a :class:`PoisoningAttacker` that fabricates submissions designed to
+invent (or hide) censorship in a chosen country, and a
+:class:`ReputationFilter` that applies the practical defences a collection
+server actually has — per-client submission rate limits, consistency checks
+against each client's other reports, and down-weighting of clients whose
+reports disagree with the rest of their region.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.collection import CollectionServer, Measurement
+from repro.core.tasks import TaskOutcome, TaskType
+from repro.population.geoip import GeoIPDatabase
+from repro.web.url import URL
+
+
+@dataclass
+class PoisoningCampaign:
+    """What an attacker wants the data to say."""
+
+    target_domain: str
+    country_code: str
+    #: ``fabricate_blocking`` floods failure reports to invent censorship;
+    #: otherwise the attacker floods success reports to mask real censorship.
+    fabricate_blocking: bool = True
+    #: How many fake submissions the attacker sends.
+    submissions: int = 500
+    #: How many distinct client identities (IP addresses) the attacker controls.
+    client_identities: int = 10
+
+
+class PoisoningAttacker:
+    """Fabricates measurement submissions and injects them into a collection."""
+
+    def __init__(self, geoip: GeoIPDatabase | None = None,
+                 rng: np.random.Generator | int | None = None) -> None:
+        self.geoip = geoip or GeoIPDatabase()
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self._ids = itertools.count(10_000_000)
+
+    def forge_measurements(self, campaign: PoisoningCampaign) -> list[Measurement]:
+        """Build the fake measurements for ``campaign``."""
+        outcome = TaskOutcome.FAILURE if campaign.fabricate_blocking else TaskOutcome.SUCCESS
+        identities = [
+            self.geoip.allocate_ip(campaign.country_code, self._rng)
+            for _ in range(max(1, campaign.client_identities))
+        ]
+        url = URL.parse(f"http://{campaign.target_domain}/favicon.ico")
+        forged = []
+        for index in range(campaign.submissions):
+            forged.append(
+                Measurement(
+                    measurement_id=f"forged-{next(self._ids)}",
+                    task_type=TaskType.IMAGE,
+                    target_url=url,
+                    target_domain=campaign.target_domain,
+                    outcome=outcome,
+                    elapsed_ms=float(self._rng.uniform(10.0, 200.0)),
+                    client_ip=identities[index % len(identities)],
+                    country_code=campaign.country_code,
+                    isp=f"{campaign.country_code.lower()}-attacker",
+                    browser_family="chrome",
+                    origin_domain=None,
+                    day=int(self._rng.integers(0, 30)),
+                )
+            )
+        return forged
+
+    def inject(self, collection: CollectionServer, campaign: PoisoningCampaign) -> int:
+        """Append forged measurements to ``collection``; returns how many."""
+        forged = self.forge_measurements(campaign)
+        collection.measurements.extend(forged)
+        return len(forged)
+
+
+@dataclass
+class ReputationReport:
+    """What the filter kept, what it dropped, and why."""
+
+    kept: list[Measurement] = field(default_factory=list)
+    dropped_rate_limited: int = 0
+    dropped_low_reputation: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_rate_limited + self.dropped_low_reputation
+
+
+class ReputationFilter:
+    """Practical defences against poisoned submissions.
+
+    Two mechanisms, both of which a real collection server can apply without
+    trusting clients:
+
+    * **Rate limiting** — a single client IP contributing far more
+      submissions per (domain, country) than its peers is capped at
+      ``max_submissions_per_client``; an attacker must therefore control many
+      addresses to move the aggregate.
+    * **Minority down-weighting** — if a client's verdicts for a (domain,
+      country) pair disagree with the verdict of the majority of *other
+      clients* in that pair and that client contributes more than
+      ``suspicious_share`` of the pair's submissions, the client's
+      submissions are dropped.  Honest regional censorship is unaffected
+      because there the majority of clients agree.
+    """
+
+    def __init__(self, max_submissions_per_client: int = 10,
+                 suspicious_share: float = 0.2) -> None:
+        if max_submissions_per_client < 1:
+            raise ValueError("max_submissions_per_client must be positive")
+        if not 0.0 < suspicious_share <= 1.0:
+            raise ValueError("suspicious_share must be in (0, 1]")
+        self.max_submissions_per_client = max_submissions_per_client
+        self.suspicious_share = suspicious_share
+
+    # ------------------------------------------------------------------
+    def apply(self, measurements: list[Measurement]) -> ReputationReport:
+        """Filter ``measurements`` and report what was kept and dropped."""
+        report = ReputationReport()
+
+        # Pass 1: per-client rate limiting within each (domain, country) pair.
+        per_client_counts: Counter = Counter()
+        rate_limited: list[Measurement] = []
+        for m in measurements:
+            key = (m.target_domain, m.country_code, m.client_ip)
+            per_client_counts[key] += 1
+            if per_client_counts[key] > self.max_submissions_per_client:
+                report.dropped_rate_limited += 1
+            else:
+                rate_limited.append(m)
+
+        # Pass 2: drop dominant clients whose verdicts contradict their peers.
+        by_pair: dict[tuple[str, str], list[Measurement]] = defaultdict(list)
+        for m in rate_limited:
+            by_pair[(m.target_domain, m.country_code)].append(m)
+
+        suspicious_clients: set[tuple[str, str, str]] = set()
+        for (domain, country), pair_measurements in by_pair.items():
+            total = len(pair_measurements)
+            by_client: dict[str, list[Measurement]] = defaultdict(list)
+            for m in pair_measurements:
+                by_client[m.client_ip].append(m)
+            if len(by_client) < 2:
+                continue
+            counts = sorted(len(own) for own in by_client.values())
+            median_count = counts[len(counts) // 2]
+
+            # A client is "dominant" if it supplies an outsized share of the
+            # pair's submissions, either relative to the pair total or
+            # relative to what a typical client contributes.  The honest
+            # baseline is formed from the *non-dominant* clients so that a
+            # flood of Sybil identities cannot vote itself into the majority.
+            def is_dominant(own: list[Measurement]) -> bool:
+                return (
+                    len(own) / total > self.suspicious_share
+                    or len(own) > max(3, 5 * median_count)
+                )
+
+            baseline = [
+                m
+                for client_ip, own in by_client.items()
+                if not is_dominant(own)
+                for m in own
+            ]
+            if not baseline:
+                continue
+            baseline_failure_rate = sum(1 for m in baseline if m.failed) / len(baseline)
+            for client_ip, own in by_client.items():
+                if not is_dominant(own):
+                    continue
+                own_failure_rate = sum(1 for m in own if m.failed) / len(own)
+                if abs(own_failure_rate - baseline_failure_rate) > 0.5:
+                    suspicious_clients.add((domain, country, client_ip))
+
+        for m in rate_limited:
+            if (m.target_domain, m.country_code, m.client_ip) in suspicious_clients:
+                report.dropped_low_reputation += 1
+            else:
+                report.kept.append(m)
+        return report
+
+    def filtered_measurements(self, measurements: list[Measurement]) -> list[Measurement]:
+        """Just the measurements that survive filtering."""
+        return self.apply(measurements).kept

@@ -1,0 +1,129 @@
+"""Task scheduling (paper §5.3).
+
+The coordination server decides which measurement task each visiting client
+runs.  Scheduling has two goals: respect client restrictions (the script task
+type only works on Chrome; long-dwelling visitors can run several tasks), and
+replicate the same measurement across many clients, countries, and ISPs
+within a short window so the inference stage can compare regions rather than
+trusting single reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tasks import MeasurementTask, TaskType
+from repro.population.clients import Client
+
+
+@dataclass
+class TaskPool:
+    """A named, weighted pool of tasks the scheduler draws from.
+
+    The paper's experiment split — roughly 30% of clients measure testbed
+    resources and 70% measure suspected-filtered resources (§7) — is
+    expressed as two pools with weights 0.3 and 0.7.
+    """
+
+    name: str
+    tasks: list[MeasurementTask]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("pool weight must be non-negative")
+
+    def runnable_tasks(self, client: Client) -> list[MeasurementTask]:
+        return [task for task in self.tasks if task.runnable_by(client.browser)]
+
+
+@dataclass
+class ScheduleDecision:
+    """The tasks assigned to one client visit."""
+
+    client: Client
+    tasks: list[MeasurementTask] = field(default_factory=list)
+    pool_name: str | None = None
+
+
+class Scheduler:
+    """Assigns tasks to visiting clients."""
+
+    #: Dwell time (seconds) below which a client is unlikely to finish even a
+    #: single task and report back (paper §6.2 uses 10 s as comfortably
+    #: sufficient; 3 s is the bare minimum modelled here).
+    MIN_DWELL_FOR_ONE_TASK_S = 3.0
+    #: Dwell time beyond which the scheduler assigns additional tasks.
+    DWELL_FOR_MULTIPLE_TASKS_S = 60.0
+    #: Maximum tasks per visit, to bound client-side overhead.
+    MAX_TASKS_PER_VISIT = 3
+
+    def __init__(self, pools: list[TaskPool], rng: np.random.Generator | int | None = None) -> None:
+        if not pools:
+            raise ValueError("scheduler needs at least one task pool")
+        self.pools = pools
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        #: How many times each measurement ID has been assigned, used to
+        #: balance replication across the pool.
+        self.assignment_counts: dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    def _choose_pool(self, client: Client) -> TaskPool | None:
+        candidates = [pool for pool in self.pools if pool.runnable_tasks(client)]
+        if not candidates:
+            return None
+        weights = np.array([pool.weight for pool in candidates], dtype=float)
+        if weights.sum() <= 0:
+            weights = np.ones(len(candidates))
+        weights = weights / weights.sum()
+        index = int(self._rng.choice(len(candidates), p=weights))
+        return candidates[index]
+
+    def _choose_task(self, pool: TaskPool, client: Client) -> MeasurementTask | None:
+        runnable = pool.runnable_tasks(client)
+        if not runnable:
+            return None
+        # Prefer the least-assigned tasks so replication is spread evenly; tie
+        # break randomly for diversity within a window.
+        least = min(self.assignment_counts[t.measurement_id] for t in runnable)
+        pick_from = [t for t in runnable if self.assignment_counts[t.measurement_id] == least]
+        task = pick_from[int(self._rng.integers(0, len(pick_from)))]
+        self.assignment_counts[task.measurement_id] += 1
+        return task
+
+    # ------------------------------------------------------------------
+    def schedule(self, client: Client) -> ScheduleDecision:
+        """Decide which tasks ``client`` should run during this visit."""
+        decision = ScheduleDecision(client=client)
+        if not client.can_run_task or client.dwell_time_s < self.MIN_DWELL_FOR_ONE_TASK_S:
+            return decision
+        pool = self._choose_pool(client)
+        if pool is None:
+            return decision
+        decision.pool_name = pool.name
+        task_budget = 1
+        if client.dwell_time_s >= self.DWELL_FOR_MULTIPLE_TASKS_S:
+            task_budget = self.MAX_TASKS_PER_VISIT
+        seen_ids: set[str] = set()
+        for _ in range(task_budget):
+            task = self._choose_task(pool, client)
+            if task is None or task.measurement_id in seen_ids:
+                break
+            seen_ids.add(task.measurement_id)
+            decision.tasks.append(task)
+        return decision
+
+    # ------------------------------------------------------------------
+    def replication_report(self) -> dict[str, int]:
+        """How many times each measurement has been assigned so far."""
+        return dict(self.assignment_counts)
+
+    @property
+    def all_tasks(self) -> list[MeasurementTask]:
+        return [task for pool in self.pools for task in pool.tasks]
+
+    def tasks_of_type(self, task_type: TaskType) -> list[MeasurementTask]:
+        return [task for task in self.all_tasks if task.task_type is task_type]

@@ -1,0 +1,142 @@
+"""Measurement-target lists and deployment phases.
+
+Encore's input is a list of potentially filtered URL patterns (paper §5.1);
+curating the list is explicitly out of scope, so the list is pluggable.  The
+paper also documents (Table 2) how ethical review progressively restricted
+the deployed target set — from a 300+ URL list, to favicons only, to favicons
+on a few high-traffic sites — and we model those phases so experiments can be
+run under each restriction level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.datasets.herdict import TargetListEntry, build_high_value_list
+from repro.web.url import URL, URLPattern
+
+
+@dataclass
+class TargetList:
+    """A list of URL patterns to test for Web filtering."""
+
+    entries: list[TargetListEntry] = field(default_factory=list)
+
+    @classmethod
+    def high_value(cls, total: int = 204, online: int = 178) -> "TargetList":
+        """The synthetic stand-in for the Herdict high-value list (§6.1)."""
+        return cls(entries=build_high_value_list(total=total, online=online))
+
+    @classmethod
+    def from_domains(cls, domains: Iterable[str], category: str = "uncategorised") -> "TargetList":
+        """A list measuring the given domains in their entirety."""
+        return cls(
+            entries=[
+                TargetListEntry(pattern=URLPattern.domain(d, category=category), online=True)
+                for d in domains
+            ]
+        )
+
+    @classmethod
+    def from_urls(cls, urls: Iterable[str], category: str = "uncategorised") -> "TargetList":
+        """A list measuring specific URLs."""
+        return cls(
+            entries=[
+                TargetListEntry(pattern=URLPattern.exact(u, category=category), online=True)
+                for u in urls
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def patterns(self) -> list[URLPattern]:
+        return [entry.pattern for entry in self.entries]
+
+    @property
+    def online_entries(self) -> list[TargetListEntry]:
+        return [entry for entry in self.entries if entry.online]
+
+    @property
+    def online_domains(self) -> list[str]:
+        return [entry.domain for entry in self.online_entries]
+
+    def restrict_to_domains(self, domains: Iterable[str]) -> "TargetList":
+        """A new list containing only patterns anchored at ``domains``."""
+        allowed = {d.lower() for d in domains}
+        return TargetList(
+            entries=[e for e in self.entries if e.domain.lower() in allowed]
+        )
+
+    def matching_entry(self, url: URL | str) -> TargetListEntry | None:
+        """The first entry whose pattern matches ``url``."""
+        parsed = url if isinstance(url, URL) else URL.parse(url)
+        for entry in self.entries:
+            if entry.pattern.matches(parsed):
+                return entry
+        return None
+
+
+@dataclass(frozen=True)
+class DeploymentPhase:
+    """One phase of the paper's Table 2 deployment timeline."""
+
+    name: str
+    start: str
+    description: str
+    #: Restriction applied to the target list during this phase.
+    restriction: str  # "full_list", "favicons_only", or "favicons_few_sites"
+    #: Domains measured during the most restricted phase.
+    restricted_domains: tuple[str, ...] = ()
+
+
+def deployment_phases() -> list[DeploymentPhase]:
+    """The measurement-collection phases of Table 2.
+
+    The three substantive phases are: the initial 300+ URL list (March 2014),
+    favicons only (April 2, 2014), and favicons on only a few sites
+    (May 5, 2014) — the configuration whose data the SIGCOMM submission
+    reports.  The most restricted phase measured only Facebook, YouTube, and
+    Twitter (§7.2).
+    """
+    return [
+        DeploymentPhase(
+            name="initial_url_list",
+            start="2014-03-13",
+            description="Collection begins with a list of over 300 URLs.",
+            restriction="full_list",
+        ),
+        DeploymentPhase(
+            name="favicons_only",
+            start="2014-04-02",
+            description="To combat data sparsity, Encore measures only favicons.",
+            restriction="favicons_only",
+        ),
+        DeploymentPhase(
+            name="favicons_few_sites",
+            start="2014-05-05",
+            description="Out of ethical concern, favicons on only a few sites.",
+            restriction="favicons_few_sites",
+            restricted_domains=("facebook.com", "youtube.com", "twitter.com"),
+        ),
+    ]
+
+
+def apply_phase(target_list: TargetList, phase: DeploymentPhase) -> TargetList:
+    """Restrict ``target_list`` according to a deployment phase."""
+    if phase.restriction == "full_list":
+        return target_list
+    if phase.restriction == "favicons_only":
+        # The list keeps its domains but tasks are limited to favicons; the
+        # task generator enforces the favicon restriction, so the list itself
+        # is unchanged here.
+        return target_list
+    if phase.restriction == "favicons_few_sites":
+        return target_list.restrict_to_domains(phase.restricted_domains)
+    raise ValueError(f"unknown restriction {phase.restriction!r}")

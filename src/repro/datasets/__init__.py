@@ -1,0 +1,27 @@
+"""Datasets: the synthetic target list and country metadata.
+
+The paper seeds Encore with a curated list of "high value" URL patterns from
+Herdict and its partners (§5.1, §6.1) and reports measurements across 170
+countries (§7).  Neither dataset can ship here, so this package generates
+deterministic synthetic equivalents with the same sizes and category mixes.
+"""
+
+from repro.datasets.countries import (
+    CountryProfile,
+    all_countries,
+    country,
+    filtering_country_codes,
+    visit_share_distribution,
+)
+from repro.datasets.herdict import HIGH_VALUE_DOMAINS, TargetListEntry, build_high_value_list
+
+__all__ = [
+    "CountryProfile",
+    "all_countries",
+    "country",
+    "filtering_country_codes",
+    "visit_share_distribution",
+    "HIGH_VALUE_DOMAINS",
+    "TargetListEntry",
+    "build_high_value_list",
+]

@@ -1,0 +1,133 @@
+"""Synthetic "high value" measurement-target list.
+
+The paper's feasibility analysis (§6.1) uses "a list of domains and URLs that
+are 'high value' for censorship measurement according to Herdict and its
+partners", containing "over 200 URL patterns, of which only 178 were online"
+at analysis time.  Most entries are either likely filtering targets (human
+rights, press freedom) or sites whose filtering would cause substantial
+disruption (major social media).  This module generates a deterministic
+synthetic list with the same size and category mix; a handful of domains are
+fixed by name because the country censor presets reference them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.web.url import URLPattern
+
+#: Size of the full curated list and the online subset (paper §6.1).
+TOTAL_PATTERNS = 204
+ONLINE_PATTERNS = 178
+
+
+@dataclass(frozen=True)
+class TargetListEntry:
+    """One entry of the high-value list."""
+
+    pattern: URLPattern
+    online: bool
+
+    @property
+    def domain(self) -> str:
+        return self.pattern.anchor_domain
+
+    @property
+    def category(self) -> str:
+        return self.pattern.category
+
+
+#: Domains that other parts of the reproduction reference by name: the three
+#: the paper actually measured (§7.2) and the targets of the country censor
+#: presets.
+HIGH_VALUE_DOMAINS: dict[str, str] = {
+    "facebook.com": "social_media",
+    "twitter.com": "social_media",
+    "youtube.com": "social_media",
+    "pressfreedom-intl.org": "press_freedom",
+    "rights-watch.org": "human_rights",
+    "blasphemy-report.org": "religious_content",
+    "circumvention-tools.net": "circumvention",
+    "independent-journal.net": "independent_news",
+    "northern-news.org": "independent_news",
+    "filesharing-index.net": "file_sharing",
+}
+
+#: Category mix for the synthetic remainder of the list (weights sum to 1).
+_CATEGORY_MIX: list[tuple[str, float]] = [
+    ("human_rights", 0.22),
+    ("press_freedom", 0.16),
+    ("independent_news", 0.18),
+    ("political_opposition", 0.12),
+    ("circumvention", 0.08),
+    ("social_media", 0.06),
+    ("religious_content", 0.06),
+    ("lgbt_rights", 0.05),
+    ("file_sharing", 0.04),
+    ("blogging_platform", 0.03),
+]
+
+_TLD_BY_CATEGORY = {
+    "human_rights": "org",
+    "press_freedom": "org",
+    "independent_news": "net",
+    "political_opposition": "org",
+    "circumvention": "net",
+    "social_media": "com",
+    "religious_content": "org",
+    "lgbt_rights": "org",
+    "file_sharing": "net",
+    "blogging_platform": "com",
+}
+
+
+def _synthetic_domains(count: int) -> list[tuple[str, str]]:
+    """Deterministically named (domain, category) pairs for the list body."""
+    # Round-robin over categories proportionally to the mix so the composition
+    # is stable regardless of count.
+    expanded: list[str] = []
+    for category, weight in _CATEGORY_MIX:
+        expanded.extend([category] * max(1, round(weight * 100)))
+    domains: list[tuple[str, str]] = []
+    per_category_counter: dict[str, int] = {}
+    index = 0
+    while len(domains) < count:
+        category = expanded[index % len(expanded)]
+        index += 1
+        serial = per_category_counter.get(category, 0)
+        per_category_counter[category] = serial + 1
+        tld = _TLD_BY_CATEGORY[category]
+        domain = f"{category.replace('_', '-')}-{serial:03d}.{tld}"
+        domains.append((domain, category))
+    return domains
+
+
+def build_high_value_list(
+    total: int = TOTAL_PATTERNS, online: int = ONLINE_PATTERNS
+) -> list[TargetListEntry]:
+    """Build the synthetic high-value target list.
+
+    The first ``online`` entries are marked online (reachable in the simulated
+    universe); the remainder model the paper's stale list entries whose sites
+    had gone offline by analysis time.
+    """
+    if online > total:
+        raise ValueError("online count cannot exceed total count")
+    named = list(HIGH_VALUE_DOMAINS.items())
+    synthetic_needed = total - len(named)
+    domains = named + _synthetic_domains(synthetic_needed)
+    entries: list[TargetListEntry] = []
+    for position, (domain, category) in enumerate(domains[:total]):
+        entries.append(
+            TargetListEntry(
+                pattern=URLPattern.domain(domain, category=category),
+                online=position < online,
+            )
+        )
+    return entries
+
+
+def online_domains(entries: list[TargetListEntry] | None = None) -> dict[str, str]:
+    """Mapping of online domain -> category, for building the simulated Web."""
+    entries = entries if entries is not None else build_high_value_list()
+    return {entry.domain: entry.category for entry in entries if entry.online}

@@ -1,0 +1,29 @@
+"""Network substrate: DNS, TCP, and HTTP with latency, loss, and censors.
+
+Encore only ever observes the *outcome* of Web fetches — whether they
+complete, with what status, and how long they take.  This package models the
+fetch pipeline a browser goes through (DNS lookup, TCP connect, HTTP
+exchange), lets censors interpose at each stage, and reports a
+:class:`~repro.netsim.errors.FetchOutcome` with a timing breakdown.
+"""
+
+from repro.netsim.errors import FailureKind, FailureStage, FetchOutcome
+from repro.netsim.latency import LinkQuality
+from repro.netsim.dns import DNSAction, DNSResolver
+from repro.netsim.tcp import TCPAction, TCPConnectionModel
+from repro.netsim.http import HTTPAction, HTTPExchangeModel
+from repro.netsim.network import Network
+
+__all__ = [
+    "FailureKind",
+    "FailureStage",
+    "FetchOutcome",
+    "LinkQuality",
+    "DNSAction",
+    "DNSResolver",
+    "TCPAction",
+    "TCPConnectionModel",
+    "HTTPAction",
+    "HTTPExchangeModel",
+    "Network",
+]

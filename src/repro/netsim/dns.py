@@ -1,0 +1,78 @@
+"""DNS resolution with censor interposition hooks.
+
+Web filtering frequently happens at the DNS stage (paper §3.1): the censor
+answers a lookup with NXDOMAIN, injects a bogus address, or lets the query
+time out.  The resolver below answers from the simulated Web universe's
+authoritative records, after giving any on-path censor the chance to act.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.web.server import WebUniverse
+
+
+class DNSAction(enum.Enum):
+    """What an on-path interceptor does to a DNS query."""
+
+    PASS = "pass"
+    NXDOMAIN = "nxdomain"
+    INJECT = "inject"
+    TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class DNSResult:
+    """Outcome of a DNS lookup."""
+
+    action: DNSAction
+    ip_address: str | None
+
+    @property
+    def resolved(self) -> bool:
+        return self.ip_address is not None and self.action in (DNSAction.PASS, DNSAction.INJECT)
+
+
+#: Address returned by injecting censors; no real server listens there.
+INJECTED_SINKHOLE_IP = "203.0.113.113"
+
+
+class DNSResolver:
+    """Resolves hostnames against the simulated universe's records."""
+
+    def __init__(self, universe: WebUniverse) -> None:
+        self._universe = universe
+        self._extra_records: dict[str, str] = {}
+
+    def add_record(self, host: str, ip_address: str) -> None:
+        """Add a static A record (used for infrastructure hosts in tests)."""
+        self._extra_records[host.lower()] = ip_address
+
+    def authoritative_ip(self, host: str) -> str | None:
+        """The true IP for ``host``, ignoring any censorship."""
+        host = host.lower()
+        if host in self._extra_records:
+            return self._extra_records[host]
+        return self._universe.ip_for_host(host)
+
+    def resolve(self, host: str, interceptors=()) -> DNSResult:
+        """Resolve ``host``, letting each interceptor act on the query.
+
+        Interceptors are consulted in path order; the first one that does
+        anything other than ``PASS`` determines the result, mirroring how the
+        nearest censor on the path answers first.
+        """
+        for interceptor in interceptors:
+            action = interceptor.intercept_dns(host)
+            if action is DNSAction.NXDOMAIN:
+                return DNSResult(DNSAction.NXDOMAIN, None)
+            if action is DNSAction.TIMEOUT:
+                return DNSResult(DNSAction.TIMEOUT, None)
+            if action is DNSAction.INJECT:
+                return DNSResult(DNSAction.INJECT, INJECTED_SINKHOLE_IP)
+        ip_address = self.authoritative_ip(host)
+        if ip_address is None:
+            return DNSResult(DNSAction.NXDOMAIN, None)
+        return DNSResult(DNSAction.PASS, ip_address)

@@ -1,0 +1,129 @@
+"""Failure taxonomy and fetch outcomes.
+
+The paper's threat model (§3.1) locates Web filtering at three stages of a
+Web connection — the DNS lookup, the TCP connection, and the HTTP exchange —
+and its testbed (§7.1) emulates seven concrete mechanisms across those
+stages.  Ordinary (non-censorship) failures happen at the same stages, which
+is exactly why Encore needs statistical inference to separate the two; the
+taxonomy below covers both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.web.server import HTTPResponse
+from repro.web.url import URL
+
+
+class FailureStage(enum.Enum):
+    """The stage of the fetch pipeline at which a fetch failed."""
+
+    NONE = "none"
+    DNS = "dns"
+    TCP = "tcp"
+    HTTP = "http"
+    CONTENT = "content"
+
+
+class FailureKind(enum.Enum):
+    """What exactly went wrong (or ``OK`` if nothing did)."""
+
+    OK = "ok"
+    DNS_NXDOMAIN = "dns_nxdomain"
+    DNS_TIMEOUT = "dns_timeout"
+    DNS_HIJACKED = "dns_hijacked"
+    TCP_TIMEOUT = "tcp_timeout"
+    TCP_RESET = "tcp_reset"
+    HTTP_TIMEOUT = "http_timeout"
+    HTTP_RESET = "http_reset"
+    HTTP_ERROR_STATUS = "http_error_status"
+    BLOCK_PAGE = "block_page"
+    SERVER_OFFLINE = "server_offline"
+    NOT_FOUND = "not_found"
+    TRANSIENT_LOSS = "transient_loss"
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not FailureKind.OK
+
+
+@dataclass(frozen=True)
+class FetchOutcome:
+    """The result of attempting to fetch a URL over the simulated network.
+
+    ``censor_interfered`` is ground-truth metadata recorded by the simulator
+    for evaluation purposes only; nothing in the measurement path (browser,
+    tasks, inference) reads it, because a real client cannot observe it.
+    """
+
+    url: URL
+    ok: bool
+    status: int
+    stage_failed: FailureStage
+    failure_kind: FailureKind
+    elapsed_ms: float
+    size_bytes: int = 0
+    response: HTTPResponse | None = None
+    resolved_ip: str | None = None
+    censor_interfered: bool = False
+
+    @property
+    def succeeded_with_content(self) -> bool:
+        """True if the fetch returned a 2xx response with a body."""
+        return self.ok and self.response is not None and self.response.ok
+
+    @property
+    def looks_like_block_page(self) -> bool:
+        """True if the returned content was a censor-injected block page."""
+        return self.response is not None and self.response.is_block_page
+
+    @classmethod
+    def success(
+        cls,
+        url: URL,
+        response: HTTPResponse,
+        elapsed_ms: float,
+        resolved_ip: str | None = None,
+        censor_interfered: bool = False,
+    ) -> "FetchOutcome":
+        """Build a successful outcome for ``response``."""
+        return cls(
+            url=url,
+            ok=True,
+            status=response.status,
+            stage_failed=FailureStage.NONE,
+            failure_kind=FailureKind.OK,
+            elapsed_ms=elapsed_ms,
+            size_bytes=response.size_bytes,
+            response=response,
+            resolved_ip=resolved_ip,
+            censor_interfered=censor_interfered,
+        )
+
+    @classmethod
+    def failure(
+        cls,
+        url: URL,
+        stage: FailureStage,
+        kind: FailureKind,
+        elapsed_ms: float,
+        status: int = 0,
+        response: HTTPResponse | None = None,
+        resolved_ip: str | None = None,
+        censor_interfered: bool = False,
+    ) -> "FetchOutcome":
+        """Build a failed outcome."""
+        return cls(
+            url=url,
+            ok=False,
+            status=status,
+            stage_failed=stage,
+            failure_kind=kind,
+            elapsed_ms=elapsed_ms,
+            size_bytes=response.size_bytes if response else 0,
+            response=response,
+            resolved_ip=resolved_ip,
+            censor_interfered=censor_interfered,
+        )

@@ -1,0 +1,99 @@
+"""HTTP request/response exchange with censor interposition.
+
+HTTP-layer censors inspect the request (URL, Host header, keywords) and
+either drop it, reset the connection, substitute a block page, or throttle
+the transfer.  This module performs the exchange against the destination
+server and applies whichever action an on-path interceptor chooses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.latency import LinkQuality
+from repro.web.server import HTTPResponse, WebServer
+from repro.web.url import URL
+
+
+class HTTPAction(enum.Enum):
+    """What an on-path interceptor does to an HTTP exchange."""
+
+    PASS = "pass"
+    DROP = "drop"
+    RESET = "reset"
+    BLOCK_PAGE = "block_page"
+    THROTTLE = "throttle"
+
+
+@dataclass(frozen=True)
+class HTTPExchangeResult:
+    """Outcome of an HTTP request/response exchange."""
+
+    completed: bool
+    action: HTTPAction
+    response: HTTPResponse | None
+    elapsed_ms: float
+
+
+#: How long a client waits for a response before giving up.
+REQUEST_TIMEOUT_MS = 30000.0
+
+#: Throughput multiplier applied by throttling censors.
+THROTTLE_FACTOR = 40.0
+
+
+class HTTPExchangeModel:
+    """Performs an HTTP exchange over an established connection."""
+
+    def __init__(self, timeout_ms: float = REQUEST_TIMEOUT_MS) -> None:
+        self.timeout_ms = timeout_ms
+
+    def exchange(
+        self,
+        url: URL,
+        server: WebServer | None,
+        link: LinkQuality,
+        rng: np.random.Generator,
+        interceptors=(),
+    ) -> HTTPExchangeResult:
+        """Send the request for ``url`` and collect the response."""
+        for interceptor in interceptors:
+            action = interceptor.intercept_http(url)
+            if action is HTTPAction.DROP:
+                return HTTPExchangeResult(False, HTTPAction.DROP, None, self.timeout_ms)
+            if action is HTTPAction.RESET:
+                return HTTPExchangeResult(
+                    False, HTTPAction.RESET, None, link.sample_rtt_ms(rng)
+                )
+            if action is HTTPAction.BLOCK_PAGE:
+                response = HTTPResponse.block_page()
+                elapsed = link.sample_rtt_ms(rng) + link.transfer_time_ms(response.size_bytes)
+                return HTTPExchangeResult(True, HTTPAction.BLOCK_PAGE, response, elapsed)
+            if action is HTTPAction.THROTTLE:
+                if server is None:
+                    return HTTPExchangeResult(False, HTTPAction.THROTTLE, None, self.timeout_ms)
+                response = server.handle(url)
+                elapsed = (
+                    link.sample_rtt_ms(rng)
+                    + link.transfer_time_ms(response.size_bytes) * THROTTLE_FACTOR
+                )
+                if elapsed >= self.timeout_ms:
+                    return HTTPExchangeResult(
+                        False, HTTPAction.THROTTLE, None, self.timeout_ms
+                    )
+                return HTTPExchangeResult(True, HTTPAction.THROTTLE, response, elapsed)
+
+        if server is None:
+            # The connection went to an address nobody answers on (e.g. a
+            # DNS-injected sinkhole); the request eventually times out.
+            return HTTPExchangeResult(False, HTTPAction.PASS, None, self.timeout_ms)
+
+        if link.packet_lost(rng) and rng.random() < 0.2:
+            return HTTPExchangeResult(False, HTTPAction.PASS, None, self.timeout_ms)
+
+        response = server.handle(url)
+        elapsed = link.sample_rtt_ms(rng) + link.transfer_time_ms(response.size_bytes)
+        return HTTPExchangeResult(True, HTTPAction.PASS, response, elapsed)

@@ -1,0 +1,76 @@
+"""Link-quality and latency models.
+
+Each client has a link to the wider Internet characterised by a round-trip
+time, jitter, packet-loss rate, and downstream bandwidth.  The inline-frame
+task (paper §4.3.2, Fig. 7) depends on these numbers directly: it decides a
+page loaded by comparing the load time of a cached versus uncached image, so
+the simulator needs realistic spreads of RTT and transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Network quality of a client's access link."""
+
+    rtt_ms: float
+    jitter_ms: float = 5.0
+    loss_rate: float = 0.0
+    bandwidth_kbps: float = 8000.0
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms < 0 or self.jitter_ms < 0:
+            raise ValueError("RTT and jitter must be non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if self.bandwidth_kbps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    # ------------------------------------------------------------------
+    def sample_rtt_ms(self, rng: np.random.Generator) -> float:
+        """One round-trip time sample with jitter applied."""
+        jitter = rng.exponential(self.jitter_ms) if self.jitter_ms > 0 else 0.0
+        return max(1.0, self.rtt_ms + jitter)
+
+    def transfer_time_ms(self, size_bytes: int) -> float:
+        """Time to transfer ``size_bytes`` at this link's bandwidth."""
+        bytes_per_ms = self.bandwidth_kbps * 1000.0 / 8.0 / 1000.0
+        return size_bytes / bytes_per_ms
+
+    def packet_lost(self, rng: np.random.Generator) -> bool:
+        """Whether a given exchange is disrupted by packet loss."""
+        return bool(rng.random() < self.loss_rate)
+
+    # ------------------------------------------------------------------
+    # Presets used by the population substrate
+    # ------------------------------------------------------------------
+    @classmethod
+    def broadband(cls) -> "LinkQuality":
+        """A typical residential broadband connection."""
+        return cls(rtt_ms=60.0, jitter_ms=8.0, loss_rate=0.005, bandwidth_kbps=20000.0)
+
+    @classmethod
+    def mobile(cls) -> "LinkQuality":
+        """A mobile/cellular connection: higher RTT and loss."""
+        return cls(rtt_ms=140.0, jitter_ms=30.0, loss_rate=0.02, bandwidth_kbps=4000.0)
+
+    @classmethod
+    def unreliable(cls) -> "LinkQuality":
+        """A congested or unreliable connection (drives the paper's ~5% false
+        positives from India, §7.1)."""
+        return cls(rtt_ms=220.0, jitter_ms=60.0, loss_rate=0.05, bandwidth_kbps=1500.0)
+
+    @classmethod
+    def campus(cls) -> "LinkQuality":
+        """A well-connected academic network."""
+        return cls(rtt_ms=25.0, jitter_ms=3.0, loss_rate=0.001, bandwidth_kbps=100000.0)
+
+    @classmethod
+    def local(cls) -> "LinkQuality":
+        """Same local network as the server (the paper's Fig. 7 outliers)."""
+        return cls(rtt_ms=2.0, jitter_ms=1.0, loss_rate=0.0, bandwidth_kbps=500000.0)

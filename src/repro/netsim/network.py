@@ -1,0 +1,172 @@
+"""The fetch pipeline: DNS -> TCP -> HTTP with censors on the path.
+
+:class:`Network.fetch` is the single entry point browsers use to retrieve a
+URL.  It walks the three stages of a Web connection the paper's threat model
+identifies (§3.1), consults whatever interceptors (censors) sit on the
+client's path at each stage, accumulates a timing breakdown, and returns a
+:class:`~repro.netsim.errors.FetchOutcome`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim.dns import DNSAction, DNSResolver, INJECTED_SINKHOLE_IP
+from repro.netsim.errors import FailureKind, FailureStage, FetchOutcome
+from repro.netsim.http import HTTPAction, HTTPExchangeModel
+from repro.netsim.latency import LinkQuality
+from repro.netsim.tcp import TCPAction, TCPConnectionModel
+from repro.web.server import WebUniverse
+from repro.web.url import URL
+
+
+class Network:
+    """The simulated Internet connecting clients to Web servers."""
+
+    def __init__(
+        self,
+        universe: WebUniverse,
+        dns_resolver: DNSResolver | None = None,
+        tcp_model: TCPConnectionModel | None = None,
+        http_model: HTTPExchangeModel | None = None,
+    ) -> None:
+        self.universe = universe
+        self.dns = dns_resolver or DNSResolver(universe)
+        self.tcp = tcp_model or TCPConnectionModel()
+        self.http = http_model or HTTPExchangeModel()
+
+    # ------------------------------------------------------------------
+    def fetch(
+        self,
+        url: URL | str,
+        link: LinkQuality,
+        rng: np.random.Generator,
+        interceptors=(),
+    ) -> FetchOutcome:
+        """Fetch ``url`` over ``link`` with ``interceptors`` on the path."""
+        parsed = url if isinstance(url, URL) else URL.parse(url)
+        interceptors = tuple(interceptors)
+        elapsed = 0.0
+
+        # --- Stage 1: DNS -------------------------------------------------
+        dns_result = self.dns.resolve(parsed.host, interceptors)
+        elapsed += link.sample_rtt_ms(rng)
+        if dns_result.action is DNSAction.TIMEOUT:
+            return FetchOutcome.failure(
+                parsed,
+                FailureStage.DNS,
+                FailureKind.DNS_TIMEOUT,
+                elapsed + 5000.0,
+                censor_interfered=True,
+            )
+        if dns_result.action is DNSAction.NXDOMAIN:
+            interfered = self.dns.authoritative_ip(parsed.host) is not None
+            return FetchOutcome.failure(
+                parsed,
+                FailureStage.DNS,
+                FailureKind.DNS_NXDOMAIN,
+                elapsed,
+                censor_interfered=interfered,
+            )
+        resolved_ip = dns_result.ip_address
+        dns_hijacked = dns_result.action is DNSAction.INJECT
+
+        # --- Stage 2: TCP -------------------------------------------------
+        tcp_result = self.tcp.connect(resolved_ip, parsed.host, link, rng, interceptors)
+        elapsed += tcp_result.elapsed_ms
+        if not tcp_result.connected:
+            if tcp_result.action is TCPAction.RESET:
+                kind = FailureKind.TCP_RESET
+            elif tcp_result.action is TCPAction.DROP:
+                kind = FailureKind.TCP_TIMEOUT
+            else:
+                kind = FailureKind.TCP_TIMEOUT
+            return FetchOutcome.failure(
+                parsed,
+                FailureStage.TCP,
+                kind,
+                elapsed,
+                resolved_ip=resolved_ip,
+                censor_interfered=tcp_result.action is not TCPAction.PASS,
+            )
+
+        # --- Stage 3: HTTP ------------------------------------------------
+        if dns_hijacked or resolved_ip == INJECTED_SINKHOLE_IP:
+            server = None
+        else:
+            server = self.universe.server_for_ip(resolved_ip)
+        http_result = self.http.exchange(parsed, server, link, rng, interceptors)
+        elapsed += http_result.elapsed_ms
+
+        censor_acted = dns_hijacked or http_result.action is not HTTPAction.PASS
+
+        if not http_result.completed:
+            if http_result.action is HTTPAction.RESET:
+                kind = FailureKind.HTTP_RESET
+            elif http_result.action is HTTPAction.DROP:
+                kind = FailureKind.HTTP_TIMEOUT
+            elif server is None and not dns_hijacked:
+                kind = FailureKind.SERVER_OFFLINE
+            else:
+                kind = FailureKind.HTTP_TIMEOUT
+            return FetchOutcome.failure(
+                parsed,
+                FailureStage.HTTP,
+                kind,
+                elapsed,
+                resolved_ip=resolved_ip,
+                censor_interfered=censor_acted,
+            )
+
+        response = http_result.response
+        if response is None:
+            return FetchOutcome.failure(
+                parsed,
+                FailureStage.HTTP,
+                FailureKind.HTTP_TIMEOUT,
+                elapsed,
+                resolved_ip=resolved_ip,
+                censor_interfered=censor_acted,
+            )
+        if response.is_block_page:
+            # The request "succeeded" from HTTP's point of view, but the body
+            # is the censor's block page, not the requested resource.
+            return FetchOutcome.failure(
+                parsed,
+                FailureStage.CONTENT,
+                FailureKind.BLOCK_PAGE,
+                elapsed,
+                status=response.status,
+                response=response,
+                resolved_ip=resolved_ip,
+                censor_interfered=True,
+            )
+        if response.status == 404:
+            return FetchOutcome.failure(
+                parsed,
+                FailureStage.HTTP,
+                FailureKind.NOT_FOUND,
+                elapsed,
+                status=404,
+                response=response,
+                resolved_ip=resolved_ip,
+                censor_interfered=censor_acted,
+            )
+        if not response.ok:
+            return FetchOutcome.failure(
+                parsed,
+                FailureStage.HTTP,
+                FailureKind.HTTP_ERROR_STATUS,
+                elapsed,
+                status=response.status,
+                response=response,
+                resolved_ip=resolved_ip,
+                censor_interfered=censor_acted,
+            )
+        return FetchOutcome.success(
+            parsed,
+            response,
+            elapsed,
+            resolved_ip=resolved_ip,
+            censor_interfered=censor_acted or http_result.action is HTTPAction.THROTTLE,
+        )

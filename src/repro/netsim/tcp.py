@@ -1,0 +1,77 @@
+"""TCP connection establishment with censor interposition.
+
+Censors that filter by IP address or by SYN inspection act at this stage:
+they silently drop packets (the connection times out) or forge RST segments
+(the connection is reset immediately).  Ordinary packet loss also shows up
+here as an occasional timeout, which is one source of Encore's false
+positives.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.latency import LinkQuality
+
+
+class TCPAction(enum.Enum):
+    """What an on-path interceptor does to a TCP connection attempt."""
+
+    PASS = "pass"
+    DROP = "drop"
+    RESET = "reset"
+
+
+@dataclass(frozen=True)
+class TCPConnectResult:
+    """Outcome of a connection attempt."""
+
+    connected: bool
+    action: TCPAction
+    elapsed_ms: float
+
+
+#: How long a client waits before declaring a silently-dropped connection dead.
+CONNECT_TIMEOUT_MS = 21000.0
+
+
+class TCPConnectionModel:
+    """Models the three-way handshake over a client link."""
+
+    def __init__(self, timeout_ms: float = CONNECT_TIMEOUT_MS) -> None:
+        self.timeout_ms = timeout_ms
+
+    def connect(
+        self,
+        ip_address: str,
+        host: str,
+        link: LinkQuality,
+        rng: np.random.Generator,
+        interceptors=(),
+    ) -> TCPConnectResult:
+        """Attempt to open a connection to ``ip_address``.
+
+        Interceptors see both the destination address and the intended host
+        (SNI / Host-based filtering); the first non-PASS action wins.
+        """
+        for interceptor in interceptors:
+            action = interceptor.intercept_tcp(ip_address, host)
+            if action is TCPAction.DROP:
+                return TCPConnectResult(False, TCPAction.DROP, self.timeout_ms)
+            if action is TCPAction.RESET:
+                # A forged RST arrives within roughly one RTT.
+                return TCPConnectResult(False, TCPAction.RESET, link.sample_rtt_ms(rng))
+
+        # Transient loss during the handshake: retransmissions add latency and
+        # occasionally the attempt gives up entirely.
+        if link.packet_lost(rng):
+            if rng.random() < 0.3:
+                return TCPConnectResult(False, TCPAction.PASS, self.timeout_ms)
+            retransmit_penalty = 3000.0 * float(rng.random())
+            return TCPConnectResult(
+                True, TCPAction.PASS, link.sample_rtt_ms(rng) + retransmit_penalty
+            )
+        return TCPConnectResult(True, TCPAction.PASS, link.sample_rtt_ms(rng))

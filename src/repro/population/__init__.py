@@ -1,0 +1,25 @@
+"""Client-population substrate.
+
+Encore's vantage points are ordinary visitors of participating origin sites.
+This package models those visitors: their countries, ISPs, browsers, access
+links, dwell times, and IP addresses; the GeoIP database the analysis uses to
+place measurements; the analytics-style visit generator used to reproduce the
+paper's §6.2 demographics; and the :class:`~repro.population.world.World`
+object that wires the whole simulated environment together.
+"""
+
+from repro.population.geoip import GeoIPDatabase
+from repro.population.clients import Client, ClientFactory
+from repro.population.analytics import AnalyticsMonth, AnalyticsVisit, VisitGenerator
+from repro.population.world import World, WorldConfig
+
+__all__ = [
+    "GeoIPDatabase",
+    "Client",
+    "ClientFactory",
+    "AnalyticsMonth",
+    "AnalyticsVisit",
+    "VisitGenerator",
+    "World",
+    "WorldConfig",
+]

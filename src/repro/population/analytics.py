@@ -1,0 +1,126 @@
+"""Origin-site analytics: who visits a participating page (paper §6.2).
+
+The paper estimates who would perform Encore measurements by looking at one
+month of Google Analytics data for a professor's home page: 1,171 visits,
+mostly from the United States but with more than 10 visitors from each of 10
+other countries, 16% of visits from countries with well-known filtering
+policies, 999 visits that actually attempted a measurement task, 45% of
+visitors staying longer than 10 seconds and 35% longer than a minute.  This
+module generates synthetic months of visits with those marginals and computes
+the same summary statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.countries import SECTION_62_FILTERING_CODES
+from repro.population.clients import Client, ClientFactory
+
+
+@dataclass(frozen=True)
+class AnalyticsVisit:
+    """One visit recorded by the origin site's analytics."""
+
+    client: Client
+    day_of_month: int
+
+    @property
+    def country_code(self) -> str:
+        return self.client.country_code
+
+    @property
+    def dwell_time_s(self) -> float:
+        return self.client.dwell_time_s
+
+    @property
+    def attempted_task(self) -> bool:
+        return self.client.can_run_task
+
+
+@dataclass
+class AnalyticsMonth:
+    """A month of visits plus the §6.2 summary statistics."""
+
+    visits: list[AnalyticsVisit] = field(default_factory=list)
+
+    @property
+    def total_visits(self) -> int:
+        return len(self.visits)
+
+    @property
+    def visits_by_country(self) -> Counter:
+        return Counter(v.country_code for v in self.visits)
+
+    @property
+    def countries_with_at_least(self) -> dict[int, int]:
+        """How many countries contributed at least N visits, for small N."""
+        counts = self.visits_by_country
+        return {n: sum(1 for c in counts.values() if c >= n) for n in (1, 10, 100)}
+
+    @property
+    def filtering_country_fraction(self) -> float:
+        """Fraction of visits from the countries §6.2 names as having
+        well-known Web filtering policies (India, China, Pakistan, the UK,
+        and South Korea)."""
+        if not self.visits:
+            return 0.0
+        return sum(
+            1 for v in self.visits if v.country_code in SECTION_62_FILTERING_CODES
+        ) / len(self.visits)
+
+    @property
+    def task_attempts(self) -> int:
+        """Visits that attempted to run a measurement task."""
+        return sum(1 for v in self.visits if v.attempted_task)
+
+    @property
+    def dwell_over_10s_fraction(self) -> float:
+        if not self.visits:
+            return 0.0
+        return sum(1 for v in self.visits if v.dwell_time_s > 10.0) / len(self.visits)
+
+    @property
+    def dwell_over_60s_fraction(self) -> float:
+        if not self.visits:
+            return 0.0
+        return sum(1 for v in self.visits if v.dwell_time_s > 60.0) / len(self.visits)
+
+    def summary(self) -> dict[str, float]:
+        """The §6.2 headline numbers in one dictionary."""
+        return {
+            "total_visits": float(self.total_visits),
+            "task_attempts": float(self.task_attempts),
+            "filtering_country_fraction": self.filtering_country_fraction,
+            "countries_with_10_plus_visits": float(self.countries_with_at_least[10]),
+            "dwell_over_10s_fraction": self.dwell_over_10s_fraction,
+            "dwell_over_60s_fraction": self.dwell_over_60s_fraction,
+        }
+
+
+class VisitGenerator:
+    """Generates synthetic analytics months for an origin site."""
+
+    #: The paper's pilot month (February 2014) saw 1,171 visits.
+    DEFAULT_MONTHLY_VISITS = 1171
+
+    def __init__(
+        self,
+        factory: ClientFactory | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.factory = factory or ClientFactory(rng=self._rng)
+
+    def generate_month(self, visits: int | None = None, days: int = 28) -> AnalyticsMonth:
+        """Generate one month of visits (``visits`` defaults to the pilot's 1,171)."""
+        visits = visits if visits is not None else self.DEFAULT_MONTHLY_VISITS
+        month = AnalyticsMonth()
+        for _ in range(visits):
+            client = self.factory.sample_client()
+            day = int(self._rng.integers(1, days + 1))
+            month.visits.append(AnalyticsVisit(client=client, day_of_month=day))
+        return month

@@ -1,0 +1,119 @@
+"""Clients: the browsers-and-people that perform Encore measurements.
+
+A :class:`Client` bundles everything the rest of the system needs to know
+about one visitor: where they are (country, ISP, IP address), what browser
+they run, the quality of their access link, how long they dwell on the origin
+page, and whether they are in fact automated crawler traffic (the paper's
+§6.2 pilot found ~15% of "visits" were a campus security scanner).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.browser.profiles import BrowserProfile, sample_profile
+from repro.datasets.countries import CountryProfile, all_countries, visit_share_distribution
+from repro.netsim.latency import LinkQuality
+from repro.population.geoip import GeoIPDatabase
+
+
+@dataclass(frozen=True)
+class Client:
+    """One visitor of an origin site (a potential measurement vantage point)."""
+
+    client_id: int
+    ip_address: str
+    country_code: str
+    isp: str
+    browser: BrowserProfile
+    link: LinkQuality
+    dwell_time_s: float
+    is_automated: bool = False
+
+    @property
+    def can_run_task(self) -> bool:
+        """Whether this visitor will execute at least one measurement task.
+
+        Automated crawlers do not execute JavaScript (or are filtered out of
+        the analysis), and near-instant bounces leave no time for the task
+        script to even start; everyone else at least attempts a task (paper
+        §6.2: 999 of 1,171 visits attempted one, and nearly all of the rest
+        were automated traffic).
+        """
+        return (not self.is_automated) and self.browser.javascript_enabled and self.dwell_time_s >= 1.0
+
+    @property
+    def can_run_multiple_tasks(self) -> bool:
+        """Visitors who stay over a minute can run several tasks (paper §6.2)."""
+        return self.can_run_task and self.dwell_time_s >= 60.0
+
+
+class ClientFactory:
+    """Samples clients according to the country / browser / link models."""
+
+    #: Fraction of raw visits that are automated traffic (the paper's pilot
+    #: saw 1,171 visits of which 999 ran tasks; most of the rest were a
+    #: campus security scanner).
+    AUTOMATED_FRACTION = 0.145
+
+    def __init__(
+        self,
+        geoip: GeoIPDatabase | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.geoip = geoip or GeoIPDatabase()
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self._ids = itertools.count(1)
+        self._codes, self._shares = visit_share_distribution()
+        self._profiles: dict[str, CountryProfile] = {c.code: c for c in all_countries()}
+
+    # ------------------------------------------------------------------
+    def _sample_country(self) -> CountryProfile:
+        index = int(self._rng.choice(len(self._codes), p=self._shares))
+        return self._profiles[self._codes[index]]
+
+    def _sample_link(self, profile: CountryProfile) -> LinkQuality:
+        presets = profile.link_presets()
+        probs = np.array([p for _, p in presets], dtype=float)
+        probs = probs / probs.sum()
+        index = int(self._rng.choice(len(presets), p=probs))
+        return presets[index][0]
+
+    def _sample_dwell_time_s(self) -> float:
+        """Dwell-time distribution matching §6.2: ~45% stay >10 s, ~35% >60 s.
+
+        A three-component mixture: bounce (< 10 s), medium (10–60 s), long
+        (> 60 s) with weights 0.55 / 0.10 / 0.35.
+        """
+        roll = self._rng.random()
+        if roll < 0.55:
+            return float(self._rng.uniform(0.5, 10.0))
+        if roll < 0.65:
+            return float(self._rng.uniform(10.0, 60.0))
+        return float(self._rng.uniform(60.0, 900.0))
+
+    def _sample_isp(self, profile: CountryProfile) -> str:
+        index = int(self._rng.integers(1, 5))
+        return f"{profile.code.lower()}-isp-{index}"
+
+    # ------------------------------------------------------------------
+    def sample_client(self, country_code: str | None = None) -> Client:
+        """Sample one visitor, optionally pinned to a country."""
+        profile = self._profiles[country_code] if country_code else self._sample_country()
+        return Client(
+            client_id=next(self._ids),
+            ip_address=self.geoip.allocate_ip(profile.code, self._rng),
+            country_code=profile.code,
+            isp=self._sample_isp(profile),
+            browser=sample_profile(self._rng),
+            link=self._sample_link(profile),
+            dwell_time_s=self._sample_dwell_time_s(),
+            is_automated=bool(self._rng.random() < self.AUTOMATED_FRACTION),
+        )
+
+    def sample_clients(self, count: int, country_code: str | None = None) -> list[Client]:
+        """Sample ``count`` visitors."""
+        return [self.sample_client(country_code) for _ in range(count)]

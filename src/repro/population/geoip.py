@@ -1,0 +1,66 @@
+"""Synthetic IP geolocation database.
+
+The paper uses a standard IP geolocation database (MaxMind GeoLite) to place
+each measurement in a country (§7).  The analysis only needs country-level
+lookups, so this module allocates deterministic /16-style blocks to each
+country and provides forward (country -> fresh IP) and reverse (IP ->
+country) mappings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.countries import all_countries
+
+
+class GeoIPDatabase:
+    """Allocates IP blocks per country and geolocates addresses."""
+
+    #: Number of /16 blocks allocated to each country.  Large enough that the
+    #: biggest campaign in the benchmarks never exhausts a country's space.
+    BLOCKS_PER_COUNTRY = 4
+
+    def __init__(self) -> None:
+        self._block_to_country: dict[tuple[int, int], str] = {}
+        self._country_to_blocks: dict[str, list[tuple[int, int]]] = {}
+        self._next_host: dict[str, int] = {}
+        first_octet = 10
+        second_octet = 0
+        for profile in all_countries():
+            blocks = []
+            for _ in range(self.BLOCKS_PER_COUNTRY):
+                blocks.append((first_octet, second_octet))
+                self._block_to_country[(first_octet, second_octet)] = profile.code
+                second_octet += 1
+                if second_octet == 256:
+                    second_octet = 0
+                    first_octet += 1
+            self._country_to_blocks[profile.code] = blocks
+            self._next_host[profile.code] = 0
+
+    # ------------------------------------------------------------------
+    def allocate_ip(self, country_code: str, rng: np.random.Generator | None = None) -> str:
+        """Allocate a fresh, unique IP address inside ``country_code``'s space."""
+        blocks = self._country_to_blocks.get(country_code)
+        if not blocks:
+            raise KeyError(f"unknown country {country_code!r}")
+        host = self._next_host[country_code]
+        self._next_host[country_code] = host + 1
+        block = blocks[host // 65536 % len(blocks)]
+        offset = host % 65536
+        return f"{block[0]}.{block[1]}.{offset // 256}.{offset % 256}"
+
+    def lookup(self, ip_address: str) -> str | None:
+        """Country code for ``ip_address``, or None for unknown space."""
+        parts = ip_address.split(".")
+        if len(parts) != 4:
+            return None
+        try:
+            key = (int(parts[0]), int(parts[1]))
+        except ValueError:
+            return None
+        return self._block_to_country.get(key)
+
+    def countries(self) -> list[str]:
+        return list(self._country_to_blocks)

@@ -1,0 +1,180 @@
+"""The world model: everything a simulated Encore deployment runs inside.
+
+A :class:`World` wires the substrates together: the synthetic Web (target
+sites generated from the high-value list, origin sites, Encore's own
+infrastructure domains), the network and DNS, the per-country censors, the
+GeoIP database, the client factory, and the crawl-side tools (search engine
+and headless browser).  Experiments, examples, and benchmarks all start by
+building a ``World`` from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.browser.engine import Browser
+from repro.censor.censors import CountryCensorship, build_country_censors
+from repro.datasets.herdict import TargetListEntry, build_high_value_list, online_domains
+from repro.netsim.network import Network
+from repro.population.clients import Client, ClientFactory
+from repro.population.geoip import GeoIPDatabase
+from repro.web.headless import HeadlessBrowser
+from repro.web.search import SearchEngine
+from repro.web.server import WebUniverse
+from repro.web.sites import Site, SiteGenerator
+from repro.web.url import URL
+
+
+#: Domains of Encore's own infrastructure.  The adversary of §3.1 may block
+#: these to suppress measurement collection, which the robustness experiments
+#: exercise.
+COORDINATION_DOMAIN = "coordinator.encore-measurement.org"
+COLLECTION_DOMAIN = "collector.encore-measurement.org"
+
+
+@dataclass
+class WorldConfig:
+    """Parameters controlling world construction."""
+
+    seed: int = 0
+    #: How many origin sites host the Encore snippet.  The paper reports at
+    #: least 17 volunteer deployments (§7).
+    origin_site_count: int = 17
+    #: Total / online sizes of the high-value target list (§6.1).
+    target_list_total: int = 204
+    target_list_online: int = 178
+    #: Extra blocked domains per country, merged into the censor presets.
+    extra_censored_domains: dict[str, list[str]] = field(default_factory=dict)
+
+
+class World:
+    """A fully wired simulation environment."""
+
+    def __init__(self, config: WorldConfig | None = None) -> None:
+        self.config = config or WorldConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+
+        # --- Target list and the simulated Web ---------------------------
+        self.target_entries: list[TargetListEntry] = build_high_value_list(
+            total=self.config.target_list_total, online=self.config.target_list_online
+        )
+        self.universe = WebUniverse()
+        generator = SiteGenerator(rng=np.random.default_rng(self.config.seed + 1))
+        self.target_sites = generator.generate_universe(online_domains(self.target_entries))
+        self.universe.add_sites(self.target_sites.values())
+
+        # --- Encore infrastructure and origin sites -----------------------
+        self.origin_domains: list[str] = [
+            f"origin-{index:02d}.example.edu" for index in range(self.config.origin_site_count)
+        ]
+        origin_generator = SiteGenerator(rng=np.random.default_rng(self.config.seed + 2))
+        for domain in self.origin_domains:
+            self.universe.add_site(origin_generator.generate_site(domain, category="origin"))
+        self.universe.add_site(self._infrastructure_site(COORDINATION_DOMAIN))
+        self.universe.add_site(self._infrastructure_site(COLLECTION_DOMAIN))
+
+        # --- Network, censors, population ---------------------------------
+        self.network = Network(self.universe)
+        self.censors: dict[str, CountryCensorship] = build_country_censors(
+            self.config.extra_censored_domains
+        )
+        self.geoip = GeoIPDatabase()
+        self.clients = ClientFactory(geoip=self.geoip, rng=np.random.default_rng(self.config.seed + 3))
+
+        # --- Crawl-side tools ---------------------------------------------
+        self.search = SearchEngine(self.universe, rng=np.random.default_rng(self.config.seed + 4))
+        self.headless = HeadlessBrowser(self.universe, rng=np.random.default_rng(self.config.seed + 5))
+
+        #: Interceptors applied to every client regardless of country
+        #: (used to attach the §7.1 testbed censors).
+        self.global_interceptors: list = []
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _infrastructure_site(domain: str) -> Site:
+        """A minimal site for Encore's coordination / collection servers."""
+        from repro.web.resources import ContentType, Resource
+
+        site = Site(domain=domain, category="encore_infrastructure")
+        base = URL.parse(f"http://{domain}/")
+        site.add(
+            Resource(
+                url=base.with_path("/task.js"),
+                content_type=ContentType.SCRIPT,
+                size_bytes=2 * 1024,
+                cacheable=False,
+            )
+        )
+        site.add(
+            Resource(
+                url=base.with_path("/submit"),
+                content_type=ContentType.JSON,
+                size_bytes=64,
+                cacheable=False,
+            )
+        )
+        site.add(
+            Resource(
+                url=base.with_path("/"),
+                content_type=ContentType.HTML,
+                size_bytes=1024,
+            )
+        )
+        return site
+
+    # ------------------------------------------------------------------
+    # Censorship plumbing
+    # ------------------------------------------------------------------
+    def censorship_for(self, country_code: str) -> CountryCensorship:
+        """The censorship apparatus of ``country_code`` (possibly empty)."""
+        return self.censors.get(country_code, CountryCensorship(country_code=country_code))
+
+    def interceptors_for(self, client: Client) -> tuple:
+        """The interceptors on ``client``'s path: country censors + globals."""
+        country = self.censorship_for(client.country_code)
+        return tuple(country.interceptors()) + tuple(self.global_interceptors)
+
+    def add_global_interceptor(self, interceptor) -> None:
+        """Attach an interceptor to every client's path (e.g. testbed censors)."""
+        self.global_interceptors.append(interceptor)
+
+    # ------------------------------------------------------------------
+    # Client plumbing
+    # ------------------------------------------------------------------
+    def sample_client(self, country_code: str | None = None) -> Client:
+        return self.clients.sample_client(country_code)
+
+    def make_browser(self, client: Client, now_s: float = 0.0) -> Browser:
+        """Build the simulated browser a client uses for its visit."""
+        return Browser(
+            profile=client.browser,
+            link=client.link,
+            network=self.network,
+            rng=self.rng,
+            interceptors=self.interceptors_for(client),
+            now_s=now_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Ground truth helpers for evaluation
+    # ------------------------------------------------------------------
+    def is_filtered_for(self, url: URL | str, country_code: str) -> bool:
+        """Ground truth: is ``url`` filtered for clients in ``country_code``?"""
+        parsed = url if isinstance(url, URL) else URL.parse(url)
+        if self.censorship_for(country_code).would_filter(parsed):
+            return True
+        return any(
+            interceptor.would_filter(parsed)
+            for interceptor in self.global_interceptors
+            if hasattr(interceptor, "would_filter")
+        )
+
+    @property
+    def coordination_url(self) -> URL:
+        return URL.parse(f"http://{COORDINATION_DOMAIN}/task.js")
+
+    @property
+    def collection_url(self) -> URL:
+        return URL.parse(f"http://{COLLECTION_DOMAIN}/submit")

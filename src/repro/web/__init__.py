@@ -1,0 +1,34 @@
+"""Simulated Web substrate.
+
+This package models the slice of the Web that Encore interacts with: URLs and
+origins, Web resources (images, style sheets, scripts, pages), sites and a
+synthetic site generator, a Web server, HTTP Archive (HAR) recording, a
+headless browser used by the measurement pipeline, and a search engine used
+for URL-pattern expansion.
+"""
+
+from repro.web.url import URL, Origin, URLPattern
+from repro.web.resources import ContentType, Resource
+from repro.web.sites import Site, SiteGenerator, SiteProfile
+from repro.web.server import WebServer, WebUniverse, HTTPResponse
+from repro.web.har import HAR, HAREntry
+from repro.web.headless import HeadlessBrowser
+from repro.web.search import SearchEngine
+
+__all__ = [
+    "URL",
+    "Origin",
+    "URLPattern",
+    "ContentType",
+    "Resource",
+    "Site",
+    "SiteGenerator",
+    "SiteProfile",
+    "WebServer",
+    "WebUniverse",
+    "HTTPResponse",
+    "HAR",
+    "HAREntry",
+    "HeadlessBrowser",
+    "SearchEngine",
+]

@@ -1,0 +1,101 @@
+"""Headless browser used by the measurement pipeline (PhantomJS analogue).
+
+The Target Fetcher (paper §5.2) renders each candidate URL in a headless
+browser hosted at an *uncensored* vantage point (the authors used servers at
+Georgia Tech) and records a HAR file.  This class renders pages directly
+against the :class:`~repro.web.server.WebUniverse`, bypassing any censors,
+which matches the paper's assumption that the crawl vantage is unfiltered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.web.har import HAR, HAREntry
+from repro.web.server import WebUniverse
+from repro.web.url import URL
+
+
+class HeadlessBrowser:
+    """Renders pages against the simulated Web and records HAR files."""
+
+    def __init__(
+        self,
+        universe: WebUniverse,
+        rng: np.random.Generator | int | None = None,
+        base_rtt_ms: float = 40.0,
+        bandwidth_bytes_per_ms: float = 1250.0,
+    ) -> None:
+        self._universe = universe
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self._base_rtt_ms = base_rtt_ms
+        self._bandwidth_bytes_per_ms = bandwidth_bytes_per_ms
+
+    # ------------------------------------------------------------------
+    def _fetch_time_ms(self, size_bytes: int) -> float:
+        """A simple latency + transfer-time model for crawl-side fetches."""
+        rtt = self._base_rtt_ms * (1.0 + 0.2 * float(self._rng.random()))
+        transfer = size_bytes / self._bandwidth_bytes_per_ms
+        return rtt + transfer
+
+    def render(self, url: URL | str) -> HAR:
+        """Render ``url`` and return the recorded :class:`HAR`.
+
+        If the URL does not resolve to a page, the HAR records the failure
+        with the appropriate status and no entries; the Task Generator skips
+        such HARs.
+        """
+        page_url = url if isinstance(url, URL) else URL.parse(url)
+        server = self._universe.server_for_host(page_url.host)
+        if server is None:
+            return HAR(page_url=page_url, page_status=0)
+        response = server.handle(page_url)
+        har = HAR(
+            page_url=page_url,
+            page_status=response.status,
+            page_has_side_effects=bool(
+                response.resource is not None and response.resource.has_side_effects
+            ),
+        )
+        if not response.ok or response.resource is None:
+            return har
+        page = response.resource
+        har.add(HAREntry.from_resource(page, self._fetch_time_ms(page.size_bytes)))
+        if not page.is_page:
+            return har
+        for embedded_url in page.embedded_urls:
+            embedded_server = self._universe.server_for_host(embedded_url.host)
+            if embedded_server is None:
+                har.add(
+                    HAREntry(
+                        url=embedded_url,
+                        status=0,
+                        content_type=None,
+                        size_bytes=0,
+                        time_ms=self._base_rtt_ms,
+                    )
+                )
+                continue
+            embedded_response = embedded_server.handle(embedded_url)
+            if embedded_response.ok and embedded_response.resource is not None:
+                har.add(
+                    HAREntry.from_resource(
+                        embedded_response.resource,
+                        self._fetch_time_ms(embedded_response.size_bytes),
+                    )
+                )
+            else:
+                har.add(
+                    HAREntry(
+                        url=embedded_url,
+                        status=embedded_response.status,
+                        content_type=embedded_response.content_type,
+                        size_bytes=embedded_response.size_bytes,
+                        time_ms=self._fetch_time_ms(embedded_response.size_bytes),
+                    )
+                )
+        return har
+
+    def render_many(self, urls) -> list[HAR]:
+        """Render every URL in ``urls`` and return the HARs in order."""
+        return [self.render(url) for url in urls]

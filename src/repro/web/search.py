@@ -1,0 +1,62 @@
+"""Simulated search engine used for URL-pattern expansion.
+
+The Pattern Expander (paper §5.2) turns a URL pattern such as "everything on
+foo.com" into a concrete sample of URLs by scraping site-restricted search
+results (the ``site:`` operator) from a popular search engine, capped at 50
+results per pattern.  This class provides the same interface over the
+simulated :class:`~repro.web.server.WebUniverse`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.web.server import WebUniverse
+from repro.web.url import URL, URLPattern
+
+
+class SearchEngine:
+    """Site-restricted search over the simulated Web."""
+
+    def __init__(
+        self, universe: WebUniverse, rng: np.random.Generator | int | None = None
+    ) -> None:
+        self._universe = universe
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    def site_search(self, domain: str, limit: int = 50) -> list[URL]:
+        """Return up to ``limit`` page URLs indexed under ``domain``.
+
+        The search engine only indexes HTML pages (as real engines do); the
+        home page, when present, always ranks first, and the remaining pages
+        are a random-but-deterministic sample of the site's pages, modelling
+        the fact that a ``site:`` query surfaces an arbitrary subset of a
+        large site.
+        """
+        site = self._universe.site(domain)
+        if site is None:
+            return []
+        pages = list(site.page_urls)
+        if not pages:
+            return []
+        home = [u for u in pages if u.path == "/"]
+        rest = [u for u in pages if u.path != "/"]
+        order = self._rng.permutation(len(rest))
+        ranked = home + [rest[i] for i in order]
+        return ranked[:limit]
+
+    def expand_pattern(self, pattern: URLPattern, limit: int = 50) -> list[URL]:
+        """Expand ``pattern`` into concrete URLs (the Pattern Expander step).
+
+        Exact patterns are returned as-is; domain and prefix patterns are
+        expanded through site-restricted search and filtered to URLs that the
+        pattern actually matches.
+        """
+        if pattern.is_trivial():
+            return [URL.parse(pattern.value)]
+        candidates = self.site_search(pattern.anchor_domain, limit=limit)
+        return [url for url in candidates if pattern.matches(url)][:limit]
+
+    def is_indexed(self, domain: str) -> bool:
+        """True if the engine has any pages indexed for ``domain``."""
+        return bool(self.site_search(domain, limit=1))

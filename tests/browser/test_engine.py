@@ -1,0 +1,174 @@
+"""Tests for the browser engine's embedding-primitive semantics."""
+
+import numpy as np
+import pytest
+
+from repro.browser.engine import Browser
+from repro.browser.events import LoadEvent
+from repro.browser.profiles import BrowserProfile
+from repro.censor.mechanisms import Censor, FilteringMechanism
+from repro.censor.policy import BlacklistPolicy
+from repro.netsim.latency import LinkQuality
+from repro.netsim.network import Network
+from repro.web.resources import ContentType, Resource
+from repro.web.server import WebUniverse
+from repro.web.sites import Site
+from repro.web.url import URL
+
+
+@pytest.fixture()
+def universe():
+    universe = WebUniverse()
+    site = Site("target.org")
+    favicon = Resource(URL.parse("http://target.org/favicon.ico"), ContentType.IMAGE, 600,
+                       cacheable=True, cache_ttl_s=3600)
+    sheet = Resource(URL.parse("http://target.org/style.css"), ContentType.STYLESHEET, 2000,
+                     cacheable=True, cache_ttl_s=3600)
+    empty_sheet = Resource(URL.parse("http://target.org/empty.css"), ContentType.STYLESHEET, 0)
+    script = Resource(URL.parse("http://target.org/app.js"), ContentType.SCRIPT, 3000, nosniff=True)
+    broken_script = Resource(URL.parse("http://target.org/broken.js"), ContentType.SCRIPT, 3000,
+                             valid_syntax=False)
+    site.add(favicon)
+    site.add(sheet)
+    site.add(empty_sheet)
+    site.add(script)
+    site.add(broken_script)
+    page = Resource(
+        URL.parse("http://target.org/index.html"), ContentType.HTML, 4000,
+        embedded_urls=(favicon.url, sheet.url),
+    )
+    site.add(page)
+    universe.add_site(site)
+    return universe
+
+
+def make_browser(universe, profile=None, interceptors=(), link=None):
+    return Browser(
+        profile=profile or BrowserProfile.chrome(),
+        link=link or LinkQuality(rtt_ms=60, jitter_ms=0, loss_rate=0),
+        network=Network(universe),
+        rng=np.random.default_rng(0),
+        interceptors=interceptors,
+    )
+
+
+def blockpage_censor():
+    return Censor("bp", BlacklistPolicy.for_domains(["target.org"]), FilteringMechanism.HTTP_BLOCK_PAGE)
+
+
+def dns_censor():
+    return Censor("dns", BlacklistPolicy.for_domains(["target.org"]), FilteringMechanism.DNS_NXDOMAIN)
+
+
+class TestImageSemantics:
+    def test_onload_for_real_image(self, universe):
+        load = make_browser(universe).load_image("http://target.org/favicon.ico")
+        assert load.event is LoadEvent.LOAD
+
+    def test_onerror_for_missing_image(self, universe):
+        load = make_browser(universe).load_image("http://target.org/missing.png")
+        assert load.event is LoadEvent.ERROR
+
+    def test_onerror_when_censored_at_dns(self, universe):
+        browser = make_browser(universe, interceptors=[dns_censor()])
+        assert browser.load_image("http://target.org/favicon.ico").event is LoadEvent.ERROR
+
+    def test_onerror_for_block_page(self, universe):
+        browser = make_browser(universe, interceptors=[blockpage_censor()])
+        # The block page arrives as HTML, so it does not render as an image.
+        assert browser.load_image("http://target.org/favicon.ico").event is LoadEvent.ERROR
+
+    def test_onerror_for_non_image_content(self, universe):
+        assert make_browser(universe).load_image("http://target.org/app.js").event is LoadEvent.ERROR
+
+    def test_second_load_hits_cache_and_is_fast(self, universe):
+        browser = make_browser(universe)
+        first = browser.load_image("http://target.org/favicon.ico")
+        second = browser.load_image("http://target.org/favicon.ico")
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.elapsed_ms < first.elapsed_ms
+        assert second.elapsed_ms <= 15.0
+
+
+class TestStylesheetSemantics:
+    def test_applied_for_real_sheet(self, universe):
+        load = make_browser(universe).load_stylesheet("http://target.org/style.css")
+        assert load.conclusive and load.applied
+
+    def test_not_applied_for_missing_sheet(self, universe):
+        load = make_browser(universe).load_stylesheet("http://target.org/missing.css")
+        assert load.conclusive and not load.applied
+
+    def test_empty_sheet_cannot_be_verified(self, universe):
+        load = make_browser(universe).load_stylesheet("http://target.org/empty.css")
+        assert not load.applied
+
+    def test_block_page_is_not_applied(self, universe):
+        browser = make_browser(universe, interceptors=[blockpage_censor()])
+        load = browser.load_stylesheet("http://target.org/style.css")
+        assert not load.applied
+
+    def test_inconclusive_without_computed_style_support(self, universe):
+        profile = BrowserProfile(
+            family=BrowserProfile.chrome().family,
+            script_onload_on_any_200=True,
+            supports_computed_style_check=False,
+        )
+        load = make_browser(universe, profile=profile).load_stylesheet("http://target.org/style.css")
+        assert not load.conclusive
+
+
+class TestScriptSemantics:
+    def test_chrome_onload_for_any_200(self, universe):
+        browser = make_browser(universe, profile=BrowserProfile.chrome())
+        # Even a non-script resource fires onload on Chrome when it is a 200.
+        assert browser.load_script("http://target.org/favicon.ico").event is LoadEvent.LOAD
+
+    def test_chrome_onerror_for_404(self, universe):
+        browser = make_browser(universe, profile=BrowserProfile.chrome())
+        assert browser.load_script("http://target.org/missing.js").event is LoadEvent.ERROR
+
+    def test_chrome_cannot_distinguish_block_page(self, universe):
+        browser = make_browser(universe, profile=BrowserProfile.chrome(),
+                               interceptors=[blockpage_censor()])
+        # Fidelity to the paper: the block page is served with HTTP 200, so
+        # Chrome fires onload and the task reports (incorrect) success.
+        assert browser.load_script("http://target.org/app.js").event is LoadEvent.LOAD
+
+    def test_firefox_requires_valid_script(self, universe):
+        browser = make_browser(universe, profile=BrowserProfile.firefox())
+        assert browser.load_script("http://target.org/app.js").event is LoadEvent.LOAD
+        assert browser.load_script("http://target.org/broken.js").event is LoadEvent.ERROR
+        assert browser.load_script("http://target.org/favicon.ico").event is LoadEvent.ERROR
+
+
+class TestPageRenderingAndIframeProbe:
+    def test_render_page_loads_embeds_and_fills_cache(self, universe):
+        browser = make_browser(universe)
+        page_load = browser.render_page("http://target.org/index.html")
+        assert page_load.ok
+        assert len(page_load.resources_loaded) == 2
+        assert browser.cache.is_cached("http://target.org/favicon.ico", browser.now_s)
+
+    def test_render_missing_page_fails(self, universe):
+        assert not make_browser(universe).render_page("http://target.org/missing.html").ok
+
+    def test_iframe_probe_fast_when_page_loads(self, universe):
+        browser = make_browser(universe)
+        probe = browser.iframe_probe("http://target.org/index.html", "http://target.org/favicon.ico")
+        assert probe.probe_event is LoadEvent.LOAD
+        assert probe.probe_time_ms <= 15.0
+
+    def test_iframe_probe_slow_when_page_censored(self, universe):
+        browser = make_browser(universe, interceptors=[dns_censor()])
+        probe = browser.iframe_probe("http://target.org/index.html", "http://target.org/favicon.ico")
+        # The page never loaded, so the probe image was not cached; it either
+        # errors (DNS blocked too) or takes a full network round trip.
+        assert probe.probe_event is not LoadEvent.LOAD or probe.probe_time_ms > 50.0
+
+    def test_clock_advances_with_activity(self, universe):
+        browser = make_browser(universe)
+        start = browser.now_s
+        browser.render_page("http://target.org/index.html")
+        assert browser.now_s > start

@@ -1,0 +1,141 @@
+"""Tests for browser profiles, the same-origin policy rules, and the cache."""
+
+import numpy as np
+import pytest
+
+from repro.browser.cache import BrowserCache
+from repro.browser.events import LoadEvent
+from repro.browser.profiles import (
+    MARKET_SHARE,
+    BrowserFamily,
+    BrowserProfile,
+    sample_profile,
+)
+from repro.browser.sop import (
+    EmbeddingMechanism,
+    embedding_allowed,
+    gives_explicit_feedback,
+    is_cross_origin,
+    usable_for_measurement,
+)
+from repro.web.url import URL
+
+
+class TestBrowserProfiles:
+    def test_only_chrome_supports_script_task(self):
+        for family in BrowserFamily:
+            profile = BrowserProfile.for_family(family)
+            assert profile.supports_script_task == (family is BrowserFamily.CHROME)
+
+    def test_chrome_script_semantics_flag(self):
+        assert BrowserProfile.chrome().script_onload_on_any_200
+        assert not BrowserProfile.firefox().script_onload_on_any_200
+
+    def test_market_share_sums_to_one(self):
+        assert sum(MARKET_SHARE.values()) == pytest.approx(1.0)
+
+    def test_sample_profile_follows_market_share(self):
+        rng = np.random.default_rng(0)
+        families = [sample_profile(rng).family for _ in range(3000)]
+        chrome_fraction = sum(1 for f in families if f is BrowserFamily.CHROME) / len(families)
+        assert abs(chrome_fraction - MARKET_SHARE[BrowserFamily.CHROME]) < 0.05
+
+    def test_javascript_disabled_blocks_script_task(self):
+        profile = BrowserProfile(
+            family=BrowserFamily.CHROME, script_onload_on_any_200=True, javascript_enabled=False
+        )
+        assert not profile.supports_script_task
+
+
+class TestSameOriginPolicy:
+    def test_cross_origin_detection(self):
+        page = URL.parse("http://origin.edu/index.html")
+        assert is_cross_origin(page, URL.parse("http://censored.com/favicon.ico"))
+        assert not is_cross_origin(page, URL.parse("http://origin.edu/other.html"))
+        assert is_cross_origin(page.origin, URL.parse("https://origin.edu/other.html"))
+
+    def test_xhr_blocked_cross_origin_but_allowed_same_origin(self):
+        assert not embedding_allowed(EmbeddingMechanism.XHR, cross_origin=True)
+        assert embedding_allowed(EmbeddingMechanism.XHR, cross_origin=False)
+
+    @pytest.mark.parametrize(
+        "mechanism",
+        [
+            EmbeddingMechanism.IMG_TAG,
+            EmbeddingMechanism.STYLESHEET_LINK,
+            EmbeddingMechanism.SCRIPT_TAG,
+            EmbeddingMechanism.IFRAME,
+            EmbeddingMechanism.EMBED,
+        ],
+    )
+    def test_embedding_allowed_cross_origin(self, mechanism):
+        assert embedding_allowed(mechanism, cross_origin=True)
+
+    def test_iframe_lacks_explicit_feedback_but_is_usable(self):
+        assert not gives_explicit_feedback(EmbeddingMechanism.IFRAME)
+        assert usable_for_measurement(EmbeddingMechanism.IFRAME)
+
+    def test_xhr_not_usable_for_measurement(self):
+        assert not usable_for_measurement(EmbeddingMechanism.XHR)
+
+    def test_embed_not_usable_without_feedback(self):
+        assert not usable_for_measurement(EmbeddingMechanism.EMBED)
+
+
+class TestBrowserCache:
+    def test_store_and_lookup(self):
+        cache = BrowserCache()
+        cache.store("http://e.com/a.png", 500, ttl_s=60, now_s=0.0)
+        assert cache.lookup("http://e.com/a.png", now_s=30.0) is not None
+        assert cache.hits == 1
+
+    def test_expiry(self):
+        cache = BrowserCache()
+        cache.store("http://e.com/a.png", 500, ttl_s=60, now_s=0.0)
+        assert cache.lookup("http://e.com/a.png", now_s=61.0) is None
+        assert cache.misses == 1
+
+    def test_zero_ttl_not_stored(self):
+        cache = BrowserCache()
+        cache.store("http://e.com/a.png", 500, ttl_s=0, now_s=0.0)
+        assert len(cache) == 0
+
+    def test_is_cached_does_not_count_hit(self):
+        cache = BrowserCache()
+        cache.store("http://e.com/a.png", 500, ttl_s=60, now_s=0.0)
+        assert cache.is_cached("http://e.com/a.png", now_s=1.0)
+        assert cache.hits == 0
+
+    def test_eviction_when_full(self):
+        cache = BrowserCache(max_entries=2)
+        cache.store("http://e.com/1", 10, ttl_s=10, now_s=0.0)
+        cache.store("http://e.com/2", 10, ttl_s=100, now_s=0.0)
+        cache.store("http://e.com/3", 10, ttl_s=100, now_s=0.0)
+        assert len(cache) == 2
+        assert "http://e.com/1" not in cache
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            BrowserCache(max_entries=0)
+
+    def test_evict_and_clear(self):
+        cache = BrowserCache()
+        cache.store("http://e.com/a", 10, ttl_s=10, now_s=0.0)
+        cache.evict("http://e.com/a")
+        assert len(cache) == 0
+        cache.store("http://e.com/a", 10, ttl_s=10, now_s=0.0)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_url_object_and_string_keys_are_equivalent(self):
+        cache = BrowserCache()
+        url = URL.parse("http://e.com/a.png")
+        cache.store(url, 500, ttl_s=60, now_s=0.0)
+        assert cache.lookup("http://e.com/a.png", now_s=1.0) is not None
+
+
+class TestLoadEvent:
+    def test_flags(self):
+        assert LoadEvent.LOAD.succeeded and not LoadEvent.LOAD.failed
+        assert LoadEvent.ERROR.failed and not LoadEvent.ERROR.succeeded
+        assert not LoadEvent.NONE.succeeded and not LoadEvent.NONE.failed

@@ -1,0 +1,101 @@
+"""Tests for country censor presets and the §7.1 testbed."""
+
+import pytest
+
+from repro.censor.censors import (
+    build_country_censors,
+    censor_for_country,
+    ground_truth_blocked,
+)
+from repro.censor.mechanisms import FilteringMechanism
+from repro.censor.testbed import CensorshipTestbed
+from repro.web.server import WebUniverse
+
+
+class TestCountryCensors:
+    def test_paper_confirmed_blocking_is_encoded(self):
+        truth = ground_truth_blocked()
+        # §7.2: youtube filtered in Pakistan, Iran, and China; twitter and
+        # facebook filtered in China and Iran.
+        assert "youtube.com" in truth["PK"]
+        assert "youtube.com" in truth["IR"]
+        assert "youtube.com" in truth["CN"]
+        assert "twitter.com" in truth["CN"]
+        assert "twitter.com" in truth["IR"]
+        assert "facebook.com" in truth["CN"]
+        assert "facebook.com" in truth["IR"]
+
+    def test_us_has_no_censorship(self):
+        country = censor_for_country("US")
+        assert not country.filters_anything
+        assert country.interceptors() == ()
+
+    def test_unknown_country_is_uncensored(self):
+        country = censor_for_country("ZZ")
+        assert not country.filters_anything
+
+    def test_china_uses_dns_injection_and_rst(self):
+        censors = build_country_censors()["CN"].censors
+        mechanisms = {c.mechanism for c in censors}
+        assert FilteringMechanism.DNS_INJECTION in mechanisms
+        assert FilteringMechanism.TCP_RST in mechanisms
+
+    def test_would_filter_matches_ground_truth(self):
+        censors = build_country_censors()
+        assert censors["CN"].would_filter("http://facebook.com/")
+        assert censors["PK"].would_filter("http://youtube.com/watch")
+        assert not censors["PK"].would_filter("http://facebook.com/")
+        assert not censors["GB"].would_filter("http://youtube.com/")
+
+    def test_extra_policies_extend_blacklists(self):
+        censors = build_country_censors({"CN": ["newly-blocked.net"], "FR": ["fr-only.net"]})
+        assert censors["CN"].would_filter("http://newly-blocked.net/")
+        assert censors["FR"].would_filter("http://fr-only.net/")
+        assert not censors["FR"].would_filter("http://facebook.com/")
+
+
+class TestCensorshipTestbed:
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        return CensorshipTestbed(rng=0)
+
+    def test_one_host_per_mechanism_plus_control(self, testbed):
+        assert len(testbed.hosts) == len(FilteringMechanism) + 1
+        assert sum(1 for h in testbed.hosts if h.is_control) == 1
+
+    def test_every_host_has_full_resource_set(self, testbed):
+        for host in testbed.hosts:
+            site = testbed.site(host.domain)
+            assert site.favicon_url is not None
+            assert any(r.is_stylesheet for r in site.resources.values())
+            assert any(r.is_script for r in site.resources.values())
+            assert site.pages
+
+    def test_censors_cover_every_non_control_host(self, testbed):
+        censors = testbed.censors()
+        assert len(censors) == len(FilteringMechanism)
+        for host in testbed.hosts:
+            if host.is_control:
+                assert not any(c.would_filter(f"http://{host.domain}/") for c in censors)
+            else:
+                assert any(c.would_filter(f"http://{host.domain}/") for c in censors)
+
+    def test_expected_filtered_ground_truth(self, testbed):
+        assert not testbed.expected_filtered(testbed.control_host.domain)
+        rst_host = testbed.host_for_mechanism(FilteringMechanism.TCP_RST)
+        assert testbed.expected_filtered(rst_host.domain)
+        with pytest.raises(KeyError):
+            testbed.expected_filtered("not-a-testbed-host.org")
+
+    def test_register_adds_sites_to_universe_idempotently(self, testbed):
+        universe = WebUniverse()
+        testbed.register(universe)
+        testbed.register(universe)
+        assert len(universe) == len(testbed.hosts)
+
+    def test_url_helpers_point_at_host(self, testbed):
+        host = testbed.control_host
+        assert testbed.favicon_url(host).host == host.domain
+        assert testbed.page_url(host).path.endswith(".html")
+        assert testbed.script_url(host).path.endswith(".js")
+        assert testbed.stylesheet_url(host).path.endswith(".css")

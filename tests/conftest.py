@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite.
+
+Building a full simulated world is the expensive part of most tests, so the
+fixtures below are session-scoped: one small world, one soundness campaign,
+one detection campaign, and one feasibility crawl are shared by every test
+that only reads them.  Tests that mutate state build their own objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CampaignConfig, EncoreDeployment
+from repro.core.targets import TargetList
+from repro.core.task_generation import TaskGenerationLimits, TaskGenerationPipeline
+from repro.population.world import World, WorldConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_world() -> World:
+    """A compact world: 24 online target domains, 4 origin sites."""
+    return World(
+        WorldConfig(seed=7, target_list_total=30, target_list_online=24, origin_site_count=4)
+    )
+
+
+@pytest.fixture(scope="session")
+def detection_deployment(small_world: World) -> EncoreDeployment:
+    """A §7.2-style deployment measuring Facebook / YouTube / Twitter."""
+    config = CampaignConfig(
+        visits=4000,
+        include_testbed=False,
+        favicons_only=True,
+        target_domains=("facebook.com", "youtube.com", "twitter.com"),
+        seed=11,
+    )
+    return EncoreDeployment(small_world, config)
+
+
+@pytest.fixture(scope="session")
+def detection_result(detection_deployment: EncoreDeployment):
+    return detection_deployment.run_campaign()
+
+
+@pytest.fixture(scope="session")
+def soundness_deployment() -> EncoreDeployment:
+    """A §7.1-style deployment with the censorship testbed attached."""
+    world = World(
+        WorldConfig(seed=13, target_list_total=20, target_list_online=16, origin_site_count=4)
+    )
+    config = CampaignConfig(
+        visits=3000,
+        include_testbed=True,
+        testbed_fraction=0.3,
+        favicons_only=True,
+        seed=17,
+    )
+    return EncoreDeployment(world, config)
+
+
+@pytest.fixture(scope="session")
+def soundness_result(soundness_deployment: EncoreDeployment):
+    return soundness_deployment.run_campaign()
+
+
+@pytest.fixture(scope="session")
+def feasibility_world() -> World:
+    """A medium world used for the §6.1 feasibility statistics."""
+    return World(WorldConfig(seed=21, target_list_total=70, target_list_online=60))
+
+
+@pytest.fixture(scope="session")
+def feasibility_report(feasibility_world: World):
+    pipeline = TaskGenerationPipeline(
+        feasibility_world.search, feasibility_world.headless, TaskGenerationLimits()
+    )
+    target_list = TargetList.high_value(total=70, online=60)
+    return pipeline.run(target_list.entries)

@@ -1,0 +1,200 @@
+"""Tests for the collection server and the binomial filtering detector."""
+
+import numpy as np
+import pytest
+
+from repro.browser.profiles import BrowserProfile
+from repro.core.collection import CollectionServer
+from repro.core.inference import (
+    BinomialFilteringDetector,
+    binomial_cdf,
+)
+from repro.core.tasks import MeasurementTask, TaskOutcome, TaskResult, TaskType
+from repro.netsim.latency import LinkQuality
+from repro.population.clients import Client
+from repro.population.geoip import GeoIPDatabase
+from repro.web.url import URL
+
+
+def make_client(country="US", automated=False, client_id=1, geoip=None):
+    geoip = geoip or GeoIPDatabase()
+    return Client(
+        client_id=client_id,
+        ip_address=geoip.allocate_ip(country),
+        country_code=country,
+        isp=f"{country.lower()}-isp-1",
+        browser=BrowserProfile.chrome(),
+        link=LinkQuality.broadband(),
+        dwell_time_s=30.0,
+        is_automated=automated,
+    )
+
+
+def make_result(domain="facebook.com", outcome=TaskOutcome.SUCCESS, measurement_id="m1"):
+    url = URL.parse(f"http://{domain}/favicon.ico")
+    return TaskResult(
+        measurement_id=measurement_id,
+        task_type=TaskType.IMAGE,
+        target_url=url,
+        target_domain=domain,
+        outcome=outcome,
+        elapsed_ms=80.0,
+    )
+
+
+class TestCollectionServer:
+    def make_server(self):
+        geoip = GeoIPDatabase()
+        return CollectionServer("http://collector.encore-measurement.org/submit", geoip), geoip
+
+    def test_record_geolocates_from_ip(self):
+        server, geoip = self.make_server()
+        measurement = server.record(make_result(), make_client("IR", geoip=geoip), "origin-00.example.edu")
+        assert measurement.country_code == "IR"
+        assert len(server) == 1
+
+    def test_referer_stripping_hides_origin(self):
+        server, geoip = self.make_server()
+        kept = server.record(make_result(), make_client(geoip=geoip), "origin-00.example.edu",
+                             strip_referer=False)
+        stripped = server.record(make_result(), make_client(geoip=geoip), "origin-00.example.edu",
+                                 strip_referer=True)
+        assert kept.origin_domain == "origin-00.example.edu"
+        assert stripped.origin_domain is None
+
+    def test_filtered_excludes_automated_and_inconclusive(self):
+        server, geoip = self.make_server()
+        server.record(make_result(), make_client(geoip=geoip), None)
+        server.record(make_result(outcome=TaskOutcome.INCONCLUSIVE), make_client(geoip=geoip), None)
+        server.record(make_result(), make_client(automated=True, geoip=geoip), None)
+        assert len(server.filtered()) == 1
+        assert len(server.filtered(exclude_automated=False, exclude_inconclusive=False)) == 3
+
+    def test_filtered_by_domain_country_type(self):
+        server, geoip = self.make_server()
+        server.record(make_result("facebook.com"), make_client("CN", geoip=geoip), None)
+        server.record(make_result("youtube.com"), make_client("CN", geoip=geoip), None)
+        server.record(make_result("facebook.com"), make_client("US", geoip=geoip), None)
+        assert len(server.filtered(domain="facebook.com")) == 2
+        assert len(server.filtered(domain="facebook.com", country_code="CN")) == 1
+        assert len(server.filtered(task_type=TaskType.IMAGE)) == 3
+        assert len(server.filtered(task_type=TaskType.SCRIPT)) == 0
+
+    def test_success_counts_shape(self):
+        server, geoip = self.make_server()
+        server.record(make_result(outcome=TaskOutcome.SUCCESS), make_client("CN", geoip=geoip), None)
+        server.record(make_result(outcome=TaskOutcome.FAILURE), make_client("CN", geoip=geoip), None)
+        counts = server.success_counts()
+        assert counts[("facebook.com", "CN")] == (2, 1)
+
+    def test_distinct_counts_and_summary(self):
+        server, geoip = self.make_server()
+        for i in range(5):
+            server.record(make_result(), make_client("US", client_id=i, geoip=geoip), None)
+        assert server.distinct_ips() == 5
+        assert server.distinct_countries() == 1
+        assert server.summary()["measurements"] == 5
+
+
+class TestBinomialCdf:
+    def test_extremes(self):
+        assert binomial_cdf(10, 10, 0.7) == 1.0
+        assert binomial_cdf(-1, 10, 0.7) == 0.0
+        assert binomial_cdf(0, 10, 0.0) == 1.0
+        assert binomial_cdf(5, 10, 1.0) == 0.0
+
+    def test_against_known_values(self):
+        # P[Bin(10, 0.5) <= 5] = 0.623046875
+        assert binomial_cdf(5, 10, 0.5) == pytest.approx(0.623046875, rel=1e-9)
+        # P[Bin(20, 0.7) <= 10] ≈ 0.0480
+        assert binomial_cdf(10, 20, 0.7) == pytest.approx(0.0479618, rel=1e-4)
+
+    def test_monotone_in_successes(self):
+        values = [binomial_cdf(k, 50, 0.7) for k in range(51)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_cdf(1, -1, 0.5)
+        with pytest.raises(ValueError):
+            binomial_cdf(1, 10, 1.5)
+
+
+class TestBinomialFilteringDetector:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BinomialFilteringDetector(success_prior=1.5)
+        with pytest.raises(ValueError):
+            BinomialFilteringDetector(significance=0.0)
+        with pytest.raises(ValueError):
+            BinomialFilteringDetector(min_measurements=0)
+
+    def test_detects_regional_blocking(self):
+        detector = BinomialFilteringDetector(min_measurements=10)
+        counts = {
+            ("youtube.com", "PK"): (40, 2),    # almost always fails in Pakistan
+            ("youtube.com", "US"): (60, 58),   # fine in the US
+            ("youtube.com", "DE"): (30, 29),   # fine in Germany
+        }
+        report = detector.detect_from_counts(counts)
+        assert report.detected("youtube.com", "PK")
+        assert not report.detected("youtube.com", "US")
+        detection = report.detections_for_domain("youtube.com")[0]
+        assert detection.corroborating_regions == 2
+        assert detection.p_value <= 0.05
+
+    def test_global_outage_is_not_filtering(self):
+        detector = BinomialFilteringDetector(min_measurements=10)
+        counts = {
+            ("dead-site.org", "PK"): (40, 1),
+            ("dead-site.org", "US"): (60, 2),
+            ("dead-site.org", "DE"): (30, 0),
+        }
+        assert detector.detect_from_counts(counts).detections == []
+
+    def test_sporadic_failures_do_not_trigger(self):
+        detector = BinomialFilteringDetector(min_measurements=10)
+        counts = {
+            ("fine.org", "IN"): (50, 40),   # 80% success: above the 0.7 prior
+            ("fine.org", "US"): (50, 49),
+        }
+        assert detector.detect_from_counts(counts).detections == []
+
+    def test_min_measurements_suppresses_thin_regions(self):
+        detector = BinomialFilteringDetector(min_measurements=10)
+        counts = {
+            ("youtube.com", "PK"): (5, 0),    # too few to conclude anything
+            ("youtube.com", "US"): (60, 58),
+        }
+        assert detector.detect_from_counts(counts).detections == []
+
+    def test_region_statistics_exposed(self):
+        detector = BinomialFilteringDetector(min_measurements=10)
+        counts = {("a.com", "US"): (20, 19)}
+        stats = detector.region_statistics(counts)
+        assert len(stats) == 1
+        assert stats[0].success_rate == pytest.approx(0.95)
+
+    def test_detect_from_measurements_filters_noise(self):
+        geoip = GeoIPDatabase()
+        server = CollectionServer("http://collector.encore-measurement.org/submit", geoip)
+        for i in range(30):
+            server.record(make_result("youtube.com", TaskOutcome.FAILURE, f"m{i}"),
+                          make_client("PK", client_id=i, geoip=geoip), None)
+        for i in range(60):
+            server.record(make_result("youtube.com", TaskOutcome.SUCCESS, f"n{i}"),
+                          make_client("US", client_id=100 + i, geoip=geoip), None)
+        detector = BinomialFilteringDetector(min_measurements=10)
+        report = detector.detect_from_measurements(server.measurements)
+        assert report.detected_pairs() == {("youtube.com", "PK")}
+
+    def test_stricter_significance_reduces_detections(self):
+        counts = {
+            ("a.com", "IR"): (20, 11),   # borderline: p-value ~ a few percent
+            ("a.com", "US"): (40, 39),
+        }
+        lenient = BinomialFilteringDetector(significance=0.10, min_measurements=10)
+        strict = BinomialFilteringDetector(significance=0.001, min_measurements=10)
+        assert len(lenient.detect_from_counts(counts).detections) >= len(
+            strict.detect_from_counts(counts).detections
+        )

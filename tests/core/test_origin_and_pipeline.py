@@ -1,0 +1,114 @@
+"""Tests for origin-site integration and the end-to-end deployment driver."""
+
+import pytest
+
+from repro.core.origin import OriginSite, client_overhead_report, snippet_overhead_bytes
+from repro.core.pipeline import CampaignConfig, EncoreDeployment
+from repro.core.tasks import MeasurementTask, TaskType
+from repro.population.world import World, WorldConfig
+
+
+class TestOriginSite:
+    def test_snippet_overhead_near_100_bytes(self, small_world):
+        overhead = snippet_overhead_bytes(small_world.coordination_url)
+        assert 50 <= overhead <= 150
+
+    def test_origin_site_snippet_and_overhead(self, small_world):
+        domain = small_world.origin_domains[0]
+        origin = OriginSite(site=small_world.universe.site(domain),
+                            coordination_url=small_world.coordination_url)
+        assert origin.domain == domain
+        assert origin.embed_snippet.startswith("<script")
+        assert origin.snippet_bytes == len(origin.embed_snippet.encode())
+        fraction = origin.page_overhead_fraction()
+        assert 0.0 < fraction < 0.01  # a tiny fraction of the median page weight
+
+    def test_client_overhead_report(self):
+        tasks = [
+            MeasurementTask.new(TaskType.IMAGE, "http://a.com/favicon.ico",
+                                estimated_overhead_bytes=600),
+            MeasurementTask.new(TaskType.IMAGE, "http://b.com/favicon.ico",
+                                estimated_overhead_bytes=900),
+            MeasurementTask.new(TaskType.INLINE_FRAME, "http://a.com/p.html",
+                                probe_image_url="http://a.com/i.png",
+                                estimated_overhead_bytes=80_000),
+        ]
+        report = client_overhead_report(tasks)
+        assert report.median_bytes(TaskType.IMAGE) == 900
+        assert report.summary()["inline_frame"] == 80_000
+        assert report.median_bytes(TaskType.SCRIPT) == 0
+
+
+class TestDeploymentConstruction:
+    def test_detection_deployment_has_favicon_tasks_for_all_targets(self, detection_deployment):
+        domains = {t.target_domain for t in detection_deployment.target_tasks}
+        assert domains == {"facebook.com", "youtube.com", "twitter.com"}
+        assert all(t.task_type is TaskType.IMAGE for t in detection_deployment.target_tasks)
+        assert all(t.target_url.path == "/favicon.ico" for t in detection_deployment.target_tasks)
+
+    def test_detection_deployment_has_no_testbed(self, detection_deployment):
+        assert detection_deployment.testbed is None
+        assert detection_deployment.testbed_tasks == []
+        assert [p.name for p in detection_deployment.scheduler.pools] == ["targets"]
+
+    def test_soundness_deployment_has_testbed_pool(self, soundness_deployment):
+        assert soundness_deployment.testbed is not None
+        pool_names = {p.name for p in soundness_deployment.scheduler.pools}
+        assert pool_names == {"targets", "testbed"}
+        types = {t.task_type for t in soundness_deployment.testbed_tasks}
+        assert types == set(TaskType)
+
+    def test_origin_sites_wrap_world_origins(self, detection_deployment):
+        assert len(detection_deployment.origins) == len(detection_deployment.world.origin_domains)
+        stripping = sum(1 for o in detection_deployment.origins if o.strips_referer)
+        assert 0 < stripping < len(detection_deployment.origins)
+
+
+class TestCampaign:
+    def test_campaign_produces_measurements(self, detection_result):
+        assert len(detection_result.measurements) > 1000
+        assert detection_result.visits_simulated == 4000
+        assert detection_result.task_executions >= len(detection_result.measurements)
+
+    def test_measurements_span_many_countries(self, detection_result):
+        assert detection_result.collection.distinct_countries() > 30
+
+    def test_referer_stripping_fraction(self, detection_result):
+        stripped = sum(1 for m in detection_result.measurements if m.origin_domain is None)
+        assert 0.4 < stripped / len(detection_result.measurements) < 0.95
+
+    def test_detection_recovers_ground_truth(self, detection_result):
+        report = detection_result.detect()
+        detected = report.detected_pairs()
+        expected = {
+            ("youtube.com", "PK"), ("youtube.com", "IR"), ("youtube.com", "CN"),
+            ("twitter.com", "CN"), ("twitter.com", "IR"),
+            ("facebook.com", "CN"), ("facebook.com", "IR"),
+        }
+        assert expected <= detected
+
+    def test_no_false_detections_in_uncensored_countries(self, detection_result):
+        detected = detection_result.detect().detected_pairs()
+        for domain, country in detected:
+            assert detection_result.config
+            assert country in {"CN", "IR", "PK"}, (domain, country)
+
+    def test_testbed_and_target_split(self, soundness_result):
+        testbed = soundness_result.testbed_measurements()
+        targets = soundness_result.target_measurements()
+        assert testbed and targets
+        fraction = len(testbed) / (len(testbed) + len(targets))
+        assert 0.15 < fraction < 0.45
+
+    def test_simulate_visit_returns_submission_count(self, small_world):
+        config = CampaignConfig(visits=1, include_testbed=False, seed=3)
+        deployment = EncoreDeployment(small_world, config)
+        submissions = deployment.simulate_visit(country_code="US")
+        assert submissions >= 0
+
+    def test_run_campaign_visits_override(self):
+        world = World(WorldConfig(seed=77, target_list_total=12, target_list_online=10,
+                                  origin_site_count=2))
+        deployment = EncoreDeployment(world, CampaignConfig(visits=50, include_testbed=False, seed=5))
+        result = deployment.run_campaign(visits=20)
+        assert result.visits_simulated == 20

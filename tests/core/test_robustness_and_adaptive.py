@@ -1,0 +1,139 @@
+"""Tests for the §8 robustness extensions and the adaptive detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.collection import CollectionServer
+from repro.core.inference import AdaptiveFilteringDetector, BinomialFilteringDetector
+from repro.core.robustness import (
+    PoisoningAttacker,
+    PoisoningCampaign,
+    ReputationFilter,
+)
+from repro.core.tasks import TaskOutcome
+from repro.population.geoip import GeoIPDatabase
+
+
+class TestPoisoningAttacker:
+    def test_forged_measurements_match_campaign(self):
+        attacker = PoisoningAttacker(rng=0)
+        campaign = PoisoningCampaign("facebook.com", "DE", fabricate_blocking=True,
+                                     submissions=50, client_identities=5)
+        forged = attacker.forge_measurements(campaign)
+        assert len(forged) == 50
+        assert all(m.target_domain == "facebook.com" for m in forged)
+        assert all(m.country_code == "DE" for m in forged)
+        assert all(m.failed for m in forged)
+        assert len({m.client_ip for m in forged}) == 5
+
+    def test_masking_campaign_reports_success(self):
+        attacker = PoisoningAttacker(rng=0)
+        forged = attacker.forge_measurements(
+            PoisoningCampaign("youtube.com", "PK", fabricate_blocking=False, submissions=20)
+        )
+        assert all(m.succeeded for m in forged)
+
+    def test_inject_appends_to_collection(self):
+        geoip = GeoIPDatabase()
+        collection = CollectionServer("http://collector.encore-measurement.org/submit", geoip)
+        attacker = PoisoningAttacker(geoip=geoip, rng=1)
+        injected = attacker.inject(collection, PoisoningCampaign("twitter.com", "FR", submissions=30))
+        assert injected == 30
+        assert len(collection) == 30
+
+    def test_poisoning_fools_the_naive_detector(self, detection_result):
+        """Without defences, a modest flood invents censorship in Germany."""
+        attacker = PoisoningAttacker(rng=2)
+        forged = attacker.forge_measurements(
+            PoisoningCampaign("facebook.com", "DE", submissions=400, client_identities=8)
+        )
+        poisoned = list(detection_result.measurements) + forged
+        report = BinomialFilteringDetector(min_measurements=10).detect_from_measurements(poisoned)
+        assert report.detected("facebook.com", "DE")
+
+
+class TestReputationFilter:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ReputationFilter(max_submissions_per_client=0)
+        with pytest.raises(ValueError):
+            ReputationFilter(suspicious_share=0.0)
+
+    def test_honest_measurements_pass_through(self, detection_result):
+        honest = detection_result.measurements
+        report = ReputationFilter().apply(honest)
+        assert len(report.kept) >= 0.95 * len(honest)
+
+    def test_filter_defeats_fabricated_blocking(self, detection_result):
+        attacker = PoisoningAttacker(rng=3)
+        forged = attacker.forge_measurements(
+            PoisoningCampaign("facebook.com", "DE", submissions=400, client_identities=8)
+        )
+        poisoned = list(detection_result.measurements) + forged
+        cleaned = ReputationFilter().filtered_measurements(poisoned)
+        report = BinomialFilteringDetector(min_measurements=10).detect_from_measurements(cleaned)
+        assert not report.detected("facebook.com", "DE")
+
+    def test_filter_preserves_real_detections(self, detection_result):
+        attacker = PoisoningAttacker(rng=4)
+        forged = attacker.forge_measurements(
+            PoisoningCampaign("facebook.com", "DE", submissions=400, client_identities=8)
+        )
+        poisoned = list(detection_result.measurements) + forged
+        cleaned = ReputationFilter().filtered_measurements(poisoned)
+        report = BinomialFilteringDetector(min_measurements=10).detect_from_measurements(cleaned)
+        for pair in [("youtube.com", "PK"), ("facebook.com", "CN"), ("twitter.com", "IR")]:
+            assert pair in report.detected_pairs()
+
+    def test_rate_limiting_counts_drops(self):
+        attacker = PoisoningAttacker(rng=5)
+        forged = attacker.forge_measurements(
+            PoisoningCampaign("facebook.com", "DE", submissions=200, client_identities=2)
+        )
+        report = ReputationFilter(max_submissions_per_client=10).apply(forged)
+        assert report.dropped_rate_limited == 200 - 2 * 10
+        assert report.dropped == report.dropped_rate_limited + report.dropped_low_reputation
+
+
+class TestAdaptiveFilteringDetector:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveFilteringDetector(min_prior=0.9, max_prior=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveFilteringDetector(discount=0.0)
+
+    def test_country_priors_track_baseline_quality(self):
+        detector = AdaptiveFilteringDetector(min_measurements=10)
+        counts = {
+            ("control.org", "DE"): (100, 98),   # pristine network
+            ("control.org", "IN"): (100, 75),   # flaky network
+            ("target.org", "DE"): (100, 97),
+            ("target.org", "IN"): (100, 70),
+        }
+        priors = detector.country_priors(counts)
+        assert priors["DE"] > priors["IN"]
+        assert detector.min_prior <= priors["IN"] <= detector.max_prior
+
+    def test_adaptive_prior_reduces_flaky_network_false_positives(self):
+        # India's baseline is 62% because of unreliable connectivity; a fixed
+        # 0.7 prior flags the target, the adaptive one does not.
+        counts = {
+            ("control.org", "IN"): (200, 124),
+            ("target.org", "IN"): (200, 118),
+            ("control.org", "US"): (200, 196),
+            ("target.org", "US"): (200, 195),
+        }
+        fixed = BinomialFilteringDetector(min_measurements=10).detect_from_counts(counts)
+        adaptive = AdaptiveFilteringDetector(min_measurements=10).detect_from_counts(counts)
+        assert fixed.detected("target.org", "IN")
+        assert not adaptive.detected("target.org", "IN")
+
+    def test_adaptive_detector_still_finds_real_filtering(self, detection_result):
+        report = AdaptiveFilteringDetector(min_measurements=10).detect(detection_result.collection)
+        expected = {
+            ("youtube.com", "PK"), ("youtube.com", "IR"), ("youtube.com", "CN"),
+            ("twitter.com", "CN"), ("twitter.com", "IR"),
+            ("facebook.com", "CN"), ("facebook.com", "IR"),
+        }
+        assert expected <= report.detected_pairs()
+        assert all(country in {"CN", "IR", "PK"} for _, country in report.detected_pairs())

@@ -1,0 +1,151 @@
+"""Tests for task scheduling and coordination-server delivery."""
+
+import numpy as np
+import pytest
+
+from repro.browser.profiles import BrowserFamily, BrowserProfile
+from repro.core.coordination import CoordinationServer
+from repro.core.scheduler import Scheduler, TaskPool
+from repro.core.tasks import MeasurementTask, TaskType
+from repro.netsim.latency import LinkQuality
+from repro.population.clients import Client
+from repro.population.world import World, WorldConfig
+
+
+def make_client(family=BrowserFamily.CHROME, dwell=30.0, automated=False, country="US", client_id=1):
+    return Client(
+        client_id=client_id,
+        ip_address="10.0.0.1",
+        country_code=country,
+        isp="isp-1",
+        browser=BrowserProfile.for_family(family),
+        link=LinkQuality.broadband(),
+        dwell_time_s=dwell,
+        is_automated=automated,
+    )
+
+
+def image_task(domain="a.com"):
+    return MeasurementTask.new(TaskType.IMAGE, f"http://{domain}/favicon.ico")
+
+
+def script_task(domain="a.com"):
+    return MeasurementTask.new(TaskType.SCRIPT, f"http://{domain}/app.js")
+
+
+class TestScheduler:
+    def test_requires_a_pool(self):
+        with pytest.raises(ValueError):
+            Scheduler([])
+
+    def test_assigns_one_task_to_ordinary_visitor(self):
+        scheduler = Scheduler([TaskPool("p", [image_task()])], rng=0)
+        decision = scheduler.schedule(make_client())
+        assert len(decision.tasks) == 1
+        assert decision.pool_name == "p"
+
+    def test_no_tasks_for_crawler_or_bouncer(self):
+        scheduler = Scheduler([TaskPool("p", [image_task()])], rng=0)
+        assert scheduler.schedule(make_client(automated=True)).tasks == []
+        assert scheduler.schedule(make_client(dwell=1.0)).tasks == []
+
+    def test_long_dwell_gets_multiple_tasks(self):
+        tasks = [image_task(f"site-{i}.org") for i in range(5)]
+        scheduler = Scheduler([TaskPool("p", tasks)], rng=0)
+        decision = scheduler.schedule(make_client(dwell=120.0))
+        assert 1 < len(decision.tasks) <= Scheduler.MAX_TASKS_PER_VISIT
+        assert len({t.measurement_id for t in decision.tasks}) == len(decision.tasks)
+
+    def test_script_tasks_never_go_to_non_chrome(self):
+        scheduler = Scheduler([TaskPool("p", [script_task()])], rng=0)
+        decision = scheduler.schedule(make_client(family=BrowserFamily.FIREFOX))
+        assert decision.tasks == []
+        chrome_decision = scheduler.schedule(make_client(family=BrowserFamily.CHROME))
+        assert len(chrome_decision.tasks) == 1
+
+    def test_pool_weights_respected(self):
+        heavy = TaskPool("heavy", [image_task("heavy.org")], weight=0.9)
+        light = TaskPool("light", [image_task("light.org")], weight=0.1)
+        scheduler = Scheduler([heavy, light], rng=1)
+        choices = [scheduler.schedule(make_client(client_id=i)).pool_name for i in range(500)]
+        heavy_share = choices.count("heavy") / len(choices)
+        assert 0.8 < heavy_share < 0.97
+
+    def test_replication_is_balanced(self):
+        tasks = [image_task(f"site-{i}.org") for i in range(4)]
+        scheduler = Scheduler([TaskPool("p", tasks)], rng=2)
+        for i in range(400):
+            scheduler.schedule(make_client(client_id=i))
+        counts = scheduler.replication_report().values()
+        assert max(counts) - min(counts) <= 2
+
+    def test_negative_pool_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TaskPool("p", [], weight=-1)
+
+    def test_tasks_of_type_helper(self):
+        scheduler = Scheduler([TaskPool("p", [image_task(), script_task()])], rng=0)
+        assert len(scheduler.tasks_of_type(TaskType.SCRIPT)) == 1
+
+
+class TestCoordinationServer:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return World(WorldConfig(seed=55, target_list_total=12, target_list_online=10,
+                                 origin_site_count=2))
+
+    def make_server(self, world, tasks=None, mirrors=None):
+        scheduler = Scheduler([TaskPool("p", tasks or [image_task("facebook.com")])], rng=3)
+        return CoordinationServer(
+            scheduler,
+            task_url=world.coordination_url,
+            collection_url=world.collection_url,
+            mirror_urls=mirrors,
+        )
+
+    def test_delivers_tasks_to_reachable_client(self, world):
+        server = self.make_server(world)
+        client = world.sample_client("US")
+        browser = world.make_browser(client)
+        decision = server.deliver(client, browser)
+        if client.can_run_task:
+            assert decision.tasks
+        assert server.delivery_log
+
+    def test_blocked_coordination_server_prevents_delivery(self, world):
+        from repro.censor.mechanisms import Censor, FilteringMechanism
+        from repro.censor.policy import BlacklistPolicy
+        from repro.population.world import COORDINATION_DOMAIN
+
+        server = self.make_server(world)
+        censor = Censor("anti-encore", BlacklistPolicy.for_domains([COORDINATION_DOMAIN]),
+                        FilteringMechanism.DNS_NXDOMAIN)
+        client = make_client()
+        browser = world.make_browser(client)
+        browser.interceptors = (censor,)
+        decision = server.deliver(client, browser)
+        assert decision.tasks == []
+        assert server.delivery_failure_rate > 0.0
+
+    def test_mirror_restores_delivery_when_primary_blocked(self, world):
+        from repro.censor.mechanisms import Censor, FilteringMechanism
+        from repro.censor.policy import BlacklistPolicy
+        from repro.population.world import COORDINATION_DOMAIN
+
+        # Mirror the coordination server on an origin site the censor ignores.
+        mirror_domain = world.origin_domains[0]
+        mirror_url = f"http://{mirror_domain}/"
+        server = self.make_server(world, mirrors=[mirror_url])
+        censor = Censor("anti-encore", BlacklistPolicy.for_domains([COORDINATION_DOMAIN]),
+                        FilteringMechanism.DNS_NXDOMAIN)
+        client = make_client()
+        browser = world.make_browser(client)
+        browser.interceptors = (censor,)
+        decision = server.deliver(client, browser)
+        assert decision.tasks
+        assert any(r.mirror_used == mirror_url for r in server.delivery_log if r.tasks_delivered)
+
+    def test_render_task_script_concatenates_snippets(self, world):
+        server = self.make_server(world, tasks=[image_task("a.com"), image_task("b.com")])
+        script = server.render_task_script(server.scheduler.all_tasks)
+        assert "a.com" in script and "b.com" in script

@@ -1,0 +1,197 @@
+"""Tests for measurement tasks: Table 1 semantics and execution."""
+
+import numpy as np
+import pytest
+
+from repro.browser.engine import Browser
+from repro.browser.profiles import BrowserFamily, BrowserProfile
+from repro.censor.mechanisms import Censor, FilteringMechanism
+from repro.censor.policy import BlacklistPolicy
+from repro.core.tasks import (
+    CACHED_PROBE_THRESHOLD_MS,
+    MeasurementTask,
+    TaskOutcome,
+    TaskType,
+    execute_task,
+    measurement_snippet_js,
+    origin_embed_html,
+)
+from repro.netsim.latency import LinkQuality
+from repro.netsim.network import Network
+from repro.web.resources import ContentType, Resource
+from repro.web.server import WebUniverse
+from repro.web.sites import Site
+from repro.web.url import URL
+
+
+@pytest.fixture()
+def universe():
+    universe = WebUniverse()
+    site = Site("censored.com")
+    favicon = Resource(URL.parse("http://censored.com/favicon.ico"), ContentType.IMAGE, 600,
+                       cacheable=True, cache_ttl_s=3600)
+    sheet = Resource(URL.parse("http://censored.com/style.css"), ContentType.STYLESHEET, 1500,
+                     cacheable=True, cache_ttl_s=3600)
+    script = Resource(URL.parse("http://censored.com/app.js"), ContentType.SCRIPT, 2500, nosniff=True)
+    site.add(favicon)
+    site.add(sheet)
+    site.add(script)
+    page = Resource(URL.parse("http://censored.com/post.html"), ContentType.HTML, 6000,
+                    embedded_urls=(favicon.url, sheet.url))
+    site.add(page)
+    universe.add_site(site)
+    return universe
+
+
+def make_browser(universe, family=BrowserFamily.CHROME, censored=False):
+    interceptors = []
+    if censored:
+        interceptors.append(
+            Censor("c", BlacklistPolicy.for_domains(["censored.com"]), FilteringMechanism.DNS_NXDOMAIN)
+        )
+    return Browser(
+        profile=BrowserProfile.for_family(family),
+        link=LinkQuality(rtt_ms=70, jitter_ms=0, loss_rate=0),
+        network=Network(universe),
+        rng=np.random.default_rng(0),
+        interceptors=interceptors,
+    )
+
+
+class TestTaskTypeProperties:
+    def test_explicit_feedback_classification(self):
+        assert TaskType.IMAGE.gives_explicit_feedback
+        assert TaskType.STYLE_SHEET.gives_explicit_feedback
+        assert TaskType.SCRIPT.gives_explicit_feedback
+        assert not TaskType.INLINE_FRAME.gives_explicit_feedback
+
+    def test_only_script_requires_chrome(self):
+        assert TaskType.SCRIPT.requires_chrome
+        assert not TaskType.IMAGE.requires_chrome
+
+    def test_page_testing_types(self):
+        assert TaskType.INLINE_FRAME.tests_whole_pages
+        assert not TaskType.IMAGE.tests_whole_pages
+
+
+class TestMeasurementTaskConstruction:
+    def test_new_assigns_measurement_id_and_domain(self):
+        task = MeasurementTask.new(TaskType.IMAGE, "http://sub.censored.com/favicon.ico")
+        assert task.measurement_id
+        assert task.target_domain == "censored.com"
+
+    def test_inline_frame_requires_probe(self):
+        with pytest.raises(ValueError):
+            MeasurementTask.new(TaskType.INLINE_FRAME, "http://censored.com/post.html")
+
+    def test_fresh_ids_are_unique(self):
+        ids = {MeasurementTask.new(TaskType.IMAGE, "http://a.com/i.png").measurement_id for _ in range(50)}
+        assert len(ids) == 50
+
+    def test_runnable_by_respects_browser_constraints(self):
+        image_task = MeasurementTask.new(TaskType.IMAGE, "http://censored.com/favicon.ico")
+        script_task = MeasurementTask.new(TaskType.SCRIPT, "http://censored.com/app.js")
+        chrome = BrowserProfile.chrome()
+        firefox = BrowserProfile.firefox()
+        assert image_task.runnable_by(chrome) and image_task.runnable_by(firefox)
+        assert script_task.runnable_by(chrome)
+        assert not script_task.runnable_by(firefox)
+
+
+class TestImageTaskExecution:
+    def test_success_when_unfiltered(self, universe):
+        task = MeasurementTask.new(TaskType.IMAGE, "http://censored.com/favicon.ico")
+        result = execute_task(task, make_browser(universe))
+        assert result.outcome is TaskOutcome.SUCCESS
+        assert result.task_type is TaskType.IMAGE
+        assert result.measurement_id == task.measurement_id
+
+    def test_failure_when_filtered(self, universe):
+        task = MeasurementTask.new(TaskType.IMAGE, "http://censored.com/favicon.ico")
+        result = execute_task(task, make_browser(universe, censored=True))
+        assert result.outcome is TaskOutcome.FAILURE
+
+    def test_failure_for_unknown_resource(self, universe):
+        task = MeasurementTask.new(TaskType.IMAGE, "http://censored.com/nothing.png")
+        assert execute_task(task, make_browser(universe)).outcome is TaskOutcome.FAILURE
+
+
+class TestStylesheetTaskExecution:
+    def test_success_when_unfiltered(self, universe):
+        task = MeasurementTask.new(TaskType.STYLE_SHEET, "http://censored.com/style.css")
+        assert execute_task(task, make_browser(universe)).outcome is TaskOutcome.SUCCESS
+
+    def test_failure_when_filtered(self, universe):
+        task = MeasurementTask.new(TaskType.STYLE_SHEET, "http://censored.com/style.css")
+        assert execute_task(task, make_browser(universe, censored=True)).outcome is TaskOutcome.FAILURE
+
+
+class TestScriptTaskExecution:
+    def test_success_on_chrome(self, universe):
+        task = MeasurementTask.new(TaskType.SCRIPT, "http://censored.com/app.js")
+        assert execute_task(task, make_browser(universe)).outcome is TaskOutcome.SUCCESS
+
+    def test_failure_on_chrome_when_filtered(self, universe):
+        task = MeasurementTask.new(TaskType.SCRIPT, "http://censored.com/app.js")
+        assert execute_task(task, make_browser(universe, censored=True)).outcome is TaskOutcome.FAILURE
+
+    def test_inconclusive_on_non_chrome(self, universe):
+        task = MeasurementTask.new(TaskType.SCRIPT, "http://censored.com/app.js")
+        result = execute_task(task, make_browser(universe, family=BrowserFamily.FIREFOX))
+        assert result.outcome is TaskOutcome.INCONCLUSIVE
+        assert result.detail == "browser_unsupported"
+
+
+class TestInlineFrameTaskExecution:
+    def make_task(self):
+        return MeasurementTask.new(
+            TaskType.INLINE_FRAME,
+            "http://censored.com/post.html",
+            probe_image_url="http://censored.com/favicon.ico",
+        )
+
+    def test_success_when_unfiltered(self, universe):
+        result = execute_task(self.make_task(), make_browser(universe))
+        assert result.outcome is TaskOutcome.SUCCESS
+        assert result.probe_time_ms is not None
+        assert result.probe_time_ms <= CACHED_PROBE_THRESHOLD_MS
+
+    def test_failure_when_filtered(self, universe):
+        result = execute_task(self.make_task(), make_browser(universe, censored=True))
+        assert result.outcome is TaskOutcome.FAILURE
+
+    def test_threshold_is_configurable(self, universe):
+        # An absurdly generous threshold turns even uncached loads into
+        # "success", demonstrating the ablation knob.
+        result = execute_task(self.make_task(), make_browser(universe, censored=False),
+                              cached_threshold_ms=10_000.0)
+        assert result.outcome is TaskOutcome.SUCCESS
+
+
+class TestSnippets:
+    def test_origin_embed_is_one_line_and_small(self):
+        snippet = origin_embed_html("http://coordinator.encore-measurement.org/task.js")
+        assert "\n" not in snippet
+        assert snippet.startswith("<script")
+        assert len(snippet.encode()) <= 120
+
+    def test_measurement_snippet_mentions_target_and_collector(self):
+        task = MeasurementTask.new(TaskType.IMAGE, "http://censored.com/favicon.ico")
+        js = measurement_snippet_js(task, "http://collector.encore-measurement.org/submit")
+        assert "censored.com/favicon.ico" in js
+        assert "collector.encore-measurement.org/submit" in js
+        assert task.measurement_id in js
+        assert "submit('init')" in js
+
+    def test_snippet_shapes_differ_by_task_type(self, universe):
+        collector = "http://collector.encore-measurement.org/submit"
+        image_js = measurement_snippet_js(
+            MeasurementTask.new(TaskType.IMAGE, "http://censored.com/favicon.ico"), collector)
+        iframe_js = measurement_snippet_js(
+            MeasurementTask.new(TaskType.INLINE_FRAME, "http://censored.com/post.html",
+                                probe_image_url="http://censored.com/favicon.ico"), collector)
+        script_js = measurement_snippet_js(
+            MeasurementTask.new(TaskType.SCRIPT, "http://censored.com/app.js"), collector)
+        assert "<img>" in image_js
+        assert "iframe" in iframe_js.lower()
+        assert "<script>" in script_js

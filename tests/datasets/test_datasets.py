@@ -1,0 +1,98 @@
+"""Tests for the synthetic datasets (target list, country metadata)."""
+
+import pytest
+
+from repro.datasets.countries import (
+    TOTAL_COUNTRIES,
+    all_countries,
+    country,
+    filtering_country_codes,
+    visit_share_distribution,
+)
+from repro.datasets.herdict import (
+    HIGH_VALUE_DOMAINS,
+    ONLINE_PATTERNS,
+    TOTAL_PATTERNS,
+    build_high_value_list,
+    online_domains,
+)
+
+
+class TestHighValueList:
+    def test_default_sizes_match_paper(self):
+        entries = build_high_value_list()
+        assert len(entries) == TOTAL_PATTERNS
+        assert sum(1 for e in entries if e.online) == ONLINE_PATTERNS == 178
+
+    def test_named_domains_present_and_online(self):
+        domains = online_domains()
+        for domain in HIGH_VALUE_DOMAINS:
+            assert domain in domains
+
+    def test_social_media_targets_categorised(self):
+        domains = online_domains()
+        assert domains["facebook.com"] == "social_media"
+        assert domains["youtube.com"] == "social_media"
+        assert domains["twitter.com"] == "social_media"
+
+    def test_entries_are_domain_patterns(self):
+        for entry in build_high_value_list():
+            assert entry.pattern.kind == "domain"
+            assert entry.domain == entry.pattern.value
+
+    def test_deterministic(self):
+        a = [e.domain for e in build_high_value_list()]
+        b = [e.domain for e in build_high_value_list()]
+        assert a == b
+
+    def test_domains_unique(self):
+        domains = [e.domain for e in build_high_value_list()]
+        assert len(domains) == len(set(domains))
+
+    def test_custom_sizes(self):
+        entries = build_high_value_list(total=50, online=40)
+        assert len(entries) == 50
+        assert sum(1 for e in entries if e.online) == 40
+
+    def test_online_cannot_exceed_total(self):
+        with pytest.raises(ValueError):
+            build_high_value_list(total=10, online=20)
+
+    def test_category_mix_is_diverse(self):
+        categories = {e.category for e in build_high_value_list()}
+        assert len(categories) >= 6
+
+
+class TestCountries:
+    def test_total_country_count_matches_paper(self):
+        assert len(all_countries()) == TOTAL_COUNTRIES == 170
+
+    def test_codes_unique(self):
+        codes = [c.code for c in all_countries()]
+        assert len(codes) == len(set(codes))
+
+    def test_visit_shares_normalised(self):
+        _, shares = visit_share_distribution()
+        assert sum(shares) == pytest.approx(1.0)
+        assert all(s > 0 for s in shares)
+
+    def test_us_has_largest_share(self):
+        codes, shares = visit_share_distribution()
+        assert codes[shares.index(max(shares))] == "US"
+
+    def test_well_known_filtering_countries(self):
+        filtering = filtering_country_codes()
+        # §6.2 names India, China, Pakistan, the UK, and South Korea.
+        assert {"IN", "CN", "PK", "GB", "KR"} <= filtering
+        assert "US" not in filtering
+
+    def test_country_lookup(self):
+        assert country("IR").name == "Iran"
+        with pytest.raises(KeyError):
+            country("QQ")
+
+    def test_link_presets_resolve(self):
+        for profile in all_countries()[:10]:
+            presets = profile.link_presets()
+            assert presets
+            assert abs(sum(p for _, p in presets) - 1.0) < 1e-9

@@ -1,0 +1,90 @@
+"""Tests for link-quality models and the failure taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.errors import FailureKind, FailureStage, FetchOutcome
+from repro.netsim.latency import LinkQuality
+from repro.web.resources import ContentType
+from repro.web.server import HTTPResponse
+from repro.web.url import URL
+
+
+class TestLinkQuality:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkQuality(rtt_ms=-1)
+        with pytest.raises(ValueError):
+            LinkQuality(rtt_ms=10, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            LinkQuality(rtt_ms=10, bandwidth_kbps=0)
+
+    def test_sample_rtt_at_least_base(self):
+        rng = np.random.default_rng(0)
+        link = LinkQuality(rtt_ms=50, jitter_ms=10)
+        samples = [link.sample_rtt_ms(rng) for _ in range(200)]
+        assert all(s >= 50 for s in samples)
+        assert max(s for s in samples) > 50
+
+    def test_zero_jitter_gives_constant_rtt(self):
+        rng = np.random.default_rng(0)
+        link = LinkQuality(rtt_ms=30, jitter_ms=0)
+        assert {link.sample_rtt_ms(rng) for _ in range(10)} == {30.0}
+
+    def test_transfer_time_scales_with_size(self):
+        link = LinkQuality.broadband()
+        assert link.transfer_time_ms(2000) == pytest.approx(2 * link.transfer_time_ms(1000))
+
+    def test_packet_loss_rate_respected(self):
+        rng = np.random.default_rng(1)
+        lossy = LinkQuality(rtt_ms=10, loss_rate=0.5)
+        losses = sum(lossy.packet_lost(rng) for _ in range(2000))
+        assert 800 < losses < 1200
+
+    def test_lossless_link_never_loses(self):
+        rng = np.random.default_rng(1)
+        link = LinkQuality(rtt_ms=10, loss_rate=0.0)
+        assert not any(link.packet_lost(rng) for _ in range(100))
+
+    def test_presets_are_ordered_by_quality(self):
+        assert LinkQuality.local().rtt_ms < LinkQuality.campus().rtt_ms
+        assert LinkQuality.campus().rtt_ms < LinkQuality.broadband().rtt_ms
+        assert LinkQuality.broadband().rtt_ms < LinkQuality.mobile().rtt_ms
+        assert LinkQuality.mobile().loss_rate < LinkQuality.unreliable().loss_rate
+
+
+class TestFetchOutcome:
+    def test_success_factory(self):
+        response = HTTPResponse(200, ContentType.IMAGE, 500)
+        outcome = FetchOutcome.success(URL.parse("http://e.com/x.png"), response, 42.0, "1.2.3.4")
+        assert outcome.ok
+        assert outcome.succeeded_with_content
+        assert outcome.failure_kind is FailureKind.OK
+        assert outcome.stage_failed is FailureStage.NONE
+        assert outcome.size_bytes == 500
+        assert not outcome.looks_like_block_page
+
+    def test_failure_factory(self):
+        outcome = FetchOutcome.failure(
+            URL.parse("http://e.com/x"), FailureStage.DNS, FailureKind.DNS_NXDOMAIN, 30.0
+        )
+        assert not outcome.ok
+        assert not outcome.succeeded_with_content
+        assert outcome.failure_kind.is_failure
+
+    def test_block_page_detection(self):
+        response = HTTPResponse.block_page()
+        outcome = FetchOutcome.failure(
+            URL.parse("http://e.com/x"),
+            FailureStage.CONTENT,
+            FailureKind.BLOCK_PAGE,
+            10.0,
+            status=200,
+            response=response,
+        )
+        assert outcome.looks_like_block_page
+        assert not outcome.succeeded_with_content
+
+    def test_ok_kind_is_not_failure(self):
+        assert not FailureKind.OK.is_failure
+        assert FailureKind.TCP_RESET.is_failure

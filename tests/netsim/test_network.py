@@ -1,0 +1,160 @@
+"""Tests for the composed fetch pipeline (Network.fetch)."""
+
+import numpy as np
+import pytest
+
+from repro.censor.mechanisms import Censor, FilteringMechanism
+from repro.censor.policy import BlacklistPolicy
+from repro.netsim.errors import FailureKind, FailureStage
+from repro.netsim.latency import LinkQuality
+from repro.netsim.network import Network
+from repro.web.resources import ContentType, Resource
+from repro.web.server import WebUniverse
+from repro.web.sites import Site
+from repro.web.url import URL
+
+
+@pytest.fixture()
+def network():
+    universe = WebUniverse()
+    site = Site("target.org")
+    site.add(Resource(URL.parse("http://target.org/favicon.ico"), ContentType.IMAGE, 500,
+                      cacheable=True, cache_ttl_s=60))
+    site.add(Resource(URL.parse("http://target.org/page.html"), ContentType.HTML, 4000))
+    universe.add_site(site)
+    return Network(universe)
+
+
+CLEAN_LINK = LinkQuality(rtt_ms=30, jitter_ms=0, loss_rate=0)
+
+
+def censor_with(mechanism):
+    return Censor("c", BlacklistPolicy.for_domains(["target.org"]), mechanism)
+
+
+class TestCleanFetches:
+    def test_successful_fetch(self, network):
+        outcome = network.fetch("http://target.org/favicon.ico", CLEAN_LINK, np.random.default_rng(0))
+        assert outcome.ok
+        assert outcome.status == 200
+        assert outcome.succeeded_with_content
+        assert outcome.resolved_ip is not None
+        assert not outcome.censor_interfered
+
+    def test_elapsed_includes_dns_tcp_http(self, network):
+        outcome = network.fetch("http://target.org/favicon.ico", CLEAN_LINK, np.random.default_rng(0))
+        # At least three round trips (DNS, TCP handshake, HTTP exchange).
+        assert outcome.elapsed_ms >= 3 * 30
+
+    def test_unknown_host_fails_at_dns_without_censor_blame(self, network):
+        outcome = network.fetch("http://unknown.example/", CLEAN_LINK, np.random.default_rng(0))
+        assert outcome.failure_kind is FailureKind.DNS_NXDOMAIN
+        assert outcome.stage_failed is FailureStage.DNS
+        assert not outcome.censor_interfered
+
+    def test_missing_path_is_not_found(self, network):
+        outcome = network.fetch("http://target.org/missing.png", CLEAN_LINK, np.random.default_rng(0))
+        assert not outcome.ok
+        assert outcome.failure_kind is FailureKind.NOT_FOUND
+        assert outcome.status == 404
+
+    def test_offline_server_is_error_status(self, network):
+        network.universe.take_offline("target.org")
+        outcome = network.fetch("http://target.org/favicon.ico", CLEAN_LINK, np.random.default_rng(0))
+        assert not outcome.ok
+        assert outcome.failure_kind is FailureKind.HTTP_ERROR_STATUS
+        assert not outcome.censor_interfered
+        network.universe.bring_online("target.org")
+
+
+class TestCensoredFetches:
+    def test_dns_nxdomain_censor(self, network):
+        outcome = network.fetch(
+            "http://target.org/favicon.ico", CLEAN_LINK, np.random.default_rng(0),
+            [censor_with(FilteringMechanism.DNS_NXDOMAIN)],
+        )
+        assert outcome.failure_kind is FailureKind.DNS_NXDOMAIN
+        assert outcome.censor_interfered
+
+    def test_dns_injection_leads_to_timeout_at_sinkhole(self, network):
+        outcome = network.fetch(
+            "http://target.org/favicon.ico", CLEAN_LINK, np.random.default_rng(0),
+            [censor_with(FilteringMechanism.DNS_INJECTION)],
+        )
+        assert not outcome.ok
+        assert outcome.stage_failed is FailureStage.HTTP
+        assert outcome.censor_interfered
+
+    def test_ip_drop(self, network):
+        outcome = network.fetch(
+            "http://target.org/favicon.ico", CLEAN_LINK, np.random.default_rng(0),
+            [censor_with(FilteringMechanism.IP_DROP)],
+        )
+        assert outcome.failure_kind is FailureKind.TCP_TIMEOUT
+        assert outcome.censor_interfered
+
+    def test_tcp_rst(self, network):
+        outcome = network.fetch(
+            "http://target.org/favicon.ico", CLEAN_LINK, np.random.default_rng(0),
+            [censor_with(FilteringMechanism.TCP_RST)],
+        )
+        assert outcome.failure_kind is FailureKind.TCP_RESET
+        assert outcome.censor_interfered
+
+    def test_http_drop(self, network):
+        outcome = network.fetch(
+            "http://target.org/favicon.ico", CLEAN_LINK, np.random.default_rng(0),
+            [censor_with(FilteringMechanism.HTTP_DROP)],
+        )
+        assert outcome.failure_kind is FailureKind.HTTP_TIMEOUT
+        assert outcome.censor_interfered
+
+    def test_block_page_is_content_failure(self, network):
+        outcome = network.fetch(
+            "http://target.org/favicon.ico", CLEAN_LINK, np.random.default_rng(0),
+            [censor_with(FilteringMechanism.HTTP_BLOCK_PAGE)],
+        )
+        assert not outcome.ok
+        assert outcome.failure_kind is FailureKind.BLOCK_PAGE
+        assert outcome.looks_like_block_page
+        assert outcome.status == 200
+
+    def test_throttling_completes_but_marks_interference(self, network):
+        outcome = network.fetch(
+            "http://target.org/favicon.ico", CLEAN_LINK, np.random.default_rng(0),
+            [censor_with(FilteringMechanism.THROTTLING)],
+        )
+        assert outcome.ok
+        assert outcome.censor_interfered
+
+    def test_censor_for_other_domain_is_transparent(self, network):
+        other = Censor("c", BlacklistPolicy.for_domains(["other.org"]), FilteringMechanism.DNS_NXDOMAIN)
+        outcome = network.fetch(
+            "http://target.org/favicon.ico", CLEAN_LINK, np.random.default_rng(0), [other]
+        )
+        assert outcome.ok
+        assert not outcome.censor_interfered
+
+    def test_first_censor_on_path_wins(self, network):
+        outcome = network.fetch(
+            "http://target.org/favicon.ico", CLEAN_LINK, np.random.default_rng(0),
+            [censor_with(FilteringMechanism.TCP_RST), censor_with(FilteringMechanism.DNS_NXDOMAIN)],
+        )
+        # DNS stage happens first, and the first interceptor with a DNS
+        # opinion there is the second censor in the list; since the first
+        # censor passes DNS, NXDOMAIN from the second applies.
+        assert outcome.failure_kind is FailureKind.DNS_NXDOMAIN
+
+
+class TestNoise:
+    def test_unreliable_links_fail_sometimes_without_censors(self, network):
+        rng = np.random.default_rng(5)
+        link = LinkQuality(rtt_ms=200, jitter_ms=50, loss_rate=0.2)
+        outcomes = [
+            network.fetch("http://target.org/favicon.ico", link, rng) for _ in range(300)
+        ]
+        failures = [o for o in outcomes if not o.ok]
+        successes = [o for o in outcomes if o.ok]
+        assert failures, "expected some transient failures on a lossy link"
+        assert successes, "expected mostly successes on a lossy link"
+        assert all(not o.censor_interfered for o in failures)

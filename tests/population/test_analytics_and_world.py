@@ -1,0 +1,110 @@
+"""Tests for the §6.2 analytics generator and the World model."""
+
+import numpy as np
+import pytest
+
+from repro.population.analytics import VisitGenerator
+from repro.population.world import COLLECTION_DOMAIN, COORDINATION_DOMAIN, World, WorldConfig
+
+
+class TestAnalyticsMonth:
+    @pytest.fixture(scope="class")
+    def month(self):
+        return VisitGenerator(rng=np.random.default_rng(4)).generate_month()
+
+    def test_default_visit_count_matches_pilot(self, month):
+        assert month.total_visits == 1171
+
+    def test_most_visits_attempt_a_task(self, month):
+        """§6.2: 999 of 1,171 visits attempted a measurement task."""
+        assert 0.70 * month.total_visits < month.task_attempts < 0.95 * month.total_visits
+
+    def test_filtering_country_fraction_near_16_percent(self, month):
+        assert 0.08 < month.filtering_country_fraction < 0.30
+
+    def test_many_countries_with_ten_plus_visits(self, month):
+        """§6.2: more than 10 visitors from at least 10 countries besides the US."""
+        assert month.countries_with_at_least[10] >= 10
+
+    def test_dwell_fractions(self, month):
+        assert 0.35 < month.dwell_over_10s_fraction < 0.60
+        assert 0.25 < month.dwell_over_60s_fraction < 0.45
+
+    def test_summary_keys(self, month):
+        summary = month.summary()
+        assert set(summary) == {
+            "total_visits",
+            "task_attempts",
+            "filtering_country_fraction",
+            "countries_with_10_plus_visits",
+            "dwell_over_10s_fraction",
+            "dwell_over_60s_fraction",
+        }
+
+    def test_custom_visit_count(self):
+        month = VisitGenerator(rng=np.random.default_rng(1)).generate_month(visits=200)
+        assert month.total_visits == 200
+        assert all(1 <= v.day_of_month <= 28 for v in month.visits)
+
+
+class TestWorld:
+    def test_registers_target_origin_and_infrastructure_sites(self, small_world: World):
+        assert "facebook.com" in small_world.universe
+        assert COORDINATION_DOMAIN in small_world.universe
+        assert COLLECTION_DOMAIN in small_world.universe
+        for domain in small_world.origin_domains:
+            assert domain in small_world.universe
+
+    def test_site_count_matches_config(self, small_world: World):
+        config = small_world.config
+        expected = config.target_list_online + config.origin_site_count + 2
+        assert len(small_world.universe) == expected
+
+    def test_interceptors_depend_on_country(self, small_world: World):
+        cn_client = small_world.sample_client("CN")
+        us_client = small_world.sample_client("US")
+        assert small_world.interceptors_for(cn_client)
+        assert small_world.interceptors_for(us_client) == ()
+
+    def test_global_interceptors_apply_everywhere(self):
+        world = World(WorldConfig(seed=99, target_list_total=12, target_list_online=10,
+                                  origin_site_count=2))
+        from repro.censor.mechanisms import Censor, FilteringMechanism
+        from repro.censor.policy import BlacklistPolicy
+
+        censor = Censor("global", BlacklistPolicy.for_domains(["everywhere.org"]),
+                        FilteringMechanism.DNS_NXDOMAIN)
+        world.add_global_interceptor(censor)
+        client = world.sample_client("US")
+        assert censor in world.interceptors_for(client)
+        assert world.is_filtered_for("http://everywhere.org/", "US")
+
+    def test_ground_truth_filtering(self, small_world: World):
+        assert small_world.is_filtered_for("http://facebook.com/favicon.ico", "CN")
+        assert not small_world.is_filtered_for("http://facebook.com/favicon.ico", "US")
+        assert small_world.is_filtered_for("http://youtube.com/favicon.ico", "PK")
+
+    def test_make_browser_uses_client_link_and_censors(self, small_world: World):
+        client = small_world.sample_client("IR")
+        browser = small_world.make_browser(client)
+        assert browser.link is client.link
+        assert browser.interceptors == small_world.interceptors_for(client)
+
+    def test_extra_censored_domains_config(self):
+        world = World(
+            WorldConfig(seed=5, target_list_total=12, target_list_online=10, origin_site_count=2,
+                        extra_censored_domains={"US": ["blocked-in-us.net"]})
+        )
+        assert world.is_filtered_for("http://blocked-in-us.net/", "US")
+
+    def test_infrastructure_urls(self, small_world: World):
+        assert small_world.coordination_url.host == COORDINATION_DOMAIN
+        assert small_world.collection_url.host == COLLECTION_DOMAIN
+        assert small_world.universe.lookup_resource(small_world.coordination_url) is not None
+        assert small_world.universe.lookup_resource(small_world.collection_url) is not None
+
+    def test_deterministic_construction(self):
+        config = WorldConfig(seed=31, target_list_total=12, target_list_online=10, origin_site_count=2)
+        a = World(config)
+        b = World(config)
+        assert a.universe.domains == b.universe.domains

@@ -1,0 +1,93 @@
+"""Tests for the GeoIP database and client factory."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.datasets.countries import all_countries, filtering_country_codes
+from repro.population.clients import Client, ClientFactory
+from repro.population.geoip import GeoIPDatabase
+
+
+class TestGeoIPDatabase:
+    def test_allocate_and_lookup_roundtrip(self):
+        geoip = GeoIPDatabase()
+        for code in ("US", "CN", "IR", "X03"):
+            ip = geoip.allocate_ip(code)
+            assert geoip.lookup(ip) == code
+
+    def test_allocated_ips_are_unique(self):
+        geoip = GeoIPDatabase()
+        ips = [geoip.allocate_ip("US") for _ in range(5000)]
+        assert len(set(ips)) == len(ips)
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(KeyError):
+            GeoIPDatabase().allocate_ip("QQ")
+
+    def test_lookup_unknown_space_returns_none(self):
+        geoip = GeoIPDatabase()
+        assert geoip.lookup("198.51.100.1") is None
+        assert geoip.lookup("not-an-ip") is None
+        assert geoip.lookup("1.2.3") is None
+
+    def test_covers_all_countries(self):
+        geoip = GeoIPDatabase()
+        assert set(geoip.countries()) == {c.code for c in all_countries()}
+
+
+class TestClientFactory:
+    @pytest.fixture(scope="class")
+    def clients(self):
+        factory = ClientFactory(rng=np.random.default_rng(1))
+        return factory.sample_clients(4000)
+
+    def test_client_ids_unique(self, clients):
+        assert len({c.client_id for c in clients}) == len(clients)
+
+    def test_ips_geolocate_to_client_country(self, clients):
+        geoip = GeoIPDatabase()
+        for client in clients[:200]:
+            assert geoip.lookup(client.ip_address) == client.country_code
+
+    def test_us_is_most_common_country(self, clients):
+        counts = Counter(c.country_code for c in clients)
+        assert counts.most_common(1)[0][0] == "US"
+
+    def test_filtering_country_share_matches_paper(self, clients):
+        """§6.2: roughly 16% of visits come from well-known filtering countries."""
+        filtering = filtering_country_codes()
+        share = sum(1 for c in clients if c.country_code in filtering) / len(clients)
+        assert 0.10 < share < 0.30
+
+    def test_dwell_time_distribution_matches_paper(self, clients):
+        """§6.2: ~45% of visitors stay >10 s and ~35% stay >60 s."""
+        over_10 = sum(1 for c in clients if c.dwell_time_s > 10) / len(clients)
+        over_60 = sum(1 for c in clients if c.dwell_time_s > 60) / len(clients)
+        assert 0.35 < over_10 < 0.55
+        assert 0.25 < over_60 < 0.45
+
+    def test_automated_fraction_is_modest(self, clients):
+        automated = sum(1 for c in clients if c.is_automated) / len(clients)
+        assert 0.08 < automated < 0.22
+
+    def test_country_pinning(self):
+        factory = ClientFactory(rng=np.random.default_rng(2))
+        assert all(c.country_code == "PK" for c in factory.sample_clients(20, country_code="PK"))
+
+    def test_can_run_task_rules(self):
+        base = dict(
+            client_id=1, ip_address="10.0.0.1", country_code="US", isp="isp",
+            browser=ClientFactory(rng=np.random.default_rng(0)).sample_client().browser,
+            link=None,
+        )
+        runnable = Client(**base, dwell_time_s=30.0, is_automated=False)
+        crawler = Client(**{**base, "client_id": 2}, dwell_time_s=30.0, is_automated=True)
+        bouncer = Client(**{**base, "client_id": 3}, dwell_time_s=0.6, is_automated=False)
+        long_visit = Client(**{**base, "client_id": 4}, dwell_time_s=120.0, is_automated=False)
+        assert runnable.can_run_task
+        assert not crawler.can_run_task
+        assert not bouncer.can_run_task
+        assert long_visit.can_run_multiple_tasks
+        assert not runnable.can_run_multiple_tasks

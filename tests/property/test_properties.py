@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import Ecdf, fraction_at_least, fraction_at_most
+from repro.browser.cache import BrowserCache
+from repro.censor.policy import BlacklistPolicy
+from repro.core.inference import BinomialFilteringDetector, binomial_cdf
+from repro.web.url import URL, URLPattern
+
+
+# ----------------------------------------------------------------------
+# URL strategies
+# ----------------------------------------------------------------------
+label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=10)
+hosts = st.lists(label, min_size=2, max_size=4).map(".".join)
+paths = st.lists(label, min_size=0, max_size=4).map(lambda parts: "/" + "/".join(parts))
+schemes = st.sampled_from(["http", "https"])
+
+
+@st.composite
+def urls(draw):
+    scheme = draw(schemes)
+    host = draw(hosts)
+    path = draw(paths)
+    return f"{scheme}://{host}{path}"
+
+
+class TestURLProperties:
+    @given(urls())
+    def test_parse_str_roundtrip_is_stable(self, raw):
+        parsed = URL.parse(raw)
+        assert URL.parse(str(parsed)) == parsed
+
+    @given(urls())
+    def test_origin_is_same_origin_with_itself(self, raw):
+        origin = URL.parse(raw).origin
+        assert origin.same_origin(origin)
+
+    @given(urls(), urls())
+    def test_cross_origin_is_symmetric(self, a, b):
+        url_a, url_b = URL.parse(a), URL.parse(b)
+        assert url_a.is_cross_origin(url_b) == url_b.is_cross_origin(url_a)
+
+    @given(urls())
+    def test_domain_pattern_matches_every_url_on_its_domain(self, raw):
+        url = URL.parse(raw)
+        pattern = URLPattern.domain(url.domain)
+        assert pattern.matches(url)
+
+    @given(urls(), label)
+    def test_with_path_keeps_origin(self, raw, new_segment):
+        url = URL.parse(raw)
+        assert url.with_path("/" + new_segment).origin.same_origin(url.origin)
+
+
+class TestBinomialProperties:
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=200),
+           st.floats(min_value=0.01, max_value=0.99))
+    def test_cdf_in_unit_interval(self, successes, trials, p):
+        value = binomial_cdf(successes, trials, p)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(min_value=1, max_value=150), st.floats(min_value=0.05, max_value=0.95))
+    def test_cdf_monotone_in_successes(self, trials, p):
+        values = [binomial_cdf(k, trials, p) for k in range(trials + 1)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+        assert math.isclose(values[-1], 1.0, rel_tol=1e-9)
+
+    @given(st.integers(min_value=10, max_value=150), st.integers(min_value=0, max_value=150),
+           st.floats(min_value=0.3, max_value=0.9), st.floats(min_value=0.3, max_value=0.9))
+    def test_cdf_decreasing_in_p(self, trials, successes, p_low, p_high):
+        successes = min(successes, trials)
+        low, high = sorted((p_low, p_high))
+        assert binomial_cdf(successes, trials, low) >= binomial_cdf(successes, trials, high) - 1e-9
+
+
+@st.composite
+def region_counts(draw):
+    """Random (domain, country) -> (n, successes) tables."""
+    n_regions = draw(st.integers(min_value=1, max_value=6))
+    counts = {}
+    for index in range(n_regions):
+        trials = draw(st.integers(min_value=1, max_value=200))
+        successes = draw(st.integers(min_value=0, max_value=trials))
+        counts[("site.org", f"C{index}")] = (trials, successes)
+    return counts
+
+
+class TestDetectorProperties:
+    @given(region_counts())
+    @settings(max_examples=50)
+    def test_detections_are_subset_of_inputs_and_respect_threshold(self, counts):
+        detector = BinomialFilteringDetector(min_measurements=5)
+        report = detector.detect_from_counts(counts)
+        keys = set(counts)
+        for detection in report.detections:
+            key = (detection.domain, detection.country_code)
+            assert key in keys
+            assert detection.p_value <= detector.significance
+            assert counts[key][0] >= detector.min_measurements
+
+    @given(region_counts())
+    @settings(max_examples=50)
+    def test_never_detects_when_everything_fails_everywhere(self, counts):
+        # Force every region to fail: zero successes.  The cross-region
+        # corroboration rule must then suppress all detections.
+        all_failing = {key: (n, 0) for key, (n, _) in counts.items()}
+        report = BinomialFilteringDetector(min_measurements=1).detect_from_counts(all_failing)
+        assert report.detections == []
+
+    @given(region_counts())
+    @settings(max_examples=50)
+    def test_never_detects_perfect_success(self, counts):
+        all_passing = {key: (n, n) for key, (n, _) in counts.items()}
+        report = BinomialFilteringDetector(min_measurements=1).detect_from_counts(all_passing)
+        assert report.detections == []
+
+
+class TestCacheProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=20),
+                              st.integers(min_value=1, max_value=100)), max_size=40))
+    def test_cache_size_never_exceeds_limit(self, operations):
+        cache = BrowserCache(max_entries=8)
+        for key_index, ttl in operations:
+            cache.store(f"http://site.org/r{key_index}", 100, ttl_s=ttl, now_s=0.0)
+            assert len(cache) <= 8
+
+    @given(st.integers(min_value=1, max_value=1000), st.integers(min_value=0, max_value=2000))
+    def test_lookup_respects_ttl_boundary(self, ttl, elapsed):
+        cache = BrowserCache()
+        cache.store("http://site.org/x", 10, ttl_s=ttl, now_s=0.0)
+        entry = cache.lookup("http://site.org/x", now_s=float(elapsed))
+        assert (entry is not None) == (elapsed < ttl)
+
+
+class TestPolicyProperties:
+    @given(hosts, hosts)
+    def test_domain_blocking_covers_subdomains_exactly(self, blocked, other):
+        policy = BlacklistPolicy.for_domains([blocked])
+        assert policy.blocks_host(blocked)
+        assert policy.blocks_host(f"www.{blocked}")
+        if other != blocked and not other.endswith("." + blocked):
+            assert not policy.blocks_host(other)
+
+    @given(st.lists(hosts, min_size=1, max_size=5), urls())
+    def test_blocks_url_iff_some_rule_matches(self, blocked_domains, raw):
+        policy = BlacklistPolicy.for_domains(blocked_domains)
+        url = URL.parse(raw)
+        expected = any(url.host == d or url.host.endswith("." + d) for d in policy.blocked_domains)
+        assert policy.blocks_url(url) == expected
+
+
+class TestEcdfProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+    def test_ecdf_bounds_and_monotonicity(self, values):
+        cdf = Ecdf(values)
+        lo, hi = min(values), max(values)
+        assert cdf(lo - 1) == 0.0
+        assert cdf(hi) == 1.0
+        xs = sorted(values)
+        evaluated = [cdf(x) for x in xs]
+        assert all(a <= b + 1e-12 for a, b in zip(evaluated, evaluated[1:]))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=100),
+           st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_threshold_fractions_complement(self, values, threshold):
+        below = fraction_at_most(values, threshold)
+        strictly_above = sum(1 for v in values if v > threshold) / len(values)
+        assert math.isclose(below + strictly_above, 1.0, rel_tol=1e-9)
+        assert fraction_at_least(values, threshold) >= strictly_above - 1e-12

@@ -1,0 +1,91 @@
+"""Tests for the HAR model."""
+
+from repro.web.har import HAR, HAREntry, merge_domain_images
+from repro.web.resources import ContentType, Resource
+from repro.web.url import URL
+
+
+def entry(path="/a.png", content_type=ContentType.IMAGE, size=100, cacheable=False, status=200):
+    return HAREntry(
+        url=URL.parse(f"http://example.com{path}"),
+        status=status,
+        content_type=content_type,
+        size_bytes=size,
+        time_ms=10.0,
+        cacheable=cacheable,
+    )
+
+
+class TestHAREntry:
+    def test_from_resource(self):
+        resource = Resource(
+            URL.parse("http://e.com/x.png"), ContentType.IMAGE, 321, cacheable=True, cache_ttl_s=60
+        )
+        har_entry = HAREntry.from_resource(resource, time_ms=12.5)
+        assert har_entry.status == 200
+        assert har_entry.size_bytes == 321
+        assert har_entry.cacheable
+        assert har_entry.time_ms == 12.5
+
+    def test_predicates(self):
+        assert entry().is_image
+        assert not entry(content_type=ContentType.SCRIPT).is_image
+        assert entry(cacheable=True).is_cacheable_image
+        assert not entry(cacheable=False).is_cacheable_image
+        assert entry().ok
+        assert not entry(status=404).ok
+
+
+class TestHAR:
+    def make_har(self):
+        har = HAR(page_url=URL.parse("http://example.com/index.html"))
+        har.add(entry("/index.html", ContentType.HTML, 5000))
+        har.add(entry("/a.png", ContentType.IMAGE, 800, cacheable=True))
+        har.add(entry("/b.png", ContentType.IMAGE, 9000, cacheable=False))
+        har.add(entry("/c.css", ContentType.STYLESHEET, 1500, cacheable=True))
+        return har
+
+    def test_total_size_is_sum_of_entries(self):
+        assert self.make_har().total_size_bytes == 5000 + 800 + 9000 + 1500
+
+    def test_total_time(self):
+        assert self.make_har().total_time_ms == 40.0
+
+    def test_images_and_cacheable_images(self):
+        har = self.make_har()
+        assert len(har.images) == 2
+        assert len(har.cacheable_images) == 1
+
+    def test_images_at_most(self):
+        assert len(self.make_har().images_at_most(1024)) == 1
+
+    def test_entries_of_type(self):
+        assert len(self.make_har().entries_of_type(ContentType.STYLESHEET)) == 1
+
+    def test_heavy_media_detection(self):
+        har = self.make_har()
+        assert not har.loads_heavy_media()
+        har.add(entry("/v.mp4", ContentType.VIDEO, 1_000_000))
+        assert har.loads_heavy_media()
+
+    def test_ok_reflects_page_status(self):
+        assert self.make_har().ok
+        failed = HAR(page_url=URL.parse("http://example.com/x"), page_status=404)
+        assert not failed.ok
+
+
+class TestMergeDomainImages:
+    def test_duplicate_images_count_once(self):
+        har_a = HAR(page_url=URL.parse("http://example.com/a"))
+        har_b = HAR(page_url=URL.parse("http://example.com/b"))
+        shared = entry("/icon.png")
+        har_a.add(shared)
+        har_b.add(shared)
+        har_b.add(entry("/other.png"))
+        merged = merge_domain_images([har_a, har_b])
+        assert len(merged) == 2
+
+    def test_non_images_excluded(self):
+        har = HAR(page_url=URL.parse("http://example.com/a"))
+        har.add(entry("/s.css", ContentType.STYLESHEET))
+        assert merge_domain_images([har]) == {}

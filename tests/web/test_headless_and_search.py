@@ -1,0 +1,108 @@
+"""Tests for the headless browser (Target Fetcher substrate) and search engine."""
+
+import numpy as np
+import pytest
+
+from repro.web.headless import HeadlessBrowser
+from repro.web.resources import ContentType, Resource
+from repro.web.search import SearchEngine
+from repro.web.server import WebUniverse
+from repro.web.sites import Site, SiteGenerator
+from repro.web.url import URL, URLPattern
+
+
+@pytest.fixture(scope="module")
+def universe():
+    universe = WebUniverse()
+    generator = SiteGenerator(rng=np.random.default_rng(3))
+    for domain in ("alpha.org", "beta.org"):
+        universe.add_site(generator.generate_site(domain))
+    return universe
+
+
+class TestHeadlessBrowser:
+    def test_render_records_page_and_embeds(self, universe):
+        headless = HeadlessBrowser(universe, rng=1)
+        site = universe.site("alpha.org")
+        page_url = site.page_urls[0]
+        har = headless.render(page_url)
+        assert har.ok
+        page = site.lookup(page_url)
+        # One entry for the page itself plus one per embedded resource.
+        assert len(har.entries) == 1 + len(page.embedded_urls)
+
+    def test_render_unknown_host_yields_failed_har(self, universe):
+        headless = HeadlessBrowser(universe, rng=1)
+        har = headless.render("http://unknown-host.net/")
+        assert not har.ok
+        assert har.entries == []
+
+    def test_render_404_yields_failed_har(self, universe):
+        headless = HeadlessBrowser(universe, rng=1)
+        har = headless.render("http://alpha.org/definitely-missing.html")
+        assert har.page_status == 404
+        assert not har.ok
+
+    def test_render_records_side_effect_flag(self):
+        universe = WebUniverse()
+        site = Site("effects.org")
+        site.add(
+            Resource(
+                URL.parse("http://effects.org/buy"),
+                ContentType.HTML,
+                1000,
+                has_side_effects=True,
+            )
+        )
+        universe.add_site(site)
+        har = HeadlessBrowser(universe, rng=0).render("http://effects.org/buy")
+        assert har.page_has_side_effects
+
+    def test_render_many_preserves_order(self, universe):
+        headless = HeadlessBrowser(universe, rng=1)
+        urls = universe.site("alpha.org").page_urls[:3]
+        hars = headless.render_many(urls)
+        assert [str(h.page_url) for h in hars] == [str(u) for u in urls]
+
+    def test_times_are_positive_and_grow_with_size(self, universe):
+        headless = HeadlessBrowser(universe, rng=1)
+        small = headless._fetch_time_ms(100)
+        large = headless._fetch_time_ms(10_000_000)
+        assert small > 0
+        assert large > small
+
+
+class TestSearchEngine:
+    def test_site_search_returns_only_pages_of_domain(self, universe):
+        engine = SearchEngine(universe, rng=5)
+        results = engine.site_search("alpha.org", limit=20)
+        assert results
+        assert all(url.host.endswith("alpha.org") for url in results)
+        site = universe.site("alpha.org")
+        assert all(site.lookup(url).is_page for url in results)
+
+    def test_home_page_ranks_first(self, universe):
+        engine = SearchEngine(universe, rng=5)
+        results = engine.site_search("alpha.org")
+        assert results[0].path == "/"
+
+    def test_limit_respected(self, universe):
+        engine = SearchEngine(universe, rng=5)
+        assert len(engine.site_search("alpha.org", limit=5)) == 5
+
+    def test_unknown_domain_returns_empty(self, universe):
+        engine = SearchEngine(universe, rng=5)
+        assert engine.site_search("unknown.net") == []
+        assert not engine.is_indexed("unknown.net")
+
+    def test_expand_exact_pattern_is_identity(self, universe):
+        engine = SearchEngine(universe, rng=5)
+        pattern = URLPattern.exact("http://alpha.org/some/page.html")
+        assert [str(u) for u in engine.expand_pattern(pattern)] == ["http://alpha.org/some/page.html"]
+
+    def test_expand_domain_pattern_capped_at_limit(self, universe):
+        engine = SearchEngine(universe, rng=5)
+        pattern = URLPattern.domain("alpha.org")
+        urls = engine.expand_pattern(pattern, limit=10)
+        assert 0 < len(urls) <= 10
+        assert all(pattern.matches(u) for u in urls)

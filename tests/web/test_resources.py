@@ -1,0 +1,115 @@
+"""Tests for the Web resource model."""
+
+import pytest
+
+from repro.web.resources import (
+    ContentType,
+    KILOBYTE,
+    Resource,
+    SINGLE_PACKET_BYTES,
+    cacheable_images,
+    embedded_resources,
+    total_page_weight,
+)
+from repro.web.url import URL
+
+
+def image(path="/img.png", size=500, cacheable=False):
+    return Resource(
+        url=URL.parse(f"http://example.com{path}"),
+        content_type=ContentType.IMAGE,
+        size_bytes=size,
+        cacheable=cacheable,
+    )
+
+
+class TestResourceBasics:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(URL.parse("http://e.com/x"), ContentType.IMAGE, -1)
+
+    def test_cacheable_without_ttl_gets_default_ttl(self):
+        resource = Resource(URL.parse("http://e.com/x.png"), ContentType.IMAGE, 100, cacheable=True)
+        assert resource.cache_ttl_s > 0
+
+    def test_only_pages_may_embed(self):
+        with pytest.raises(ValueError):
+            Resource(
+                URL.parse("http://e.com/x.png"),
+                ContentType.IMAGE,
+                100,
+                embedded_urls=(URL.parse("http://e.com/y.png"),),
+            )
+
+    def test_type_predicates(self):
+        assert image().is_image
+        assert not image().is_page
+        sheet = Resource(URL.parse("http://e.com/s.css"), ContentType.STYLESHEET, 100)
+        assert sheet.is_stylesheet
+        script = Resource(URL.parse("http://e.com/s.js"), ContentType.SCRIPT, 100)
+        assert script.is_script
+
+    def test_is_small_image_respects_limit(self):
+        assert image(size=KILOBYTE).is_small_image()
+        assert not image(size=KILOBYTE + 1).is_small_image()
+        assert image(size=4 * KILOBYTE).is_small_image(limit_bytes=5 * KILOBYTE)
+
+    def test_single_packet(self):
+        assert image(size=SINGLE_PACKET_BYTES).fits_single_packet()
+        assert not image(size=SINGLE_PACKET_BYTES + 1).fits_single_packet()
+
+    def test_heavy_media(self):
+        video = Resource(URL.parse("http://e.com/v.mp4"), ContentType.VIDEO, 10_000)
+        flash = Resource(URL.parse("http://e.com/f.swf"), ContentType.FLASH, 10_000)
+        assert video.is_heavy_media
+        assert flash.is_heavy_media
+        assert not image().is_heavy_media
+
+    def test_describe_mentions_type_and_size(self):
+        text = image(size=512, cacheable=True).describe()
+        assert "image" in text
+        assert "512" in text
+        assert "cacheable" in text
+
+
+class TestPageHelpers:
+    def make_page(self):
+        img_a = image("/a.png", 1000, cacheable=True)
+        img_b = image("/b.png", 2000, cacheable=False)
+        page = Resource(
+            url=URL.parse("http://example.com/index.html"),
+            content_type=ContentType.HTML,
+            size_bytes=5000,
+            embedded_urls=(img_a.url, img_b.url, URL.parse("http://example.com/missing.png")),
+        )
+        resources = {str(img_a.url): img_a, str(img_b.url): img_b}
+        return page, resources.get, [img_a, img_b]
+
+    def test_total_page_weight_sums_known_resources(self):
+        page, resolver, _ = self.make_page()
+        assert total_page_weight(page, lambda u: resolver(str(u))) == 5000 + 1000 + 2000
+
+    def test_total_page_weight_requires_page(self):
+        with pytest.raises(ValueError):
+            total_page_weight(image(), lambda u: None)
+
+    def test_embedded_resources_skips_unknown(self):
+        page, resolver, known = self.make_page()
+        found = embedded_resources(page, lambda u: resolver(str(u)))
+        assert found == known
+
+    def test_cacheable_images_filter(self):
+        _, _, known = self.make_page()
+        result = cacheable_images(known)
+        assert len(result) == 1
+        assert result[0].cacheable
+
+
+class TestContentType:
+    def test_is_page_only_for_html(self):
+        assert ContentType.HTML.is_page
+        assert not ContentType.IMAGE.is_page
+
+    def test_renderable_media(self):
+        assert ContentType.IMAGE.is_renderable_media
+        assert not ContentType.SCRIPT.is_renderable_media

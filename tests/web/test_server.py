@@ -1,0 +1,134 @@
+"""Tests for the simulated Web server and universe."""
+
+import pytest
+
+from repro.web.resources import ContentType, Resource
+from repro.web.server import HTTPResponse, WebServer, WebUniverse
+from repro.web.sites import Site
+from repro.web.url import URL
+
+
+def make_site(domain="example.com"):
+    site = Site(domain)
+    site.add(Resource(URL.parse(f"http://{domain}/favicon.ico"), ContentType.IMAGE, 400,
+                      cacheable=True, cache_ttl_s=3600))
+    site.add(Resource(URL.parse(f"http://{domain}/index.html"), ContentType.HTML, 2000))
+    return site
+
+
+class TestHTTPResponse:
+    def test_ok_for_2xx(self):
+        assert HTTPResponse(200, ContentType.HTML, 10).ok
+        assert not HTTPResponse(404, ContentType.HTML, 10).ok
+        assert not HTTPResponse(503, ContentType.HTML, 10).ok
+
+    def test_block_page_flag(self):
+        response = HTTPResponse.block_page()
+        assert response.ok
+        assert response.is_block_page
+        assert response.content_type is ContentType.HTML
+
+    def test_for_resource_copies_headers(self):
+        resource = Resource(
+            URL.parse("http://e.com/x.js"), ContentType.SCRIPT, 123, cacheable=True,
+            cache_ttl_s=60, nosniff=True,
+        )
+        response = HTTPResponse.for_resource(resource)
+        assert response.status == 200
+        assert response.size_bytes == 123
+        assert response.cacheable
+        assert response.nosniff
+        assert response.resource is resource
+
+
+class TestWebServer:
+    def test_serves_hosted_resource(self):
+        server = WebServer("1.2.3.4", [make_site()])
+        response = server.handle(URL.parse("http://example.com/favicon.ico"))
+        assert response.ok
+        assert response.content_type is ContentType.IMAGE
+
+    def test_404_for_unknown_path(self):
+        server = WebServer("1.2.3.4", [make_site()])
+        assert server.handle(URL.parse("http://example.com/nope")).status == 404
+
+    def test_404_for_unknown_host(self):
+        server = WebServer("1.2.3.4", [make_site()])
+        assert server.handle(URL.parse("http://other.com/favicon.ico")).status == 404
+
+    def test_offline_server_returns_503(self):
+        server = WebServer("1.2.3.4", [make_site()])
+        server.online = False
+        assert server.handle(URL.parse("http://example.com/favicon.ico")).status == 503
+
+    def test_subdomain_served_by_parent_site(self):
+        site = make_site()
+        site.add(Resource(URL.parse("http://cdn.example.com/a.png"), ContentType.IMAGE, 100))
+        server = WebServer("1.2.3.4", [site])
+        assert server.handle(URL.parse("http://cdn.example.com/a.png")).ok
+
+
+class TestWebUniverse:
+    def test_add_and_lookup_site(self):
+        universe = WebUniverse()
+        universe.add_site(make_site())
+        assert "example.com" in universe
+        assert universe.site("example.com") is not None
+        assert universe.site("www.example.com") is not None
+        assert universe.site("unknown.com") is None
+
+    def test_duplicate_domain_rejected(self):
+        universe = WebUniverse()
+        universe.add_site(make_site())
+        with pytest.raises(ValueError):
+            universe.add_site(make_site())
+
+    def test_each_site_gets_an_ip(self):
+        universe = WebUniverse()
+        universe.add_site(make_site("a.com"))
+        universe.add_site(make_site("b.com"))
+        ip_a = universe.ip_for_host("a.com")
+        ip_b = universe.ip_for_host("b.com")
+        assert ip_a and ip_b and ip_a != ip_b
+
+    def test_server_for_ip_roundtrip(self):
+        universe = WebUniverse()
+        universe.add_site(make_site())
+        ip = universe.ip_for_host("example.com")
+        server = universe.server_for_ip(ip)
+        assert server is not None
+        assert server.handle(URL.parse("http://example.com/index.html")).ok
+
+    def test_lookup_resource(self):
+        universe = WebUniverse()
+        universe.add_site(make_site())
+        resource = universe.lookup_resource(URL.parse("http://example.com/favicon.ico"))
+        assert resource is not None
+        assert resource.is_image
+
+    def test_offline_and_online_toggle(self):
+        universe = WebUniverse()
+        universe.add_site(make_site())
+        universe.take_offline("example.com")
+        server = universe.server_for_host("example.com")
+        assert not server.online
+        universe.bring_online("example.com")
+        assert server.online
+
+    def test_take_offline_unknown_domain_raises(self):
+        universe = WebUniverse()
+        with pytest.raises(KeyError):
+            universe.take_offline("nope.com")
+
+    def test_len_and_iter(self):
+        universe = WebUniverse()
+        universe.add_site(make_site("a.com"))
+        universe.add_site(make_site("b.com"))
+        assert len(universe) == 2
+        assert {site.domain for site in universe} == {"a.com", "b.com"}
+
+    def test_explicit_ip_shares_server(self):
+        universe = WebUniverse()
+        universe.add_site(make_site("a.com"), ip_address="9.9.9.9")
+        universe.add_site(make_site("b.com"), ip_address="9.9.9.9")
+        assert universe.ip_for_host("a.com") == universe.ip_for_host("b.com") == "9.9.9.9"

@@ -1,0 +1,166 @@
+"""Tests for URL, Origin, and URLPattern."""
+
+import pytest
+
+from repro.web.url import URL, Origin, URLError, URLPattern
+
+
+class TestURLParsing:
+    def test_parse_basic_http_url(self):
+        url = URL.parse("http://example.com/path/page.html")
+        assert url.scheme == "http"
+        assert url.host == "example.com"
+        assert url.port == 80
+        assert url.path == "/path/page.html"
+        assert url.query == ""
+
+    def test_parse_https_default_port(self):
+        url = URL.parse("https://example.com/")
+        assert url.port == 443
+
+    def test_parse_explicit_port(self):
+        url = URL.parse("http://example.com:8080/x")
+        assert url.port == 8080
+
+    def test_parse_scheme_relative(self):
+        url = URL.parse("//censored.com/favicon.ico")
+        assert url.scheme == "http"
+        assert url.host == "censored.com"
+        assert url.path == "/favicon.ico"
+
+    def test_parse_scheme_relative_uses_default_scheme(self):
+        url = URL.parse("//censored.com/x", default_scheme="https")
+        assert url.scheme == "https"
+        assert url.port == 443
+
+    def test_parse_bare_host_gets_root_path(self):
+        url = URL.parse("http://example.com")
+        assert url.path == "/"
+
+    def test_parse_query_string(self):
+        url = URL.parse("http://example.com/search?q=censorship")
+        assert url.path == "/search"
+        assert url.query == "q=censorship"
+
+    def test_parse_drops_fragment(self):
+        url = URL.parse("http://example.com/page#section")
+        assert url.path == "/page"
+
+    def test_parse_lowercases_host_and_scheme(self):
+        url = URL.parse("HTTP://Example.COM/Path")
+        assert url.scheme == "http"
+        assert url.host == "example.com"
+        assert url.path == "/Path"
+
+    def test_parse_no_scheme_defaults_to_http(self):
+        url = URL.parse("example.com/page")
+        assert url.scheme == "http"
+        assert url.host == "example.com"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "ftp://example.com/", "http://", "http://example.com:notaport/", "http://.bad.com/"],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(URLError):
+            URL.parse(bad)
+
+    def test_str_roundtrip(self):
+        text = "http://example.com/a/b?x=1"
+        assert str(URL.parse(text)) == text
+
+    def test_str_omits_default_port(self):
+        assert str(URL.parse("http://example.com:80/")) == "http://example.com/"
+
+    def test_str_keeps_nonstandard_port(self):
+        assert "8080" in str(URL.parse("http://example.com:8080/"))
+
+
+class TestOrigin:
+    def test_origin_of_url(self):
+        url = URL.parse("https://sub.example.com/page")
+        assert url.origin == Origin("https", "sub.example.com", 443)
+
+    def test_same_origin_true(self):
+        a = URL.parse("http://example.com/a").origin
+        b = URL.parse("http://example.com/b").origin
+        assert a.same_origin(b)
+
+    def test_different_host_is_cross_origin(self):
+        a = URL.parse("http://example.com/")
+        b = URL.parse("http://other.com/")
+        assert a.is_cross_origin(b)
+
+    def test_different_scheme_is_cross_origin(self):
+        a = URL.parse("http://example.com/")
+        b = URL.parse("https://example.com/")
+        assert a.is_cross_origin(b)
+
+    def test_different_port_is_cross_origin(self):
+        a = URL.parse("http://example.com/")
+        b = URL.parse("http://example.com:8080/")
+        assert a.is_cross_origin(b)
+
+    def test_subdomain_is_cross_origin(self):
+        a = URL.parse("http://example.com/")
+        b = URL.parse("http://www.example.com/")
+        assert a.is_cross_origin(b)
+
+
+class TestURLHelpers:
+    def test_domain_collapses_subdomains(self):
+        assert URL.parse("http://a.b.example.com/").domain == "example.com"
+
+    def test_domain_of_two_label_host(self):
+        assert URL.parse("http://example.com/").domain == "example.com"
+
+    def test_with_path(self):
+        url = URL.parse("http://example.com/old")
+        assert url.with_path("/new").path == "/new"
+        assert url.with_path("new").path == "/new"
+
+    def test_with_path_preserves_host(self):
+        url = URL.parse("http://example.com:8080/old")
+        new = url.with_path("/x")
+        assert new.host == "example.com"
+        assert new.port == 8080
+
+
+class TestURLPattern:
+    def test_exact_pattern_matches_only_that_url(self):
+        pattern = URLPattern.exact("http://example.com/page")
+        assert pattern.matches("http://example.com/page")
+        assert not pattern.matches("http://example.com/other")
+
+    def test_domain_pattern_matches_subdomains(self):
+        pattern = URLPattern.domain("example.com")
+        assert pattern.matches("http://example.com/anything")
+        assert pattern.matches("http://cdn.example.com/x")
+        assert not pattern.matches("http://notexample.com/x")
+
+    def test_domain_pattern_does_not_match_suffix_lookalike(self):
+        pattern = URLPattern.domain("example.com")
+        assert not pattern.matches("http://evilexample.com/")
+
+    def test_prefix_pattern(self):
+        pattern = URLPattern.prefix("http://example.com/blog/")
+        assert pattern.matches("http://example.com/blog/post-1")
+        assert not pattern.matches("http://example.com/news/post-1")
+
+    def test_trivial_only_for_exact(self):
+        assert URLPattern.exact("http://example.com/p").is_trivial()
+        assert not URLPattern.domain("example.com").is_trivial()
+        assert not URLPattern.prefix("http://example.com/blog/").is_trivial()
+
+    def test_anchor_domain(self):
+        assert URLPattern.domain("example.com").anchor_domain == "example.com"
+        assert URLPattern.exact("http://foo.com/x").anchor_domain == "foo.com"
+        assert URLPattern.prefix("http://bar.com/a/").anchor_domain == "bar.com"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            URLPattern("glob", "*.example.com")
+
+    def test_category_is_preserved(self):
+        pattern = URLPattern.domain("example.com", category="press_freedom")
+        assert pattern.category == "press_freedom"
