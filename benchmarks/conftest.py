@@ -9,6 +9,8 @@ produces each table or figure.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -24,6 +26,20 @@ from repro.population.world import World, WorldConfig
 CAMPAIGN_VISITS = 25_000
 DETECTION_VISITS = 15_000
 SOUNDNESS_VISITS = 10_000
+
+#: The one benchmark module light enough to serve as a smoke check; every
+#: other benchmark builds full worlds / campaigns and is marked ``slow`` so
+#: ``pytest -m "not slow"`` stays fast.
+SMOKE_MODULES = ("test_bench_runner_throughput.py",)
+
+_BENCH_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        path = Path(str(getattr(item, "fspath", "")))
+        if path.parent == _BENCH_DIR and path.name not in SMOKE_MODULES:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

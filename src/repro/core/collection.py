@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Callable, Iterable, NamedTuple
 
 from repro.browser.engine import Browser
 from repro.core.tasks import TaskOutcome, TaskResult, TaskType
@@ -49,6 +49,32 @@ class Measurement:
     @property
     def failed(self) -> bool:
         return self.outcome is TaskOutcome.FAILURE
+
+
+class SubmissionRecord(NamedTuple):
+    """One already-delivered submission, ready for bulk ingestion.
+
+    The batched campaign runner resolves the network path (whether the
+    submission reached the server) itself and streams the survivors into
+    :meth:`CollectionServer.submit_batch`; plain tuples with this field order
+    are accepted too.
+    """
+
+    measurement_id: str
+    task_type: "TaskType"
+    target_url: URL
+    target_domain: str
+    outcome: TaskOutcome
+    elapsed_ms: float
+    probe_time_ms: float | None
+    client_ip: str
+    country_code: str
+    isp: str
+    browser_family: str
+    origin_domain: str | None
+    day: int
+    strip_referer: bool
+    is_automated: bool
 
 
 class CollectionServer:
@@ -117,6 +143,47 @@ class CollectionServer:
         )
         self.measurements.append(measurement)
         return measurement
+
+    def submit_batch(
+        self, records: Iterable[SubmissionRecord | tuple], unreachable: int = 0
+    ) -> list[Measurement]:
+        """Bulk-ingest submissions whose network path already succeeded.
+
+        ``records`` follow :class:`SubmissionRecord`'s layout; ``unreachable``
+        counts submissions the campaign attempted but that never reached the
+        server (censored or lost), matching what per-call :meth:`submit`
+        would have tallied.  Returns the stored measurements in order.
+        """
+        lookup = self.geoip.lookup
+        stored: list[Measurement] = []
+        append = stored.append
+        for (
+            measurement_id, task_type, target_url, target_domain, outcome,
+            elapsed_ms, probe_time_ms, client_ip, country_code, isp,
+            browser_family, origin_domain, day, strip_referer, is_automated,
+        ) in records:
+            # Positional construction: Measurement's field order, hot path.
+            append(
+                Measurement(
+                    measurement_id,
+                    task_type,
+                    target_url,
+                    target_domain,
+                    outcome,
+                    elapsed_ms,
+                    client_ip,
+                    lookup(client_ip) or country_code,
+                    isp,
+                    browser_family,
+                    None if strip_referer else origin_domain,
+                    day,
+                    probe_time_ms,
+                    is_automated,
+                )
+            )
+        self.measurements.extend(stored)
+        self.unreachable_submissions += unreachable
+        return stored
 
     # ------------------------------------------------------------------
     # Query API used by the analysis

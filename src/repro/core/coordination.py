@@ -53,6 +53,10 @@ class CoordinationServer:
             url if isinstance(url, URL) else URL.parse(url) for url in (mirror_urls or [])
         ]
         self.delivery_log: list[DeliveryRecord] = []
+        #: Aggregate counters maintained by the batched campaign runner, which
+        #: skips per-visit :class:`DeliveryRecord` objects for throughput.
+        self.batched_deliveries_attempted = 0
+        self.batched_deliveries_failed = 0
 
     # ------------------------------------------------------------------
     @property
@@ -104,10 +108,25 @@ class CoordinationServer:
         return "\n".join(measurement_snippet_js(task, self.collection_url) for task in tasks)
 
     # ------------------------------------------------------------------
+    def note_batch_deliveries(self, attempted: int, failed: int) -> None:
+        """Fold a batch of delivery outcomes into the aggregate counters.
+
+        ``attempted`` counts visits whose schedule produced tasks (the only
+        visits that fetch the task script); ``failed`` the subset that could
+        not reach any delivery URL — the same population the per-visit
+        :attr:`delivery_log` bookkeeping considers.
+        """
+        if failed > attempted or attempted < 0 or failed < 0:
+            raise ValueError("invalid delivery counts")
+        self.batched_deliveries_attempted += attempted
+        self.batched_deliveries_failed += failed
+
     @property
     def delivery_failure_rate(self) -> float:
         """Fraction of deliveries that failed because the server was unreachable."""
         attempted = [r for r in self.delivery_log if r.tasks_delivered > 0 or not r.reachable]
-        if not attempted:
+        total = len(attempted) + self.batched_deliveries_attempted
+        if not total:
             return 0.0
-        return sum(1 for r in attempted if not r.reachable) / len(attempted)
+        failures = sum(1 for r in attempted if not r.reachable) + self.batched_deliveries_failed
+        return failures / total

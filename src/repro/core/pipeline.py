@@ -53,6 +53,15 @@ class CampaignConfig:
     #: Fraction of clients measuring testbed resources (paper: ~30%).
     testbed_fraction: float = 0.3
     seed: int = 0
+    #: Pin every visitor to one country (``None`` samples the global visit
+    #: share distribution); used by scenario sweeps.
+    country_code: str | None = None
+    #: Default execution mode for :meth:`EncoreDeployment.run_campaign`:
+    #: ``"batch"`` (vectorized), ``"serial"`` (scalar reference with identical
+    #: results), or ``"legacy"`` (the original per-visit browser loop).
+    mode: str = "batch"
+    #: Visits per runner batch (progress/checkpoint granularity).
+    batch_size: int | None = None
 
 
 @dataclass
@@ -65,6 +74,8 @@ class CampaignResult:
     visits_simulated: int
     task_executions: int
     feasibility: FeasibilityReport | None = None
+    #: Which execution path produced this result ("batch"/"serial"/"legacy").
+    mode: str = "legacy"
 
     @property
     def measurements(self) -> list[Measurement]:
@@ -143,6 +154,13 @@ class EncoreDeployment:
         )
 
         # --- Origin sites ----------------------------------------------------
+        # A sampled subset of origins strips the Referer header: exactly
+        # round(N * REFERER_STRIP_FRACTION) of them, at RNG-chosen positions,
+        # so the stripping fraction matches the paper's 3/4 regardless of how
+        # the origin list happens to be ordered.
+        origin_count = len(self.world.origin_domains)
+        strip_count = int(round(origin_count * CollectionServer.REFERER_STRIP_FRACTION))
+        stripping = set(self._rng.permutation(origin_count)[:strip_count].tolist())
         self.origins: list[OriginSite] = []
         for index, domain in enumerate(self.world.origin_domains):
             site = self.world.universe.site(domain)
@@ -150,11 +168,13 @@ class EncoreDeployment:
                 OriginSite(
                     site=site,
                     coordination_url=self.world.coordination_url,
-                    strips_referer=(index / max(1, len(self.world.origin_domains)))
-                    < CollectionServer.REFERER_STRIP_FRACTION,
+                    strips_referer=index in stripping,
                     reciprocity_enrolled=index % 3 == 0,
                 )
             )
+        #: Monotone counter so successive campaigns on one deployment draw
+        #: fresh (but reproducible) randomness.
+        self._campaign_epoch = 0
 
     # ------------------------------------------------------------------
     def _build_testbed_tasks(self) -> list[MeasurementTask]:
@@ -195,9 +215,19 @@ class EncoreDeployment:
         return tasks
 
     # ------------------------------------------------------------------
+    @property
+    def campaigns_run(self) -> int:
+        """How many campaigns this deployment has started."""
+        return self._campaign_epoch
+
+    def next_campaign_epoch(self) -> int:
+        """Advance and return the campaign counter (seeds per-run RNG streams)."""
+        self._campaign_epoch += 1
+        return self._campaign_epoch
+
     def simulate_visit(self, day: int | None = None, country_code: str | None = None) -> int:
         """Simulate one origin-site visit; returns the number of submissions."""
-        client = self.world.sample_client(country_code)
+        client = self.world.sample_client(country_code or self.config.country_code)
         origin = self.origins[int(self._rng.integers(0, len(self.origins)))]
         browser = self.world.make_browser(client)
         day = day if day is not None else int(self._rng.integers(0, self.config.days))
@@ -217,20 +247,59 @@ class EncoreDeployment:
                 submissions += 1
         return submissions
 
-    def run_campaign(self, visits: int | None = None) -> CampaignResult:
-        """Simulate a full campaign of origin-site visits."""
+    def run_campaign(
+        self,
+        visits: int | None = None,
+        mode: str | None = None,
+        batch_size: int | None = None,
+        progress=None,
+        resume_from_batch: int = 0,
+    ) -> CampaignResult:
+        """Simulate a full campaign of origin-site visits.
+
+        Delegates to :class:`~repro.core.runner.CampaignRunner`: ``"batch"``
+        (the default) is the vectorized fast path, ``"serial"`` the scalar
+        reference implementation that produces identical measurements for a
+        fixed seed, and ``"legacy"`` the original one-browser-per-visit loop
+        retained as a full-fidelity baseline.  ``progress`` is invoked with a
+        :class:`~repro.core.runner.BatchProgress` after every batch;
+        ``resume_from_batch`` skips execution (but replays planning) of
+        already-completed batches.
+        """
+        from repro.core.runner import CampaignRunner
+
+        mode = mode if mode is not None else self.config.mode
         visits = visits if visits is not None else self.config.visits
-        executions = 0
-        for _ in range(visits):
-            executions += self.simulate_visit()
-        return CampaignResult(
-            config=self.config,
-            collection=self.collection,
-            coordination=self.coordination,
-            visits_simulated=visits,
-            task_executions=executions,
-            feasibility=self.feasibility,
+        if mode == "legacy":
+            if progress is not None or resume_from_batch or batch_size is not None:
+                raise ValueError(
+                    "mode='legacy' runs visit-by-visit and supports none of "
+                    "progress, batch_size, or resume_from_batch"
+                )
+            # Count the campaign even though the legacy loop draws from the
+            # deployment/world RNGs directly: it advances shared state (GeoIP
+            # counters, scheduler counts), so the runner's resume-staleness
+            # guard must see it.
+            self.next_campaign_epoch()
+            executions = 0
+            for _ in range(visits):
+                executions += self.simulate_visit()
+            return CampaignResult(
+                config=self.config,
+                collection=self.collection,
+                coordination=self.coordination,
+                visits_simulated=visits,
+                task_executions=executions,
+                feasibility=self.feasibility,
+                mode="legacy",
+            )
+        runner = CampaignRunner(
+            self,
+            mode=mode,
+            batch_size=batch_size if batch_size is not None else self.config.batch_size,
+            progress=progress,
         )
+        return runner.run(visits, resume_from_batch=resume_from_batch)
 
     # ------------------------------------------------------------------
     # Convenience constructors for the paper's experiments

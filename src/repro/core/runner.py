@@ -1,0 +1,1334 @@
+"""Batched campaign execution: the fast path for §7-scale experiments.
+
+The paper's value comes from scale — a seven-month deployment collecting
+141,626 measurements from 88,260 clients (§7) — and the per-visit simulation
+loop in :mod:`repro.core.pipeline` is the bottleneck for reproducing it.
+This module executes campaigns in vectorized batches instead:
+
+1. **Plan.**  A batch of visitors is sampled from the
+   :class:`~repro.population.world.World` with one bulk RNG call per client
+   attribute (:meth:`ClientFactory.sample_batch`), together with per-visit
+   origin sites and campaign days.
+2. **Schedule.**  :meth:`Scheduler.assign_batch` assigns tasks to the whole
+   batch, grouping clients by browser capability class so task pools are
+   filtered once per class rather than once per client.
+3. **Compile.**  Each visit becomes a short *fetch program*: one slot per
+   network fetch the visit performs (task-script delivery, task target
+   loads, iframe sub-resources and probes, result submissions).  Censors are
+   deterministic per (country, URL), so each slot's censorship verdict is
+   resolved once and cached; only packet loss, jitter, and give-up decisions
+   stay stochastic, and those are pre-drawn as a fixed-layout uniform matrix
+   (:data:`DRAWS_PER_SLOT` columns per slot).
+4. **Execute.**  ``mode="batch"`` evaluates all slots with vectorized numpy
+   passes; ``mode="serial"`` is the readable reference implementation that
+   walks the same program one visit at a time, re-deriving every censorship
+   verdict from the interceptor objects.  Both modes consume the same
+   pre-drawn randomness, so for a fixed seed they produce *identical*
+   measurements — an invariant pinned by
+   ``tests/core/test_runner_equivalence.py``.
+5. **Collect.**  Results stream into the
+   :class:`~repro.core.collection.CollectionServer` through its bulk
+   :meth:`submit_batch` path, and per-batch progress/checkpoint hooks make
+   long campaigns observable and resumable (re-run with
+   ``resume_from_batch=n`` to replay sampling/scheduling for the completed
+   batches without re-executing them).
+
+:class:`CampaignSweep` runs many campaign configurations (seeds × pinned
+countries × testbed fractions) against one shared ``World``, which is how
+parameter sweeps stay cheap enough to explore.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from itertools import repeat
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.browser.engine import CACHED_RENDER_MAX_MS, CACHED_RENDER_MIN_MS
+from repro.core.collection import SubmissionRecord
+from repro.core.scheduler import ScheduleDecision
+from repro.core.tasks import (
+    CACHED_PROBE_THRESHOLD_MS,
+    MeasurementTask,
+    TaskOutcome,
+    TaskType,
+)
+from repro.netsim.dns import DNS_TIMEOUT_PENALTY_MS, DNSAction
+from repro.netsim.http import (
+    HTTPAction,
+    LOSS_GIVEUP_PROBABILITY as HTTP_GIVEUP_PROBABILITY,
+    REQUEST_TIMEOUT_MS,
+    THROTTLE_FACTOR,
+)
+from repro.netsim.latency import rtt_from_uniform
+from repro.netsim.tcp import (
+    CONNECT_TIMEOUT_MS,
+    LOSS_GIVEUP_PROBABILITY as TCP_GIVEUP_PROBABILITY,
+    RETRANSMIT_PENALTY_MAX_MS,
+    TCPAction,
+)
+from repro.web.url import URL
+
+# ----------------------------------------------------------------------
+# Slot encoding
+# ----------------------------------------------------------------------
+#: Uniform draws pre-allocated per fetch slot: cached-render time, DNS RTT
+#: jitter, TCP loss / give-up / retransmit, TCP RTT jitter, HTTP loss /
+#: give-up, HTTP RTT jitter.  Unused columns (e.g. the retransmit draw of a
+#: lossless fetch) are simply never consumed, which is what keeps the layout
+#: identical between the serial and vectorized executors.
+DRAWS_PER_SLOT = 9
+
+KIND_COORD = 0     #: task-script delivery fetch (one per delivery URL)
+KIND_TARGET = 1    #: image / style-sheet / script task target fetch
+KIND_PAGE = 2      #: inline-frame page fetch
+KIND_EMBEDDED = 3  #: resource embedded by an inline-frame page
+KIND_PROBE = 4     #: the probe image timed after an inline-frame load
+KIND_SUBMIT = 5    #: result submission to the collection server
+
+# Verdict stage codes (first non-PASS interceptor action per stage).
+DNS_PASS, DNS_NXDOMAIN, DNS_TIMEOUT, DNS_INJECT = 0, 1, 2, 3
+TCP_PASS, TCP_DROP, TCP_RESET = 0, 1, 2
+HTTP_PASS, HTTP_DROP, HTTP_RESET, HTTP_BLOCK, HTTP_THROTTLE = 0, 1, 2, 3, 4
+
+_DNS_CODE = {
+    DNSAction.NXDOMAIN: DNS_NXDOMAIN,
+    DNSAction.TIMEOUT: DNS_TIMEOUT,
+    DNSAction.INJECT: DNS_INJECT,
+}
+_TCP_CODE = {TCPAction.DROP: TCP_DROP, TCPAction.RESET: TCP_RESET}
+_HTTP_CODE = {
+    HTTPAction.DROP: HTTP_DROP,
+    HTTPAction.RESET: HTTP_RESET,
+    HTTPAction.BLOCK_PAGE: HTTP_BLOCK,
+    HTTPAction.THROTTLE: HTTP_THROTTLE,
+}
+
+_OUTCOMES = (TaskOutcome.SUCCESS, TaskOutcome.FAILURE, TaskOutcome.INCONCLUSIVE)
+OUT_SUCCESS, OUT_FAILURE, OUT_INCONCLUSIVE = 0, 1, 2
+
+BLOCK_PAGE_SIZE_BYTES = 2048
+
+
+# ----------------------------------------------------------------------
+# URL response table and censorship verdict cache
+# ----------------------------------------------------------------------
+class UrlTable:
+    """Deterministic per-URL server facts, resolved once per run.
+
+    What a server answers for a URL (status, content type, size, caching
+    headers) carries no randomness, so the runner resolves each URL through
+    the same DNS records and :meth:`WebServer.handle` the browser path uses
+    and keeps the answers in columns the executors index by URL id.
+    """
+
+    def __init__(self, world) -> None:
+        self._world = world
+        self._ids: dict[str, int] = {}
+        self.urls: list[URL] = []
+        self.hosts: list[str] = []
+        self.server_known: list[bool] = []
+        self.status: list[int] = []
+        self.resp_ok: list[bool] = []
+        self.content_type: list[object] = []
+        self.size_bytes: list[int] = []
+        self.cacheable: list[bool] = []
+        self.is_page: list[bool] = []
+        self.valid_syntax: list[bool] = []
+        self.embedded: list[tuple[URL, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self.urls)
+
+    def url_id(self, url: URL) -> int:
+        key = str(url)
+        existing = self._ids.get(key)
+        if existing is not None:
+            return existing
+        index = len(self.urls)
+        self._ids[key] = index
+        self.urls.append(url)
+        self.hosts.append(url.host)
+        ip = self._world.network.dns.authoritative_ip(url.host)
+        server = self._world.universe.server_for_ip(ip) if ip else None
+        self.server_known.append(server is not None)
+        if server is None:
+            response = None
+        else:
+            response = server.handle(url)
+        if response is None:
+            self.status.append(0)
+            self.resp_ok.append(False)
+            self.content_type.append(None)
+            self.size_bytes.append(0)
+            self.cacheable.append(False)
+            self.is_page.append(False)
+            self.valid_syntax.append(False)
+            self.embedded.append(())
+        else:
+            resource = response.resource
+            self.status.append(response.status)
+            self.resp_ok.append(response.ok)
+            self.content_type.append(response.content_type)
+            self.size_bytes.append(response.size_bytes)
+            self.cacheable.append(response.cacheable)
+            self.is_page.append(resource is not None and resource.is_page)
+            self.valid_syntax.append(resource is not None and resource.valid_syntax)
+            self.embedded.append(tuple(resource.embedded_urls) if resource is not None else ())
+        return index
+
+
+class VerdictCache:
+    """First-non-PASS censor actions per (interceptor chain, URL).
+
+    Every censor in the model is deterministic — a blacklist policy plus a
+    mechanism — so the action each connection stage suffers depends only on
+    the interceptor chain on the client's path and the URL.  Most countries
+    share the same chain (no national censors, globals only), so keying by
+    chain identity instead of country collapses ~170 countries onto a
+    handful of walks.  The serial executor recomputes these walks per fetch
+    as the reference; the batch executor asks this cache.
+    """
+
+    def __init__(self, world, urls: UrlTable) -> None:
+        self._world = world
+        self._urls = urls
+        #: country -> identity key of its interceptor chain
+        self._chains: dict[str, tuple] = {}
+        self._cache: dict[tuple, tuple[int, int, int]] = {}
+
+    def _chain(self, country_code: str) -> tuple:
+        chain = self._chains.get(country_code)
+        if chain is None:
+            interceptors = self._world.interceptors_for_country(country_code)
+            chain = (tuple(id(i) for i in interceptors), interceptors)
+            self._chains[country_code] = chain
+        return chain
+
+    def verdict(self, country_code: str, url_id: int) -> tuple[int, int, int]:
+        chain_key, interceptors = self._chain(country_code)
+        key = (chain_key, url_id)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = compute_verdict(
+                interceptors,
+                self._urls.urls[url_id],
+                self._urls.hosts[url_id],
+                self._urls.server_known[url_id],
+            )
+            self._cache[key] = cached
+        return cached
+
+
+def compute_verdict(interceptors, url: URL, host: str, server_known: bool) -> tuple[int, int, int]:
+    """(dns, tcp, http) stage codes for a fetch of ``url`` on this path.
+
+    Mirrors the stage walks of :meth:`DNSResolver.resolve`,
+    :meth:`TCPConnectionModel.connect`, and :meth:`HTTPExchangeModel.exchange`:
+    the first interceptor that does anything other than PASS decides a stage.
+    """
+    dns_code = DNS_PASS
+    for interceptor in interceptors:
+        action = interceptor.intercept_dns(host)
+        if action is not DNSAction.PASS:
+            dns_code = _DNS_CODE[action]
+            break
+    if dns_code == DNS_PASS and not server_known:
+        dns_code = DNS_NXDOMAIN
+    tcp_code = TCP_PASS
+    for interceptor in interceptors:
+        action = interceptor.intercept_tcp("", host)
+        if action is not TCPAction.PASS:
+            tcp_code = _TCP_CODE[action]
+            break
+    http_code = HTTP_PASS
+    for interceptor in interceptors:
+        action = interceptor.intercept_http(url)
+        if action is not HTTPAction.PASS:
+            http_code = _HTTP_CODE[action]
+            break
+    return dns_code, tcp_code, http_code
+
+
+# ----------------------------------------------------------------------
+# Fetch program
+# ----------------------------------------------------------------------
+@dataclass
+class TaskSlots:
+    """Where one scheduled task's fetches live inside the program."""
+
+    task: MeasurementTask
+    main_slot: int                 #: target fetch (or iframe page fetch)
+    submit_slot: int
+    embedded_slots: tuple[int, ...] = ()
+    probe_slot: int = -1
+
+
+#: Task-type codes stored per TARGET slot so outcomes vectorize.
+TASK_NONE, TASK_IMAGE, TASK_STYLE, TASK_SCRIPT = 0, 1, 2, 3
+
+_TASK_CODE = {
+    TaskType.IMAGE: TASK_IMAGE,
+    TaskType.STYLE_SHEET: TASK_STYLE,
+    TaskType.SCRIPT: TASK_SCRIPT,
+}
+
+
+@dataclass
+class FetchProgram:
+    """The compiled fetch slots of one batch of visits."""
+
+    visit: list[int] = field(default_factory=list)
+    kind: list[int] = field(default_factory=list)
+    url_id: list[int] = field(default_factory=list)
+    use_cache: list[bool] = field(default_factory=list)
+    task_code: list[int] = field(default_factory=list)
+    #: Visits containing within-visit URL reuse of cacheable resources (the
+    #: inline-frame mechanism); these take the scalar cache-aware path even
+    #: in batch mode.
+    cache_visits: set[int] = field(default_factory=set)
+    #: Per visit: slot ids of the delivery fetches (one per delivery URL).
+    coord_slots: list[list[int]] = field(default_factory=list)
+    #: Per visit: the scheduled tasks with their slot assignments.
+    visit_tasks: list[list[TaskSlots]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.visit)
+
+def compile_program(
+    urls: UrlTable,
+    decisions: Sequence[ScheduleDecision],
+    delivery_url_ids: Sequence[int],
+    submit_url_id: int,
+) -> FetchProgram:
+    """Lay out every fetch the batch performs, in visit order.
+
+    A visit with no scheduled tasks contributes no slots (the task script is
+    only fetched when there is a task to deliver, matching
+    :meth:`CoordinationServer.deliver`).
+    """
+    program = FetchProgram()
+    cacheable = urls.cacheable
+    # Per-task slot templates: the URL ids and task code of a task never
+    # change, so resolve them once per task object instead of per visit.
+    templates: dict[int, tuple] = {}
+    slot_visit = program.visit
+    slot_kind = program.kind
+    slot_url = program.url_id
+    slot_use_cache = program.use_cache
+    slot_task_code = program.task_code
+    cache_visits = program.cache_visits
+    coord_slots = program.coord_slots
+    visit_tasks = program.visit_tasks
+    for visit, decision in enumerate(decisions):
+        coords: list[int] = []
+        entries: list[TaskSlots] = []
+        coord_slots.append(coords)
+        visit_tasks.append(entries)
+        if not decision.tasks:
+            continue
+        multi_task = len(decision.tasks) > 1
+        seen: set[int] = set()
+        for url_id in delivery_url_ids:
+            coords.append(len(slot_visit))
+            slot_visit.append(visit)
+            slot_kind.append(KIND_COORD)
+            slot_url.append(url_id)
+            slot_use_cache.append(False)
+            slot_task_code.append(TASK_NONE)
+        for task in decision.tasks:
+            template = templates.get(id(task))
+            if template is None:
+                target_id = urls.url_id(task.target_url)
+                if task.task_type is TaskType.INLINE_FRAME:
+                    embedded_ids = tuple(
+                        urls.url_id(u) for u in urls.embedded[target_id]
+                    )
+                    probe_id = urls.url_id(task.probe_image_url)
+                    kinds = (
+                        [KIND_PAGE]
+                        + [KIND_EMBEDDED] * len(embedded_ids)
+                        + [KIND_PROBE, KIND_SUBMIT]
+                    )
+                    url_ids = [target_id, *embedded_ids, probe_id, submit_url_id]
+                    uses_cache = [True] * (len(embedded_ids) + 2) + [False]
+                    codes = [TASK_NONE] * len(kinds)
+                    offsets = (0, tuple(range(1, 1 + len(embedded_ids))),
+                               1 + len(embedded_ids), 2 + len(embedded_ids))
+                    template = (target_id, True, kinds, url_ids, uses_cache, codes, offsets)
+                else:
+                    kinds = [KIND_TARGET, KIND_SUBMIT]
+                    url_ids = [target_id, submit_url_id]
+                    uses_cache = [True, False]
+                    codes = [_TASK_CODE[task.task_type], TASK_NONE]
+                    offsets = (0, (), -1, 1)
+                    template = (target_id, False, kinds, url_ids, uses_cache, codes, offsets)
+                templates[id(task)] = template
+            target_id, is_iframe, kinds, url_ids, uses_cache, codes, offsets = template
+            base = len(slot_visit)
+            slot_visit.extend(repeat(visit, len(kinds)))
+            slot_kind.extend(kinds)
+            slot_url.extend(url_ids)
+            slot_use_cache.extend(uses_cache)
+            slot_task_code.extend(codes)
+            if is_iframe:
+                # Inline-frame visits always take the cache-aware path: the
+                # probe's verdict hinges on what the page render cached.
+                cache_visits.add(visit)
+            elif multi_task and cacheable[target_id]:
+                # Only multi-task visits can fetch the same target URL twice.
+                if target_id in seen:
+                    cache_visits.add(visit)
+                else:
+                    seen.add(target_id)
+            main_off, embedded_offs, probe_off, submit_off = offsets
+            entries.append(
+                TaskSlots(
+                    task=task,
+                    main_slot=base + main_off,
+                    submit_slot=base + submit_off,
+                    embedded_slots=tuple(base + o for o in embedded_offs),
+                    probe_slot=base + probe_off if probe_off >= 0 else -1,
+                )
+            )
+    return program
+
+
+# ----------------------------------------------------------------------
+# Derived randomness
+# ----------------------------------------------------------------------
+@dataclass
+class SlotDraws:
+    """Per-slot stochastic values derived from the pre-drawn uniforms.
+
+    Derived once, vectorized, and consumed by both executors — which is what
+    makes their floating-point results bit-identical.
+    """
+
+    cached_render_ms: np.ndarray
+    rtt_dns_ms: np.ndarray
+    tcp_lost: np.ndarray
+    tcp_giveup: np.ndarray
+    retransmit_ms: np.ndarray
+    rtt_tcp_ms: np.ndarray
+    http_lost: np.ndarray
+    http_giveup: np.ndarray
+    rtt_http_ms: np.ndarray
+    bytes_per_ms: np.ndarray
+
+
+def derive_slot_draws(
+    uniforms: np.ndarray,
+    rtt_ms: np.ndarray,
+    jitter_ms: np.ndarray,
+    loss_rate: np.ndarray,
+    bandwidth_kbps: np.ndarray,
+) -> SlotDraws:
+    """Turn the raw uniform matrix into the values the fetch model consumes."""
+    span = CACHED_RENDER_MAX_MS - CACHED_RENDER_MIN_MS
+    return SlotDraws(
+        cached_render_ms=CACHED_RENDER_MIN_MS + span * uniforms[:, 0],
+        rtt_dns_ms=rtt_from_uniform(rtt_ms, jitter_ms, uniforms[:, 1]),
+        tcp_lost=uniforms[:, 2] < loss_rate,
+        tcp_giveup=uniforms[:, 3] < TCP_GIVEUP_PROBABILITY,
+        retransmit_ms=RETRANSMIT_PENALTY_MAX_MS * uniforms[:, 4],
+        rtt_tcp_ms=rtt_from_uniform(rtt_ms, jitter_ms, uniforms[:, 5]),
+        http_lost=uniforms[:, 6] < loss_rate,
+        http_giveup=uniforms[:, 7] < HTTP_GIVEUP_PROBABILITY,
+        rtt_http_ms=rtt_from_uniform(rtt_ms, jitter_ms, uniforms[:, 8]),
+        bytes_per_ms=bandwidth_kbps * 1000.0 / 8.0 / 1000.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Batch plan + results
+# ----------------------------------------------------------------------
+@dataclass
+class BatchPlan:
+    """Everything one batch of visits needs before execution."""
+
+    start_visit: int
+    client_batch: object
+    clients: list
+    origin_indices: np.ndarray
+    days: np.ndarray
+    decisions: list[ScheduleDecision]
+    program: FetchProgram
+    draws: SlotDraws
+
+
+@dataclass
+class BatchOutcome:
+    """What executing one batch produced."""
+
+    #: Plain tuples in :class:`SubmissionRecord` field order.
+    records: list[tuple]
+    unreachable_submissions: int
+    deliveries_attempted: int
+    deliveries_failed: int
+
+
+@dataclass(frozen=True)
+class BatchProgress:
+    """Progress/checkpoint information passed to the per-batch hook."""
+
+    batch_index: int
+    batch_count: int
+    visits_completed: int
+    visits_total: int
+    measurements_added: int
+    measurements_total: int
+    duration_s: float
+
+
+# ----------------------------------------------------------------------
+# The campaign runner
+# ----------------------------------------------------------------------
+class CampaignRunner:
+    """Executes a deployment's campaign in batches.
+
+    ``mode="batch"`` is the vectorized fast path; ``mode="serial"`` is the
+    scalar reference implementation with identical results for a fixed seed.
+    """
+
+    MODES = ("batch", "serial")
+    DEFAULT_BATCH_SIZE = 8192
+
+    def __init__(
+        self,
+        deployment,
+        mode: str = "batch",
+        batch_size: int | None = None,
+        progress: Callable[[BatchProgress], None] | None = None,
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown campaign mode {mode!r}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch size must be positive")
+        self.deployment = deployment
+        self.mode = mode
+        self.batch_size = batch_size or self.DEFAULT_BATCH_SIZE
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, visits: int | None = None, resume_from_batch: int = 0):
+        """Run ``visits`` origin-site visits and return a ``CampaignResult``.
+
+        ``resume_from_batch`` replays the sampling and scheduling of the
+        first ``n`` batches (so every downstream draw stays aligned) but
+        skips their execution; combined with the per-batch progress hook it
+        makes an interrupted campaign resumable from its last checkpoint.
+        Replay only reproduces the interrupted run when it starts from the
+        same initial state, i.e. a freshly built ``World`` + deployment with
+        the same seeds — resuming on objects whose RNG streams have already
+        advanced is rejected rather than silently producing a different
+        campaign.
+        """
+        from repro.core.pipeline import CampaignResult  # local: avoids a cycle
+
+        deployment = self.deployment
+        config = deployment.config
+        visits = visits if visits is not None else config.visits
+        if resume_from_batch:
+            stale = (
+                deployment.campaigns_run != 0
+                or deployment.world.clients.batch_sampling_started
+            )
+            if stale:
+                raise ValueError(
+                    "resume_from_batch requires a freshly built World and "
+                    "deployment (same seeds as the interrupted run); this "
+                    "deployment/world has already sampled or run a campaign, "
+                    "so the replayed batches would not match"
+                )
+        epoch = deployment.next_campaign_epoch()
+        # Independent streams per planned quantity, so the campaign is a
+        # function of the seed alone regardless of batch boundaries.
+        origin_rng = np.random.default_rng([config.seed, 101, epoch])
+        day_rng = np.random.default_rng([config.seed, 103, epoch])
+        draw_rng = np.random.default_rng([config.seed, 211, epoch])
+        urls = UrlTable(deployment.world)
+        verdicts = VerdictCache(deployment.world, urls)
+        delivery_url_ids = [
+            urls.url_id(url) for url in deployment.coordination.all_delivery_urls
+        ]
+        submit_url_id = urls.url_id(deployment.collection.submit_url)
+
+        batch_count = (visits + self.batch_size - 1) // self.batch_size
+        executions = 0
+        started = time.perf_counter()
+        for batch_index in range(batch_count):
+            count = min(self.batch_size, visits - batch_index * self.batch_size)
+            plan = self._plan_batch(
+                batch_index * self.batch_size, count, origin_rng, day_rng,
+                draw_rng, urls, delivery_url_ids, submit_url_id,
+            )
+            if batch_index < resume_from_batch:
+                continue
+            if self.mode == "serial":
+                outcome = SerialExecutor(deployment, urls, submit_url_id).execute(plan)
+            else:
+                outcome = BatchExecutor(deployment, urls, verdicts, submit_url_id).execute(plan)
+            stored = deployment.collection.submit_batch(
+                outcome.records, outcome.unreachable_submissions
+            )
+            deployment.coordination.note_batch_deliveries(
+                outcome.deliveries_attempted, outcome.deliveries_failed
+            )
+            executions += len(stored)
+            if self.progress is not None:
+                self.progress(
+                    BatchProgress(
+                        batch_index=batch_index,
+                        batch_count=batch_count,
+                        visits_completed=batch_index * self.batch_size + count,
+                        visits_total=visits,
+                        measurements_added=len(stored),
+                        measurements_total=len(deployment.collection),
+                        duration_s=time.perf_counter() - started,
+                    )
+                )
+        return CampaignResult(
+            config=config,
+            collection=deployment.collection,
+            coordination=deployment.coordination,
+            visits_simulated=visits,
+            task_executions=executions,
+            feasibility=deployment.feasibility,
+            mode=self.mode,
+        )
+
+    # ------------------------------------------------------------------
+    def _plan_batch(
+        self,
+        start_visit: int,
+        count: int,
+        origin_rng: np.random.Generator,
+        day_rng: np.random.Generator,
+        draw_rng: np.random.Generator,
+        urls: UrlTable,
+        delivery_url_ids: Sequence[int],
+        submit_url_id: int,
+    ) -> BatchPlan:
+        deployment = self.deployment
+        batch = deployment.world.sample_client_batch(
+            count, deployment.config.country_code
+        )
+        origin_indices = origin_rng.integers(0, len(deployment.origins), size=count)
+        days = day_rng.integers(0, deployment.config.days, size=count)
+        if self.mode == "serial":
+            clients = batch.clients()
+            decisions = [deployment.scheduler.schedule(client) for client in clients]
+        else:
+            # Batch mode schedules straight off the column arrays; per-visit
+            # Client objects are never materialized.
+            clients = None
+            decisions = deployment.scheduler.assign_batch(batch)
+        program = compile_program(urls, decisions, delivery_url_ids, submit_url_id)
+        uniforms = draw_rng.random((len(program), DRAWS_PER_SLOT))
+        visit_idx = np.asarray(program.visit, dtype=np.int64)
+        draws = derive_slot_draws(
+            uniforms,
+            batch.rtt_ms[visit_idx],
+            batch.jitter_ms[visit_idx],
+            batch.loss_rate[visit_idx],
+            batch.bandwidth_kbps[visit_idx],
+        )
+        return BatchPlan(
+            start_visit=start_visit,
+            client_batch=batch,
+            clients=clients,
+            origin_indices=origin_indices,
+            days=days,
+            decisions=decisions,
+            program=program,
+            draws=draws,
+        )
+
+
+# ----------------------------------------------------------------------
+# Serial reference executor
+# ----------------------------------------------------------------------
+class _SlotResult:
+    """Scalar fetch result, mirroring what the vectorized pass records."""
+
+    __slots__ = ("completed", "ok", "status", "has_response", "is_block",
+                 "from_cache", "elapsed")
+
+    def __init__(self) -> None:
+        self.completed = False
+        self.ok = False
+        self.status = 0
+        self.has_response = False
+        self.is_block = False
+        self.from_cache = False
+        self.elapsed = 0.0
+
+
+class SerialExecutor:
+    """The reference implementation: one visit at a time, one fetch at a time.
+
+    Walks each visit's fetch program in order, re-deriving the censor action
+    at every stage from the interceptor objects on the client's path (the
+    way :meth:`Network.fetch` consults them), and consuming the same derived
+    draw columns the vectorized executor reads.
+    """
+
+    def __init__(self, deployment, urls: UrlTable, submit_url_id: int) -> None:
+        self.deployment = deployment
+        self.urls = urls
+        self.submit_url_id = submit_url_id
+
+    # -- one network fetch ------------------------------------------------
+    def _fetch(self, slot: int, url_id: int, interceptors, draws: SlotDraws,
+               cached_urls: set[int], use_cache: bool) -> _SlotResult:
+        urls = self.urls
+        result = _SlotResult()
+        if use_cache and url_id in cached_urls:
+            result.from_cache = True
+            result.elapsed = draws.cached_render_ms[slot]
+            return result
+        verdict = compute_verdict(
+            interceptors, urls.urls[url_id], urls.hosts[url_id], urls.server_known[url_id]
+        )
+        dns_code, tcp_code, http_code = verdict
+        elapsed = draws.rtt_dns_ms[slot]
+        if dns_code == DNS_TIMEOUT:
+            result.elapsed = elapsed + DNS_TIMEOUT_PENALTY_MS
+            return result
+        if dns_code == DNS_NXDOMAIN:
+            result.elapsed = elapsed
+            return result
+        sinkholed = dns_code == DNS_INJECT
+        # TCP stage.
+        if tcp_code == TCP_DROP:
+            result.elapsed = elapsed + CONNECT_TIMEOUT_MS
+            return result
+        if tcp_code == TCP_RESET:
+            result.elapsed = elapsed + draws.rtt_tcp_ms[slot]
+            return result
+        if draws.tcp_lost[slot] and draws.tcp_giveup[slot]:
+            result.elapsed = elapsed + CONNECT_TIMEOUT_MS
+            return result
+        elapsed = elapsed + draws.rtt_tcp_ms[slot]
+        if draws.tcp_lost[slot]:
+            elapsed = elapsed + draws.retransmit_ms[slot]
+        # HTTP stage.
+        if http_code == HTTP_DROP:
+            result.elapsed = elapsed + REQUEST_TIMEOUT_MS
+            return result
+        if http_code == HTTP_RESET:
+            result.elapsed = elapsed + draws.rtt_http_ms[slot]
+            return result
+        if http_code == HTTP_BLOCK:
+            result.completed = True
+            result.status = 200
+            result.has_response = True
+            result.is_block = True
+            result.elapsed = (
+                elapsed
+                + draws.rtt_http_ms[slot]
+                + BLOCK_PAGE_SIZE_BYTES / draws.bytes_per_ms[slot]
+            )
+            return result
+        server_reachable = urls.server_known[url_id] and not sinkholed
+        if http_code == HTTP_THROTTLE:
+            if not server_reachable:
+                result.elapsed = elapsed + REQUEST_TIMEOUT_MS
+                return result
+            exchange = (
+                draws.rtt_http_ms[slot]
+                + urls.size_bytes[url_id] / draws.bytes_per_ms[slot] * THROTTLE_FACTOR
+            )
+            if exchange >= REQUEST_TIMEOUT_MS:
+                result.elapsed = elapsed + REQUEST_TIMEOUT_MS
+                return result
+            result.completed = True
+            result.status = urls.status[url_id]
+            result.has_response = True
+            result.ok = urls.resp_ok[url_id]
+            result.elapsed = elapsed + exchange
+            return result
+        # PASS.
+        if not server_reachable:
+            result.elapsed = elapsed + REQUEST_TIMEOUT_MS
+            return result
+        if draws.http_lost[slot] and draws.http_giveup[slot]:
+            result.elapsed = elapsed + REQUEST_TIMEOUT_MS
+            return result
+        result.completed = True
+        result.status = urls.status[url_id]
+        result.has_response = True
+        result.ok = urls.resp_ok[url_id]
+        result.elapsed = (
+            elapsed
+            + draws.rtt_http_ms[slot]
+            + urls.size_bytes[url_id] / draws.bytes_per_ms[slot]
+        )
+        return result
+
+    # -- one whole visit ---------------------------------------------------
+    def execute(self, plan: BatchPlan) -> BatchOutcome:
+        deployment = self.deployment
+        urls = self.urls
+        program = plan.program
+        draws = plan.draws
+        world = deployment.world
+        origins = deployment.origins
+        records: list[tuple] = []
+        unreachable = 0
+        attempted = 0
+        failed = 0
+        supports_probe = CACHED_PROBE_THRESHOLD_MS
+        for visit, decision in enumerate(plan.decisions):
+            tasks = program.visit_tasks[visit]
+            if not tasks:
+                continue
+            attempted += 1
+            client = plan.clients[visit]
+            interceptors = world.interceptors_for(client)
+            cached_urls: set[int] = set()
+
+            def run_slot(slot: int) -> _SlotResult:
+                url_id = program.url_id[slot]
+                result = self._fetch(
+                    slot, url_id, interceptors, draws, cached_urls,
+                    program.use_cache[slot],
+                )
+                if (
+                    not result.from_cache
+                    and result.ok
+                    and not result.is_block
+                    and urls.cacheable[url_id]
+                ):
+                    cached_urls.add(url_id)
+                return result
+
+            delivered = False
+            for slot in program.coord_slots[visit]:
+                coord = run_slot(slot)
+                if coord.ok and not coord.is_block:
+                    delivered = True
+                    break
+            if not delivered:
+                failed += 1
+                continue
+            origin = origins[plan.origin_indices[visit]]
+            day = int(plan.days[visit])
+            browser_profile = client.browser
+            for entry in tasks:
+                task = entry.task
+                probe_time: float | None = None
+                if task.task_type is TaskType.INLINE_FRAME:
+                    page = run_slot(entry.main_slot)
+                    page_ok = page.from_cache or (
+                        page.ok and not page.is_block
+                        and urls.is_page[program.url_id[entry.main_slot]]
+                    )
+                    page_elapsed = page.elapsed
+                    if page_ok and not page.from_cache:
+                        for embedded_slot in entry.embedded_slots:
+                            embedded = run_slot(embedded_slot)
+                            page_elapsed = page_elapsed + embedded.elapsed
+                    probe = run_slot(entry.probe_slot)
+                    probe_type = urls.content_type[program.url_id[entry.probe_slot]]
+                    probe_renders = (
+                        probe.ok and not probe.is_block
+                        and probe_type is not None and probe_type.name == "IMAGE"
+                    )
+                    probe_error = (
+                        not probe.from_cache
+                        and browser_profile.reports_image_events
+                        and not probe_renders
+                    )
+                    probe_time = float(probe.elapsed)
+                    if probe_error:
+                        outcome_code = OUT_FAILURE
+                    elif probe.elapsed <= supports_probe:
+                        outcome_code = OUT_SUCCESS
+                    else:
+                        outcome_code = OUT_FAILURE
+                    elapsed_total = float(page_elapsed + probe.elapsed)
+                else:
+                    load = run_slot(entry.main_slot)
+                    outcome_code = _scalar_task_outcome(
+                        task.task_type, load, urls, program.url_id[entry.main_slot],
+                        browser_profile,
+                    )
+                    elapsed_total = float(load.elapsed)
+                submission = run_slot(entry.submit_slot)
+                if not (submission.ok and not submission.is_block):
+                    unreachable += 1
+                    continue
+                # Plain tuple in SubmissionRecord field order (hot path).
+                records.append((
+                    task.measurement_id, task.task_type, task.target_url,
+                    task.target_domain, _OUTCOMES[outcome_code], elapsed_total,
+                    probe_time, client.ip_address, client.country_code,
+                    client.isp, client.browser.family.value, origin.domain,
+                    day, origin.strips_referer, client.is_automated,
+                ))
+        return BatchOutcome(
+            records=records,
+            unreachable_submissions=unreachable,
+            deliveries_attempted=attempted,
+            deliveries_failed=failed,
+        )
+
+
+def _scalar_task_outcome(task_type: TaskType, load: _SlotResult, urls: UrlTable,
+                         url_id: int, browser_profile) -> int:
+    """Outcome of an explicit-feedback task, mirroring ``execute_task``."""
+    content_type = urls.content_type[url_id]
+    type_name = content_type.name if content_type is not None else ""
+    if task_type is TaskType.IMAGE:
+        if not browser_profile.reports_image_events:
+            return OUT_INCONCLUSIVE
+        if load.from_cache:
+            return OUT_SUCCESS
+        renders = load.ok and not load.is_block and type_name == "IMAGE"
+        return OUT_SUCCESS if renders else OUT_FAILURE
+    if task_type is TaskType.STYLE_SHEET:
+        if not browser_profile.supports_computed_style_check:
+            return OUT_INCONCLUSIVE
+        if load.from_cache:
+            return OUT_SUCCESS
+        applied = (
+            load.ok and not load.is_block and type_name == "STYLESHEET"
+            and urls.size_bytes[url_id] > 0
+        )
+        return OUT_SUCCESS if applied else OUT_FAILURE
+    if task_type is TaskType.SCRIPT:
+        if not browser_profile.supports_script_task:
+            return OUT_INCONCLUSIVE
+        if load.from_cache:
+            return OUT_SUCCESS
+        # Chrome fires onload for any completed HTTP 200 — block pages
+        # included (paper §4.3.2).
+        loaded = load.status == 200 and load.has_response
+        return OUT_SUCCESS if loaded else OUT_FAILURE
+    raise ValueError(f"not an explicit-feedback task type: {task_type!r}")
+
+
+# ----------------------------------------------------------------------
+# Vectorized executor
+# ----------------------------------------------------------------------
+class BatchExecutor:
+    """Evaluates a whole batch's fetch program with vectorized numpy passes.
+
+    Produces results identical to :class:`SerialExecutor`'s for the same
+    :class:`BatchPlan`: censorship verdicts come from the
+    :class:`VerdictCache` instead of per-fetch interceptor walks, elapsed
+    times accumulate with the same staged additions over the same derived
+    draws, and the handful of visits with within-visit cache interactions
+    (inline frames) fall back to a scalar walk over the precomputed slot
+    results.
+    """
+
+    def __init__(self, deployment, urls: UrlTable, verdicts: VerdictCache,
+                 submit_url_id: int) -> None:
+        self.deployment = deployment
+        self.urls = urls
+        self.verdicts = verdicts
+        self.submit_url_id = submit_url_id
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: BatchPlan) -> BatchOutcome:
+        program = plan.program
+        draws = plan.draws
+        urls = self.urls
+        batch = plan.client_batch
+        n = len(program)
+        attempted = sum(1 for tasks in program.visit_tasks if tasks)
+        if n == 0:
+            return BatchOutcome([], 0, attempted, attempted)
+
+        visit = np.asarray(program.visit, dtype=np.int64)
+        kind = np.asarray(program.kind, dtype=np.int8)
+        url_id = np.asarray(program.url_id, dtype=np.int64)
+
+        # --- Per-slot URL facts -----------------------------------------
+        status_table = np.asarray(urls.status, dtype=np.int64)
+        ok_table = np.asarray(urls.resp_ok, dtype=bool)
+        size_table = np.asarray(urls.size_bytes, dtype=np.float64)
+        known_table = np.asarray(urls.server_known, dtype=bool)
+        page_table = np.asarray(urls.is_page, dtype=bool)
+        image_table = np.asarray(
+            [c is not None and c.name == "IMAGE" for c in urls.content_type], dtype=bool
+        )
+        style_table = np.asarray(
+            [c is not None and c.name == "STYLESHEET" for c in urls.content_type], dtype=bool
+        )
+        slot_status = status_table[url_id]
+        slot_resp_ok = ok_table[url_id]
+        slot_size = size_table[url_id]
+        slot_known = known_table[url_id]
+
+        # --- Per-slot censorship verdicts -------------------------------
+        dns_code, tcp_code, http_code = self._slot_verdicts(batch, visit, url_id)
+
+        # --- The vectorized fetch pass (no within-visit caching) --------
+        completed = np.zeros(n, dtype=bool)
+        ok = np.zeros(n, dtype=bool)
+        status = np.zeros(n, dtype=np.int64)
+        has_response = np.zeros(n, dtype=bool)
+        is_block = np.zeros(n, dtype=bool)
+
+        elapsed = draws.rtt_dns_ms.copy()
+        elapsed[dns_code == DNS_TIMEOUT] += DNS_TIMEOUT_PENALTY_MS
+        alive = (dns_code == DNS_PASS) | (dns_code == DNS_INJECT)
+
+        tcp_drop = alive & (tcp_code == TCP_DROP)
+        elapsed[tcp_drop] += CONNECT_TIMEOUT_MS
+        tcp_reset = alive & (tcp_code == TCP_RESET)
+        elapsed[tcp_reset] += draws.rtt_tcp_ms[tcp_reset]
+        alive &= tcp_code == TCP_PASS
+        tcp_lost_giveup = alive & draws.tcp_lost & draws.tcp_giveup
+        elapsed[tcp_lost_giveup] += CONNECT_TIMEOUT_MS
+        alive &= ~tcp_lost_giveup
+        elapsed[alive] += draws.rtt_tcp_ms[alive]
+        retransmitted = alive & draws.tcp_lost
+        elapsed[retransmitted] += draws.retransmit_ms[retransmitted]
+
+        http_drop = alive & (http_code == HTTP_DROP)
+        elapsed[http_drop] += REQUEST_TIMEOUT_MS
+        http_reset = alive & (http_code == HTTP_RESET)
+        elapsed[http_reset] += draws.rtt_http_ms[http_reset]
+        blocked = alive & (http_code == HTTP_BLOCK)
+        # Two separate adds, mirroring the serial reference's left-to-right
+        # accumulation so the float results stay bit-identical.
+        elapsed[blocked] += draws.rtt_http_ms[blocked]
+        elapsed[blocked] += BLOCK_PAGE_SIZE_BYTES / draws.bytes_per_ms[blocked]
+        completed[blocked] = True
+        status[blocked] = 200
+        has_response[blocked] = True
+        is_block[blocked] = True
+
+        reachable = slot_known & (dns_code != DNS_INJECT)
+        throttled = alive & (http_code == HTTP_THROTTLE)
+        throttle_dead = throttled & ~reachable
+        elapsed[throttle_dead] += REQUEST_TIMEOUT_MS
+        throttle_live = throttled & reachable
+        exchange = np.zeros(n, dtype=np.float64)
+        exchange[throttle_live] = (
+            draws.rtt_http_ms[throttle_live]
+            + slot_size[throttle_live] / draws.bytes_per_ms[throttle_live] * THROTTLE_FACTOR
+        )
+        throttle_timeout = throttle_live & (exchange >= REQUEST_TIMEOUT_MS)
+        elapsed[throttle_timeout] += REQUEST_TIMEOUT_MS
+        throttle_done = throttle_live & ~throttle_timeout
+        elapsed[throttle_done] += exchange[throttle_done]
+        completed[throttle_done] = True
+        status[throttle_done] = slot_status[throttle_done]
+        has_response[throttle_done] = True
+        ok[throttle_done] = slot_resp_ok[throttle_done]
+
+        passing = alive & (http_code == HTTP_PASS)
+        pass_dead = passing & ~reachable
+        elapsed[pass_dead] += REQUEST_TIMEOUT_MS
+        pass_lost = passing & reachable & draws.http_lost & draws.http_giveup
+        elapsed[pass_lost] += REQUEST_TIMEOUT_MS
+        pass_done = passing & reachable & ~(draws.http_lost & draws.http_giveup)
+        elapsed[pass_done] += draws.rtt_http_ms[pass_done]
+        elapsed[pass_done] += slot_size[pass_done] / draws.bytes_per_ms[pass_done]
+        completed[pass_done] = True
+        status[pass_done] = slot_status[pass_done]
+        has_response[pass_done] = True
+        ok[pass_done] = slot_resp_ok[pass_done]
+
+        # --- Delivery ----------------------------------------------------
+        n_visits = len(batch)
+        delivered = np.zeros(n_visits, dtype=bool)
+        coord = kind == KIND_COORD
+        np.logical_or.at(delivered, visit[coord], ok[coord])
+        failed = attempted - int(
+            np.count_nonzero(delivered[[i for i, t in enumerate(program.visit_tasks) if t]])
+        )
+
+        # --- Vectorized outcomes for explicit-feedback target slots -----
+        task_code = np.asarray(program.task_code, dtype=np.int8)
+        reports_t, style_sup_t, script_sup_t = self._capability_arrays(batch)
+        reports = reports_t[visit]
+        style_sup = style_sup_t[visit]
+        script_sup = script_sup_t[visit]
+        outcome_code = np.full(n, -1, dtype=np.int8)
+        img = task_code == TASK_IMAGE
+        outcome_code[img] = np.where(
+            reports[img],
+            np.where(ok[img] & image_table[url_id[img]], OUT_SUCCESS, OUT_FAILURE),
+            OUT_INCONCLUSIVE,
+        )
+        sty = task_code == TASK_STYLE
+        outcome_code[sty] = np.where(
+            style_sup[sty],
+            np.where(
+                ok[sty] & style_table[url_id[sty]] & (slot_size[sty] > 0),
+                OUT_SUCCESS,
+                OUT_FAILURE,
+            ),
+            OUT_INCONCLUSIVE,
+        )
+        scr = task_code == TASK_SCRIPT
+        outcome_code[scr] = np.where(
+            script_sup[scr],
+            np.where((status[scr] == 200) & has_response[scr], OUT_SUCCESS, OUT_FAILURE),
+            OUT_INCONCLUSIVE,
+        )
+
+        submit_ok = ok  # a submission reaches the server iff its fetch succeeded
+
+        # --- Row assembly -------------------------------------------------
+        slot_cacheable = np.asarray(urls.cacheable, dtype=bool)[url_id]
+        records: list[tuple] = []
+        unreachable = 0
+        origins = self.deployment.origins
+        family_names = [p.family.value for p in batch.browser_profiles]
+        cache_visits = program.cache_visits
+        for index, entries in enumerate(program.visit_tasks):
+            if not entries or not delivered[index]:
+                continue
+            origin = origins[plan.origin_indices[index]]
+            day = int(plan.days[index])
+            country = batch.country_codes[index]
+            ip_address = batch.ip_addresses[index]
+            isp = batch.isp(index)
+            family = family_names[batch.browser_indices[index]]
+            automated = bool(batch.automated[index])
+            if index in cache_visits:
+                rows = self._cache_aware_rows(
+                    entries, batch, index, draws, elapsed, ok, status,
+                    has_response, is_block, url_id, slot_cacheable,
+                    image_table, page_table, submit_ok,
+                )
+            else:
+                rows = [
+                    (
+                        entry.task,
+                        int(outcome_code[entry.main_slot]),
+                        float(elapsed[entry.main_slot]),
+                        None,
+                        bool(submit_ok[entry.submit_slot]),
+                    )
+                    for entry in entries
+                ]
+            origin_domain = origin.domain
+            strips = origin.strips_referer
+            for task, code, elapsed_total, probe_time, sub_ok in rows:
+                if not sub_ok:
+                    unreachable += 1
+                    continue
+                # Plain tuple in SubmissionRecord field order (hot path).
+                records.append((
+                    task.measurement_id, task.task_type, task.target_url,
+                    task.target_domain, _OUTCOMES[code], elapsed_total,
+                    probe_time, ip_address, country, isp, family,
+                    origin_domain, day, strips, automated,
+                ))
+        return BatchOutcome(
+            records=records,
+            unreachable_submissions=unreachable,
+            deliveries_attempted=attempted,
+            deliveries_failed=failed,
+        )
+
+    # ------------------------------------------------------------------
+    def _slot_verdicts(self, batch, visit: np.ndarray, url_id: np.ndarray):
+        """(dns, tcp, http) code arrays for every slot via the verdict cache."""
+        country_ids: dict[str, int] = {}
+        codes: list[str] = []
+        per_visit = np.empty(len(batch), dtype=np.int64)
+        for index, code in enumerate(batch.country_codes):
+            cid = country_ids.get(code)
+            if cid is None:
+                cid = len(codes)
+                country_ids[code] = cid
+                codes.append(code)
+            per_visit[index] = cid
+        n_urls = len(self.urls)
+        keys = per_visit[visit] * n_urls + url_id
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        dns_u = np.empty(len(unique_keys), dtype=np.int8)
+        tcp_u = np.empty(len(unique_keys), dtype=np.int8)
+        http_u = np.empty(len(unique_keys), dtype=np.int8)
+        for index, key in enumerate(unique_keys):
+            country = codes[int(key) // n_urls]
+            dns_c, tcp_c, http_c = self.verdicts.verdict(country, int(key) % n_urls)
+            dns_u[index] = dns_c
+            tcp_u[index] = tcp_c
+            http_u[index] = http_c
+        return dns_u[inverse], tcp_u[inverse], http_u[inverse]
+
+    @staticmethod
+    def _capability_arrays(batch):
+        profiles = batch.browser_profiles
+        reports = np.asarray([p.reports_image_events for p in profiles], dtype=bool)
+        style = np.asarray([p.supports_computed_style_check for p in profiles], dtype=bool)
+        script = np.asarray([p.supports_script_task for p in profiles], dtype=bool)
+        idx = batch.browser_indices
+        return reports[idx], style[idx], script[idx]
+
+    # ------------------------------------------------------------------
+    def _cache_aware_rows(
+        self, entries, batch, index, draws, elapsed, ok, status,
+        has_response, is_block, url_id, slot_cacheable, image_table,
+        page_table, submit_ok,
+    ):
+        """Scalar walk for visits with within-visit cache interactions.
+
+        Uses the vectorized pass's per-slot results as the no-cache baseline
+        and overlays browser-cache hits in fetch order, exactly as the serial
+        reference does.
+        """
+        profile = batch.browser(index)
+        cached: set[int] = set()
+        rows = []
+
+        def slot_result(slot: int, use_cache: bool) -> _SlotResult:
+            result = _SlotResult()
+            uid = int(url_id[slot])
+            if use_cache and uid in cached:
+                result.from_cache = True
+                result.elapsed = draws.cached_render_ms[slot]
+                return result
+            result.completed = bool(has_response[slot]) or bool(ok[slot])
+            result.ok = bool(ok[slot])
+            result.status = int(status[slot])
+            result.has_response = bool(has_response[slot])
+            result.is_block = bool(is_block[slot])
+            result.elapsed = elapsed[slot]
+            if result.ok and not result.is_block and slot_cacheable[slot]:
+                cached.add(uid)
+            return result
+
+        urls = self.urls
+        for entry in entries:
+            task = entry.task
+            probe_time = None
+            if task.task_type is TaskType.INLINE_FRAME:
+                page = slot_result(entry.main_slot, True)
+                page_ok = page.from_cache or (
+                    page.ok and not page.is_block
+                    and bool(page_table[url_id[entry.main_slot]])
+                )
+                page_elapsed = page.elapsed
+                if page_ok and not page.from_cache:
+                    for embedded_slot in entry.embedded_slots:
+                        embedded = slot_result(embedded_slot, True)
+                        page_elapsed = page_elapsed + embedded.elapsed
+                probe = slot_result(entry.probe_slot, True)
+                probe_renders = (
+                    probe.ok and not probe.is_block
+                    and bool(image_table[url_id[entry.probe_slot]])
+                )
+                probe_error = (
+                    not probe.from_cache
+                    and profile.reports_image_events
+                    and not probe_renders
+                )
+                probe_time = float(probe.elapsed)
+                if probe_error:
+                    code = OUT_FAILURE
+                elif probe.elapsed <= CACHED_PROBE_THRESHOLD_MS:
+                    code = OUT_SUCCESS
+                else:
+                    code = OUT_FAILURE
+                elapsed_total = float(page_elapsed + probe.elapsed)
+            else:
+                load = slot_result(entry.main_slot, True)
+                code = _scalar_task_outcome(
+                    task.task_type, load, urls, int(url_id[entry.main_slot]), profile
+                )
+                elapsed_total = float(load.elapsed)
+            rows.append(
+                (task, code, elapsed_total, probe_time, bool(submit_ok[entry.submit_slot]))
+            )
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Campaign sweeps
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepRecord:
+    """Summary of one campaign configuration inside a sweep."""
+
+    seed: int
+    country_code: str | None
+    testbed_fraction: float
+    visits: int
+    measurements: int
+    countries: int
+    unreachable_submissions: int
+    detected_pairs: frozenset
+    duration_s: float
+
+    @property
+    def visits_per_second(self) -> float:
+        return self.visits / self.duration_s if self.duration_s > 0 else float("inf")
+
+
+class CampaignSweep:
+    """Runs many campaign configurations against one shared :class:`World`.
+
+    Building a world (sites, censors, population) dominates small-campaign
+    runtime, so sweeping seeds × pinned countries × testbed fractions reuses
+    a single world and restores its global interceptor list between
+    deployments (each deployment attaches its own testbed censors).
+    """
+
+    def __init__(self, world=None, base_config=None, mode: str = "batch") -> None:
+        from repro.core.pipeline import CampaignConfig
+        from repro.population.world import World
+
+        self.world = world or World()
+        self.base_config = base_config or CampaignConfig()
+        self.mode = mode
+
+    def run(
+        self,
+        seeds: Iterable[int] = (0,),
+        countries: Iterable[str | None] = (None,),
+        testbed_fractions: Iterable[float | None] = (None,),
+        visits: int | None = None,
+    ) -> list[SweepRecord]:
+        from repro.core.pipeline import EncoreDeployment
+
+        records = []
+        for seed in seeds:
+            for country in countries:
+                for fraction in testbed_fractions:
+                    config = replace(
+                        self.base_config,
+                        seed=seed,
+                        country_code=country,
+                        testbed_fraction=(
+                            fraction if fraction is not None
+                            else self.base_config.testbed_fraction
+                        ),
+                        visits=visits if visits is not None else self.base_config.visits,
+                    )
+                    interceptors_before = list(self.world.global_interceptors)
+                    started = time.perf_counter()
+                    try:
+                        deployment = EncoreDeployment(self.world, config)
+                        result = deployment.run_campaign(mode=self.mode)
+                    finally:
+                        self.world.global_interceptors[:] = interceptors_before
+                    report = result.detect()
+                    records.append(
+                        SweepRecord(
+                            seed=seed,
+                            country_code=country,
+                            testbed_fraction=config.testbed_fraction,
+                            visits=result.visits_simulated,
+                            measurements=len(result.measurements),
+                            countries=result.collection.distinct_countries(),
+                            unreachable_submissions=result.collection.unreachable_submissions,
+                            detected_pairs=frozenset(report.detected_pairs()),
+                            duration_s=time.perf_counter() - started,
+                        )
+                    )
+        return records

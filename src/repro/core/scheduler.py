@@ -10,13 +10,30 @@ trusting single reports.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.tasks import MeasurementTask, TaskType
 from repro.population.clients import Client
+
+
+def capability_key(browser_profile) -> tuple[bool, bool, bool]:
+    """The browser capabilities that determine which tasks are runnable.
+
+    Two clients with the same key see exactly the same runnable subset of
+    every pool, which is what lets :meth:`Scheduler.assign_batch` share
+    filtered task lists across a whole batch instead of rebuilding them per
+    client.
+    """
+    return (
+        browser_profile.javascript_enabled,
+        browser_profile.supports_script_task,
+        browser_profile.supports_computed_style_check,
+    )
 
 
 @dataclass
@@ -42,9 +59,14 @@ class TaskPool:
 
 @dataclass
 class ScheduleDecision:
-    """The tasks assigned to one client visit."""
+    """The tasks assigned to one client visit.
 
-    client: Client
+    ``client`` is ``None`` when the decision came from the array-based
+    :meth:`Scheduler.assign_batch` path, where visitors are columns of a
+    :class:`~repro.population.clients.ClientBatch` rather than objects.
+    """
+
+    client: Client | None
     tasks: list[MeasurementTask] = field(default_factory=list)
     pool_name: str | None = None
 
@@ -71,16 +93,40 @@ class Scheduler:
         self.assignment_counts: dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _cumulative_weights(pools: Sequence[TaskPool]) -> list[float]:
+        weights = [pool.weight for pool in pools]
+        total = sum(weights)
+        if total <= 0:
+            weights = [1.0] * len(pools)
+            total = float(len(pools))
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        return cumulative
+
     def _choose_pool(self, client: Client) -> TaskPool | None:
         candidates = [pool for pool in self.pools if pool.runnable_tasks(client)]
         if not candidates:
             return None
-        weights = np.array([pool.weight for pool in candidates], dtype=float)
-        if weights.sum() <= 0:
-            weights = np.ones(len(candidates))
-        weights = weights / weights.sum()
-        index = int(self._rng.choice(len(candidates), p=weights))
+        cumulative = self._cumulative_weights(candidates)
+        index = min(bisect_right(cumulative, self._rng.random()), len(candidates) - 1)
         return candidates[index]
+
+    def _pick_least_assigned(self, runnable: Sequence[MeasurementTask]) -> MeasurementTask:
+        """Pick among the least-assigned of ``runnable`` with a random tie-break.
+
+        Consumes exactly one uniform draw; :meth:`assign_batch` relies on this
+        layout to replicate :meth:`schedule`'s stream.
+        """
+        least = min(self.assignment_counts[t.measurement_id] for t in runnable)
+        pick_from = [t for t in runnable if self.assignment_counts[t.measurement_id] == least]
+        index = min(int(self._rng.random() * len(pick_from)), len(pick_from) - 1)
+        task = pick_from[index]
+        self.assignment_counts[task.measurement_id] += 1
+        return task
 
     def _choose_task(self, pool: TaskPool, client: Client) -> MeasurementTask | None:
         runnable = pool.runnable_tasks(client)
@@ -88,11 +134,7 @@ class Scheduler:
             return None
         # Prefer the least-assigned tasks so replication is spread evenly; tie
         # break randomly for diversity within a window.
-        least = min(self.assignment_counts[t.measurement_id] for t in runnable)
-        pick_from = [t for t in runnable if self.assignment_counts[t.measurement_id] == least]
-        task = pick_from[int(self._rng.integers(0, len(pick_from)))]
-        self.assignment_counts[task.measurement_id] += 1
-        return task
+        return self._pick_least_assigned(runnable)
 
     # ------------------------------------------------------------------
     def schedule(self, client: Client) -> ScheduleDecision:
@@ -115,6 +157,156 @@ class Scheduler:
             seen_ids.add(task.measurement_id)
             decision.tasks.append(task)
         return decision
+
+    # ------------------------------------------------------------------
+    class _Drain:
+        """Amortized least-assigned pick state for one (pool, runnable subset).
+
+        ``queue`` holds the tasks currently at the minimum assignment count,
+        in runnable order — exactly the ``pick_from`` list the reference scan
+        would rebuild.  Removing the picked task keeps it valid; it is
+        rescanned only when it empties or when a *different* runnable subset
+        has picked from the same pool in between (``version`` mismatch),
+        which is the only way the subset's minimum can change underneath it.
+        """
+
+        __slots__ = ("queue", "version")
+
+        def __init__(self) -> None:
+            self.queue: list = []
+            self.version = -1
+
+    def _class_candidates(self, by_class: dict, drains: dict, pool_versions: dict,
+                          key: tuple, browser_profile):
+        """Cached (candidate pools, runnable lists, cumulative weights) per class."""
+        entry = by_class.get(key)
+        if entry is None:
+            candidates = []
+            for pool in self.pools:
+                runnable = [t for t in pool.tasks if t.runnable_by(browser_profile)]
+                if runnable:
+                    # Parallel (task, measurement id) pairs save an attribute
+                    # lookup on every least-assigned scan; the drain is shared
+                    # by every capability class with the same runnable subset.
+                    pairs = list(zip(runnable, [t.measurement_id for t in runnable]))
+                    drain_key = (id(pool), tuple(id(t) for t in runnable))
+                    drain = drains.get(drain_key)
+                    if drain is None:
+                        drain = self._Drain()
+                        drains[drain_key] = drain
+                    candidates.append((pool, pairs, drain))
+                    pool_versions.setdefault(id(pool), 0)
+            cumulative = self._cumulative_weights([pool for pool, _, _ in candidates])
+            entry = (candidates, cumulative)
+            by_class[key] = entry
+        return entry
+
+    def _assign_one(self, decision: ScheduleDecision, candidates, cumulative,
+                    pool_versions: dict, multiple_tasks: bool) -> None:
+        """Pick a pool and its task(s) for one eligible visitor.
+
+        Consumes exactly the draws :meth:`schedule` would: one uniform for
+        the pool, one per task pick (duplicates included).
+        """
+        rng_uniform = self._rng.random
+        counts = self.assignment_counts
+        index = min(bisect_right(cumulative, rng_uniform()), len(candidates) - 1)
+        pool, runnable, drain = candidates[index]
+        pool_key = id(pool)
+        decision.pool_name = pool.name
+        task_budget = self.MAX_TASKS_PER_VISIT if multiple_tasks else 1
+        seen_ids: set[str] = set()
+        for _ in range(task_budget):
+            version = pool_versions[pool_key]
+            pick_from = drain.queue
+            if drain.version != version or not pick_from:
+                # Rescan: collect the least-assigned tasks in runnable order
+                # (the same pick_from list the reference scan would build).
+                least = None
+                pick_from = []
+                for pair in runnable:
+                    count = counts[pair[1]]
+                    if least is None or count < least:
+                        least = count
+                        pick_from = [pair]
+                    elif count == least:
+                        pick_from.append(pair)
+                drain.queue = pick_from
+            pick = min(int(rng_uniform() * len(pick_from)), len(pick_from) - 1)
+            task, measurement_id = pick_from.pop(pick)
+            counts[measurement_id] += 1
+            pool_versions[pool_key] = drain.version = version + 1
+            if measurement_id in seen_ids:
+                break
+            seen_ids.add(measurement_id)
+            decision.tasks.append(task)
+
+    def assign_batch(self, clients) -> list[ScheduleDecision]:
+        """Schedule a whole batch of visiting clients.
+
+        Produces exactly the same decisions (and consumes exactly the same
+        RNG stream) as calling :meth:`schedule` once per client in order, but
+        groups clients by browser capability class so each pool's runnable
+        task list is filtered once per class instead of once per client.
+        The equivalence is pinned by ``tests/core/test_runner_equivalence.py``.
+
+        ``clients`` is either a sequence of :class:`Client` objects or a
+        :class:`~repro.population.clients.ClientBatch`, whose column arrays
+        avoid materializing per-visitor objects entirely.
+        """
+        from repro.population.clients import ClientBatch
+
+        by_class: dict[tuple, tuple] = {}
+        #: (id(pool), runnable-subset signature) -> _Drain
+        drains: dict[tuple, Scheduler._Drain] = {}
+        #: id(pool) -> number of picks made from that pool this call
+        pool_versions: dict[int, int] = {}
+        min_dwell = self.MIN_DWELL_FOR_ONE_TASK_S
+        multi_dwell = self.DWELL_FOR_MULTIPLE_TASKS_S
+        decisions: list[ScheduleDecision] = []
+        if isinstance(clients, ClientBatch):
+            profiles = clients.browser_profiles
+            keys = [capability_key(p) for p in profiles]
+            dwell = clients.dwell_times_s.tolist()
+            automated = clients.automated.tolist()
+            browser_idx = clients.browser_indices.tolist()
+            js_enabled = [p.javascript_enabled for p in profiles]
+            for index in range(len(browser_idx)):
+                decision = ScheduleDecision(client=None)
+                decisions.append(decision)
+                profile_idx = browser_idx[index]
+                # client.can_run_task and the 3 s dwell floor, from columns.
+                if (
+                    automated[index]
+                    or not js_enabled[profile_idx]
+                    or dwell[index] < min_dwell
+                ):
+                    continue
+                candidates, cumulative = self._class_candidates(
+                    by_class, drains, pool_versions, keys[profile_idx], profiles[profile_idx]
+                )
+                if not candidates:
+                    continue
+                self._assign_one(
+                    decision, candidates, cumulative, pool_versions,
+                    dwell[index] >= multi_dwell,
+                )
+            return decisions
+        for client in clients:
+            decision = ScheduleDecision(client=client)
+            decisions.append(decision)
+            if not client.can_run_task or client.dwell_time_s < min_dwell:
+                continue
+            candidates, cumulative = self._class_candidates(
+                by_class, drains, pool_versions, capability_key(client.browser), client.browser
+            )
+            if not candidates:
+                continue
+            self._assign_one(
+                decision, candidates, cumulative, pool_versions,
+                client.dwell_time_s >= multi_dwell,
+            )
+        return decisions
 
     # ------------------------------------------------------------------
     def replication_report(self) -> dict[str, int]:

@@ -38,6 +38,9 @@ class DNSResult:
 #: Address returned by injecting censors; no real server listens there.
 INJECTED_SINKHOLE_IP = "203.0.113.113"
 
+#: Extra wait (ms) a client spends before declaring a DNS query timed out.
+DNS_TIMEOUT_PENALTY_MS = 5000.0
+
 
 class DNSResolver:
     """Resolves hostnames against the simulated universe's records."""

@@ -44,6 +44,9 @@ REQUEST_TIMEOUT_MS = 30000.0
 #: Throughput multiplier applied by throttling censors.
 THROTTLE_FACTOR = 40.0
 
+#: Probability that a request disrupted by packet loss times out entirely.
+LOSS_GIVEUP_PROBABILITY = 0.2
+
 
 class HTTPExchangeModel:
     """Performs an HTTP exchange over an established connection."""
@@ -91,7 +94,7 @@ class HTTPExchangeModel:
             # DNS-injected sinkhole); the request eventually times out.
             return HTTPExchangeResult(False, HTTPAction.PASS, None, self.timeout_ms)
 
-        if link.packet_lost(rng) and rng.random() < 0.2:
+        if link.packet_lost(rng) and rng.random() < LOSS_GIVEUP_PROBABILITY:
             return HTTPExchangeResult(False, HTTPAction.PASS, None, self.timeout_ms)
 
         response = server.handle(url)

@@ -14,6 +14,26 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def exponential_from_uniform(mean, u):
+    """Inverse-CDF exponential sample(s) with the given ``mean``.
+
+    Accepts scalars or numpy arrays; the batched campaign runner uses this to
+    derive jitter for thousands of fetches from pre-drawn uniforms with the
+    exact same formula its scalar reference path uses.
+    """
+    return -mean * np.log1p(-u)
+
+
+def rtt_from_uniform(rtt_ms, jitter_ms, u):
+    """RTT sample(s) matching :meth:`LinkQuality.sample_rtt_ms`'s model.
+
+    ``rtt + Exp(jitter)`` clamped to at least 1 ms, computed from a uniform
+    draw so scalar and vectorized callers produce bit-identical values.
+    """
+    jitter = np.where(jitter_ms > 0, exponential_from_uniform(jitter_ms, u), 0.0)
+    return np.maximum(1.0, rtt_ms + jitter)
+
+
 @dataclass(frozen=True)
 class LinkQuality:
     """Network quality of a client's access link."""

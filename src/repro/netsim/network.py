@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.netsim.dns import DNSAction, DNSResolver, INJECTED_SINKHOLE_IP
+from repro.netsim.dns import (
+    DNS_TIMEOUT_PENALTY_MS,
+    DNSAction,
+    DNSResolver,
+    INJECTED_SINKHOLE_IP,
+)
 from repro.netsim.errors import FailureKind, FailureStage, FetchOutcome
 from repro.netsim.http import HTTPAction, HTTPExchangeModel
 from repro.netsim.latency import LinkQuality
@@ -56,7 +61,7 @@ class Network:
                 parsed,
                 FailureStage.DNS,
                 FailureKind.DNS_TIMEOUT,
-                elapsed + 5000.0,
+                elapsed + DNS_TIMEOUT_PENALTY_MS,
                 censor_interfered=True,
             )
         if dns_result.action is DNSAction.NXDOMAIN:

@@ -37,6 +37,14 @@ class TCPConnectResult:
 #: How long a client waits before declaring a silently-dropped connection dead.
 CONNECT_TIMEOUT_MS = 21000.0
 
+#: Probability that a handshake disrupted by packet loss gives up entirely
+#: rather than retransmitting.
+LOSS_GIVEUP_PROBABILITY = 0.3
+
+#: Upper bound (ms) of the uniformly-distributed retransmission penalty added
+#: to a handshake that recovered from packet loss.
+RETRANSMIT_PENALTY_MAX_MS = 3000.0
+
 
 class TCPConnectionModel:
     """Models the three-way handshake over a client link."""
@@ -68,9 +76,9 @@ class TCPConnectionModel:
         # Transient loss during the handshake: retransmissions add latency and
         # occasionally the attempt gives up entirely.
         if link.packet_lost(rng):
-            if rng.random() < 0.3:
+            if rng.random() < LOSS_GIVEUP_PROBABILITY:
                 return TCPConnectResult(False, TCPAction.PASS, self.timeout_ms)
-            retransmit_penalty = 3000.0 * float(rng.random())
+            retransmit_penalty = RETRANSMIT_PENALTY_MAX_MS * float(rng.random())
             return TCPConnectResult(
                 True, TCPAction.PASS, link.sample_rtt_ms(rng) + retransmit_penalty
             )

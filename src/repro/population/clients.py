@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.browser.profiles import BrowserProfile, sample_profile
+from repro.browser.profiles import MARKET_SHARE, BrowserProfile, sample_profile
 from repro.datasets.countries import CountryProfile, all_countries, visit_share_distribution
 from repro.netsim.latency import LinkQuality
 from repro.population.geoip import GeoIPDatabase
@@ -51,6 +51,66 @@ class Client:
         return self.can_run_task and self.dwell_time_s >= 60.0
 
 
+@dataclass
+class ClientBatch:
+    """A vectorized batch of sampled clients.
+
+    Column arrays describe every visitor of a batch at once (what the batched
+    campaign runner consumes); :meth:`client` materializes an individual
+    :class:`Client` on demand with exactly the same attributes the scalar
+    sampling path would have produced from the same draws.
+    """
+
+    client_ids: np.ndarray
+    country_codes: list[str]
+    ip_addresses: list[str]
+    isp_indices: np.ndarray
+    browser_profiles: list[BrowserProfile]
+    browser_indices: np.ndarray
+    links: list[LinkQuality]
+    link_indices: np.ndarray
+    dwell_times_s: np.ndarray
+    automated: np.ndarray
+    #: Per-visit link parameters, used by the vectorized fetch engine.
+    rtt_ms: np.ndarray = field(default=None)
+    jitter_ms: np.ndarray = field(default=None)
+    loss_rate: np.ndarray = field(default=None)
+    bandwidth_kbps: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms is None:
+            self.rtt_ms = np.array([l.rtt_ms for l in self.links], dtype=float)[self.link_indices]
+            self.jitter_ms = np.array([l.jitter_ms for l in self.links], dtype=float)[self.link_indices]
+            self.loss_rate = np.array([l.loss_rate for l in self.links], dtype=float)[self.link_indices]
+            self.bandwidth_kbps = np.array(
+                [l.bandwidth_kbps for l in self.links], dtype=float
+            )[self.link_indices]
+
+    def __len__(self) -> int:
+        return len(self.ip_addresses)
+
+    def isp(self, index: int) -> str:
+        return f"{self.country_codes[index].lower()}-isp-{self.isp_indices[index]}"
+
+    def browser(self, index: int) -> BrowserProfile:
+        return self.browser_profiles[self.browser_indices[index]]
+
+    def client(self, index: int) -> Client:
+        return Client(
+            client_id=int(self.client_ids[index]),
+            ip_address=self.ip_addresses[index],
+            country_code=self.country_codes[index],
+            isp=self.isp(index),
+            browser=self.browser(index),
+            link=self.links[self.link_indices[index]],
+            dwell_time_s=float(self.dwell_times_s[index]),
+            is_automated=bool(self.automated[index]),
+        )
+
+    def clients(self) -> list[Client]:
+        return [self.client(i) for i in range(len(self))]
+
+
 class ClientFactory:
     """Samples clients according to the country / browser / link models."""
 
@@ -67,8 +127,39 @@ class ClientFactory:
         self.geoip = geoip or GeoIPDatabase()
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         self._ids = itertools.count(1)
+        #: Spawned lazily on the first sample_batch call (one per field).
+        self._field_rngs: list[np.random.Generator] | None = None
         self._codes, self._shares = visit_share_distribution()
         self._profiles: dict[str, CountryProfile] = {c.code: c for c in all_countries()}
+        # --- Lookup tables for vectorized batch sampling -------------------
+        self._shares_array = np.asarray(self._shares, dtype=float)
+        self._code_index = {code: i for i, code in enumerate(self._codes)}
+        self._browser_families = list(MARKET_SHARE)
+        browser_shares = np.array([MARKET_SHARE[f] for f in self._browser_families], dtype=float)
+        self._browser_shares = browser_shares / browser_shares.sum()
+        self._browser_profiles = [BrowserProfile.for_family(f) for f in self._browser_families]
+        # Distinct link mixes (there are only a handful across all countries):
+        # mix tuple -> (mix id, preset index offsets, cumulative probabilities).
+        self._link_presets: list[LinkQuality] = []
+        self._mix_ids: dict[tuple, int] = {}
+        self._mix_offsets: list[np.ndarray] = []
+        self._mix_cdfs: list[np.ndarray] = []
+        self._country_mix_id = np.empty(len(self._codes), dtype=np.int64)
+        for i, code in enumerate(self._codes):
+            mix = self._profiles[code].link_mix
+            mix_id = self._mix_ids.get(mix)
+            if mix_id is None:
+                mix_id = len(self._mix_ids)
+                self._mix_ids[mix] = mix_id
+                presets = self._profiles[code].link_presets()
+                offsets = []
+                for preset, _ in presets:
+                    offsets.append(len(self._link_presets))
+                    self._link_presets.append(preset)
+                probs = np.array([p for _, p in presets], dtype=float)
+                self._mix_offsets.append(np.asarray(offsets, dtype=np.int64))
+                self._mix_cdfs.append(np.cumsum(probs / probs.sum()))
+            self._country_mix_id[i] = mix_id
 
     # ------------------------------------------------------------------
     def _sample_country(self) -> CountryProfile:
@@ -117,3 +208,80 @@ class ClientFactory:
     def sample_clients(self, count: int, country_code: str | None = None) -> list[Client]:
         """Sample ``count`` visitors."""
         return [self.sample_client(country_code) for _ in range(count)]
+
+    @property
+    def batch_sampling_started(self) -> bool:
+        """Whether any batch has been sampled (its field streams consumed)."""
+        return self._field_rngs is not None
+
+    # ------------------------------------------------------------------
+    def sample_batch(self, count: int, country_code: str | None = None) -> ClientBatch:
+        """Sample ``count`` visitors at once with vectorized draws.
+
+        Field distributions are identical to :meth:`sample_client`'s (same
+        country shares, link mixes, dwell mixture, browser market shares, and
+        automated-traffic fraction); each field is drawn as one bulk RNG call
+        instead of ``count`` scalar calls, which is where the batched
+        campaign runner gets most of its sampling speedup.
+        """
+        if self._field_rngs is None:
+            # One independent stream per sampled field.  Consuming each
+            # field's stream sequentially makes a campaign's client sequence
+            # a function of the seed alone, not of how visits are chunked
+            # into batches (checkpoint/resume relies on this).
+            self._field_rngs = self._rng.spawn(7)
+        (country_rng, isp_rng, browser_rng, link_rng,
+         roll_rng, span_rng, automated_rng) = self._field_rngs
+        if country_code is not None:
+            country_idx = np.full(count, self._code_index[country_code], dtype=np.int64)
+        else:
+            country_idx = country_rng.choice(len(self._codes), size=count, p=self._shares_array)
+        codes = [self._codes[i] for i in country_idx]
+
+        # IPs: allocate per country in visit order, advancing the same GeoIP
+        # counters the scalar path uses.
+        ips: list[str | None] = [None] * count
+        for code_id in np.unique(country_idx):
+            where = np.flatnonzero(country_idx == code_id)
+            allocated = self.geoip.allocate_ips(self._codes[code_id], len(where))
+            for position, address in zip(where, allocated):
+                ips[position] = address
+
+        isp_idx = isp_rng.integers(1, 5, size=count)
+        browser_idx = browser_rng.choice(
+            len(self._browser_families), size=count, p=self._browser_shares
+        )
+
+        # Link quality: group by link mix and pick within each mix's CDF.
+        mix_ids = self._country_mix_id[country_idx]
+        link_u = link_rng.random(count)
+        link_idx = np.empty(count, dtype=np.int64)
+        for mix_id in np.unique(mix_ids):
+            where = mix_ids == mix_id
+            cdf = self._mix_cdfs[mix_id]
+            picks = np.minimum(np.searchsorted(cdf, link_u[where], side="right"), len(cdf) - 1)
+            link_idx[where] = self._mix_offsets[mix_id][picks]
+
+        # Dwell times: the same three-component mixture as _sample_dwell_time_s.
+        rolls = roll_rng.random(count)
+        span_u = span_rng.random(count)
+        dwell = np.select(
+            [rolls < 0.55, rolls < 0.65],
+            [0.5 + span_u * (10.0 - 0.5), 10.0 + span_u * (60.0 - 10.0)],
+            default=60.0 + span_u * (900.0 - 60.0),
+        )
+        automated = automated_rng.random(count) < self.AUTOMATED_FRACTION
+        ids = np.fromiter(itertools.islice(self._ids, count), dtype=np.int64, count=count)
+
+        return ClientBatch(
+            client_ids=ids,
+            country_codes=codes,
+            ip_addresses=ips,
+            isp_indices=isp_idx,
+            browser_profiles=self._browser_profiles,
+            browser_indices=browser_idx,
+            links=self._link_presets,
+            link_indices=link_idx,
+            dwell_times_s=dwell,
+            automated=automated,
+        )

@@ -22,6 +22,8 @@ class GeoIPDatabase:
     BLOCKS_PER_COUNTRY = 4
 
     def __init__(self) -> None:
+        #: "a.b" prefix -> country, filled on first lookup per block.
+        self._lookup_cache: dict[str, str] = {}
         self._block_to_country: dict[tuple[int, int], str] = {}
         self._country_to_blocks: dict[str, list[tuple[int, int]]] = {}
         self._next_host: dict[str, int] = {}
@@ -51,8 +53,30 @@ class GeoIPDatabase:
         offset = host % 65536
         return f"{block[0]}.{block[1]}.{offset // 256}.{offset % 256}"
 
+    def allocate_ips(self, country_code: str, count: int) -> list[str]:
+        """Allocate ``count`` fresh IP addresses inside ``country_code``'s space.
+
+        Equivalent to ``count`` calls to :meth:`allocate_ip`, advancing the
+        same per-country counter; used by the batched campaign runner.
+        """
+        blocks = self._country_to_blocks.get(country_code)
+        if not blocks:
+            raise KeyError(f"unknown country {country_code!r}")
+        start = self._next_host[country_code]
+        self._next_host[country_code] = start + count
+        addresses = []
+        for host in range(start, start + count):
+            block = blocks[host // 65536 % len(blocks)]
+            offset = host % 65536
+            addresses.append(f"{block[0]}.{block[1]}.{offset // 256}.{offset % 256}")
+        return addresses
+
     def lookup(self, ip_address: str) -> str | None:
         """Country code for ``ip_address``, or None for unknown space."""
+        prefix = ip_address.rsplit(".", 2)[0]
+        cached = self._lookup_cache.get(prefix)
+        if cached is not None:
+            return cached
         parts = ip_address.split(".")
         if len(parts) != 4:
             return None
@@ -60,7 +84,10 @@ class GeoIPDatabase:
             key = (int(parts[0]), int(parts[1]))
         except ValueError:
             return None
-        return self._block_to_country.get(key)
+        country = self._block_to_country.get(key)
+        if country is not None:
+            self._lookup_cache[prefix] = country
+        return country
 
     def countries(self) -> list[str]:
         return list(self._country_to_blocks)

@@ -133,7 +133,11 @@ class World:
 
     def interceptors_for(self, client: Client) -> tuple:
         """The interceptors on ``client``'s path: country censors + globals."""
-        country = self.censorship_for(client.country_code)
+        return self.interceptors_for_country(client.country_code)
+
+    def interceptors_for_country(self, country_code: str) -> tuple:
+        """The interceptors on the path of any client in ``country_code``."""
+        country = self.censorship_for(country_code)
         return tuple(country.interceptors()) + tuple(self.global_interceptors)
 
     def add_global_interceptor(self, interceptor) -> None:
@@ -145,6 +149,10 @@ class World:
     # ------------------------------------------------------------------
     def sample_client(self, country_code: str | None = None) -> Client:
         return self.clients.sample_client(country_code)
+
+    def sample_client_batch(self, count: int, country_code: str | None = None):
+        """Sample a vectorized :class:`~repro.population.clients.ClientBatch`."""
+        return self.clients.sample_batch(count, country_code)
 
     def make_browser(self, client: Client, now_s: float = 0.0) -> Browser:
         """Build the simulated browser a client uses for its visit."""

@@ -1,0 +1,265 @@
+"""Serial vs. batch campaign equivalence (the runner's core guarantee).
+
+``mode="serial"`` and ``mode="batch"`` share one plan (sampling, scheduling,
+pre-drawn randomness) but execute it with completely different code — a
+scalar per-visit walk over interceptor objects versus vectorized numpy
+passes over cached verdicts.  For a fixed seed the two must produce
+*identical* campaigns; these tests pin that, plus the scheduler- and
+resume-level equivalences it is built from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CampaignConfig, EncoreDeployment
+from repro.core.runner import BatchProgress, CampaignRunner, CampaignSweep
+from repro.core.scheduler import Scheduler, TaskPool
+from repro.core.tasks import MeasurementTask, TaskType
+from repro.population.world import World, WorldConfig
+
+
+def small_deployment(mode, include_testbed=False, seed=11, visits=900, country=None):
+    world = World(
+        WorldConfig(seed=7, target_list_total=30, target_list_online=24, origin_site_count=4)
+    )
+    config = CampaignConfig(
+        visits=visits,
+        include_testbed=include_testbed,
+        testbed_fraction=0.3,
+        seed=seed,
+        mode=mode,
+        country_code=country,
+    )
+    return EncoreDeployment(world, config)
+
+
+def measurement_key(result):
+    """Everything that identifies a measurement, minus the uuid4 task ids
+    (which legitimately differ between two independently built deployments)."""
+    return [
+        (
+            str(m.target_url), m.task_type.value, m.country_code,
+            m.outcome.value, m.elapsed_ms, m.probe_time_ms, m.origin_domain,
+            m.day, m.client_ip, m.isp, m.browser_family, m.is_automated,
+        )
+        for m in result.measurements
+    ]
+
+
+class TestSerialBatchEquivalence:
+    @pytest.mark.parametrize("include_testbed", [False, True])
+    def test_identical_measurements_and_counts(self, include_testbed):
+        serial_dep = small_deployment("serial", include_testbed)
+        batch_dep = small_deployment("batch", include_testbed)
+        serial = serial_dep.run_campaign()
+        batch = batch_dep.run_campaign()
+
+        assert serial.mode == "serial" and batch.mode == "batch"
+        assert len(serial.measurements) == len(batch.measurements)
+        assert serial.task_executions == batch.task_executions
+        assert measurement_key(serial) == measurement_key(batch)
+        assert (
+            serial.collection.unreachable_submissions
+            == batch.collection.unreachable_submissions
+        )
+        assert (
+            serial_dep.coordination.delivery_failure_rate
+            == batch_dep.coordination.delivery_failure_rate
+        )
+
+    @pytest.mark.parametrize("include_testbed", [False, True])
+    def test_identical_detection_verdicts(self, include_testbed):
+        serial = small_deployment("serial", include_testbed, seed=23).run_campaign()
+        batch = small_deployment("batch", include_testbed, seed=23).run_campaign()
+        assert serial.detect().detected_pairs() == batch.detect().detected_pairs()
+        assert serial.collection.success_counts() == batch.collection.success_counts()
+
+    def test_equivalence_with_pinned_country(self):
+        serial = small_deployment("serial", country="CN", visits=400).run_campaign()
+        batch = small_deployment("batch", country="CN", visits=400).run_campaign()
+        assert measurement_key(serial) == measurement_key(batch)
+        assert all(m.country_code == "CN" for m in batch.measurements)
+
+    def test_batch_size_does_not_change_results(self):
+        coarse = small_deployment("batch").run_campaign(batch_size=1000)
+        fine = small_deployment("batch").run_campaign(batch_size=137)
+        assert measurement_key(coarse) == measurement_key(fine)
+
+
+class TestSchedulerBatchEquivalence:
+    def make_pools(self):
+        targets = [
+            MeasurementTask.new(TaskType.IMAGE, f"http://site-{i}.org/favicon.ico")
+            for i in range(5)
+        ]
+        testbed = [
+            MeasurementTask.new(TaskType.IMAGE, "http://t.net/favicon.ico"),
+            MeasurementTask.new(TaskType.STYLE_SHEET, "http://t.net/a.css"),
+            MeasurementTask.new(TaskType.SCRIPT, "http://t.net/a.js"),
+            MeasurementTask.new(
+                TaskType.INLINE_FRAME, "http://t.net/index.html",
+                probe_image_url="http://t.net/favicon.ico",
+            ),
+        ]
+        return [
+            TaskPool("targets", targets, weight=0.7),
+            TaskPool("testbed", testbed, weight=0.3),
+        ]
+
+    def test_assign_batch_matches_sequential_schedule(self):
+        world = World(WorldConfig(seed=3, target_list_total=12, target_list_online=10))
+        batch = world.sample_client_batch(600)
+        clients = batch.clients()
+        pools = self.make_pools()
+        reference = Scheduler(pools, rng=np.random.default_rng(5))
+        batched = Scheduler(pools, rng=np.random.default_rng(5))
+
+        expected = [reference.schedule(c) for c in clients]
+        actual = batched.assign_batch(clients)
+
+        assert [
+            ([t.measurement_id for t in d.tasks], d.pool_name) for d in expected
+        ] == [
+            ([t.measurement_id for t in d.tasks], d.pool_name) for d in actual
+        ]
+        assert reference.assignment_counts == batched.assignment_counts
+        # Both consumed the exact same RNG stream.
+        assert reference._rng.random() == batched._rng.random()
+
+    def test_assign_batch_accepts_client_batch_columns(self):
+        world = World(WorldConfig(seed=3, target_list_total=12, target_list_online=10))
+        batch = world.sample_client_batch(600)
+        pools = self.make_pools()
+        from_objects = Scheduler(pools, rng=np.random.default_rng(9))
+        from_columns = Scheduler(pools, rng=np.random.default_rng(9))
+
+        expected = from_objects.assign_batch(batch.clients())
+        actual = from_columns.assign_batch(batch)
+
+        assert [
+            ([t.measurement_id for t in d.tasks], d.pool_name) for d in expected
+        ] == [
+            ([t.measurement_id for t in d.tasks], d.pool_name) for d in actual
+        ]
+        assert from_objects.assignment_counts == from_columns.assignment_counts
+
+
+class TestClientBatchEquivalence:
+    def test_materialized_clients_match_columns(self):
+        world = World(WorldConfig(seed=19, target_list_total=12, target_list_online=10))
+        batch = world.sample_client_batch(200)
+        for index in (0, 7, 131, 199):
+            client = batch.client(index)
+            assert client.country_code == batch.country_codes[index]
+            assert client.ip_address == batch.ip_addresses[index]
+            assert client.isp == batch.isp(index)
+            assert client.browser is batch.browser(index)
+            assert client.dwell_time_s == batch.dwell_times_s[index]
+            assert client.is_automated == bool(batch.automated[index])
+            assert client.link.rtt_ms == batch.rtt_ms[index]
+            assert client.link.loss_rate == batch.loss_rate[index]
+
+    def test_pinned_country_batch(self):
+        world = World(WorldConfig(seed=19, target_list_total=12, target_list_online=10))
+        batch = world.sample_client_batch(50, country_code="IR")
+        assert set(batch.country_codes) == {"IR"}
+        assert all(world.geoip.lookup(ip) == "IR" for ip in batch.ip_addresses)
+
+
+class TestCheckpointResume:
+    def test_progress_hook_sees_every_batch(self):
+        seen = []
+        deployment = small_deployment("batch", visits=500)
+        deployment.run_campaign(batch_size=100, progress=seen.append)
+        assert len(seen) == 5
+        assert all(isinstance(p, BatchProgress) for p in seen)
+        assert [p.batch_index for p in seen] == list(range(5))
+        assert seen[-1].visits_completed == 500
+        assert seen[-1].measurements_total == len(deployment.collection)
+
+    def test_resume_reproduces_remaining_batches(self):
+        full = small_deployment("batch", visits=600)
+        full_result = full.run_campaign(batch_size=200)
+        full_keys = measurement_key(full_result)
+
+        # Count how many measurements the first two batches contributed.
+        per_batch = []
+        counting = small_deployment("batch", visits=600)
+        counting.run_campaign(
+            batch_size=200, progress=lambda p: per_batch.append(p.measurements_added)
+        )
+        done_before_resume = sum(per_batch[:2])
+
+        resumed = small_deployment("batch", visits=600)
+        resumed_result = resumed.run_campaign(batch_size=200, resume_from_batch=2)
+        assert measurement_key(resumed_result) == full_keys[done_before_resume:]
+
+    def test_resume_is_mode_agnostic(self):
+        serial = small_deployment("serial", visits=400)
+        serial_tail = serial.run_campaign(batch_size=200, resume_from_batch=1)
+        batch = small_deployment("batch", visits=400)
+        batch_tail = batch.run_campaign(batch_size=200, resume_from_batch=1)
+        assert measurement_key(serial_tail) == measurement_key(batch_tail)
+
+    def test_invalid_runner_arguments_rejected(self):
+        deployment = small_deployment("batch", visits=100)
+        with pytest.raises(ValueError):
+            CampaignRunner(deployment, mode="warp")
+        with pytest.raises(ValueError):
+            CampaignRunner(deployment, batch_size=0)
+        with pytest.raises(ValueError):
+            deployment.run_campaign(batch_size=0)
+
+    def test_resume_on_stale_state_is_rejected(self):
+        # Replay only matches the interrupted run from a fresh World +
+        # deployment; resuming on advanced RNG streams must fail loudly
+        # instead of silently appending a different campaign.
+        deployment = small_deployment("batch", visits=400)
+        deployment.run_campaign(batch_size=200)
+        with pytest.raises(ValueError, match="freshly built"):
+            deployment.run_campaign(batch_size=200, resume_from_batch=1)
+
+    def test_resume_after_legacy_campaign_is_rejected(self):
+        # A legacy campaign advances shared state (GeoIP counters, scheduler
+        # RNG) without touching the batch-sampling streams; the staleness
+        # guard must still see it.
+        deployment = small_deployment("batch", visits=200)
+        deployment.run_campaign(visits=50, mode="legacy")
+        with pytest.raises(ValueError, match="freshly built"):
+            deployment.run_campaign(batch_size=100, resume_from_batch=1)
+
+    def test_legacy_mode_rejects_runner_only_arguments(self):
+        deployment = small_deployment("legacy", visits=50)
+        with pytest.raises(ValueError, match="legacy"):
+            deployment.run_campaign(progress=lambda p: None)
+        with pytest.raises(ValueError, match="legacy"):
+            deployment.run_campaign(resume_from_batch=1)
+
+
+class TestCampaignSweep:
+    def test_sweep_reuses_world_and_restores_interceptors(self):
+        world = World(
+            WorldConfig(seed=31, target_list_total=12, target_list_online=10, origin_site_count=3)
+        )
+        base = CampaignConfig(visits=300, include_testbed=True, favicons_only=True)
+        sweep = CampaignSweep(world=world, base_config=base)
+        before = list(world.global_interceptors)
+        records = sweep.run(seeds=(1, 2), testbed_fractions=(0.2, 0.4))
+        assert len(records) == 4
+        assert world.global_interceptors == before
+        assert all(r.visits == 300 for r in records)
+        assert all(r.measurements > 0 for r in records)
+        fractions = {r.testbed_fraction for r in records}
+        assert fractions == {0.2, 0.4}
+
+    def test_sweep_pinned_country_runs(self):
+        world = World(
+            WorldConfig(seed=37, target_list_total=12, target_list_online=10, origin_site_count=2)
+        )
+        base = CampaignConfig(visits=200, include_testbed=False)
+        records = CampaignSweep(world=world, base_config=base).run(
+            seeds=(5,), countries=("US", "CN")
+        )
+        assert len(records) == 2
+        assert {r.country_code for r in records} == {"US", "CN"}
+        assert all(r.visits_per_second > 0 for r in records)

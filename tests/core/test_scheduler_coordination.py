@@ -88,6 +88,80 @@ class TestScheduler:
         assert len(scheduler.tasks_of_type(TaskType.SCRIPT)) == 1
 
 
+class TestBatchedSchedulerRegression:
+    """Pin pool-weight proportions and replication balance over 10k draws.
+
+    The batched scheduler takes cached/array shortcuts; these bounds make
+    sure it can never silently skew the paper's ~30/70 testbed split or let
+    a task's replication drift.
+    """
+
+    TESTBED_FRACTION = 0.3
+
+    def make_pools(self):
+        targets = [image_task(f"target-{i}.org") for i in range(6)]
+        testbed = [image_task(f"testbed-{i}.net") for i in range(4)] + [script_task("testbed-js.net")]
+        return [
+            TaskPool("targets", targets, weight=1.0 - self.TESTBED_FRACTION),
+            TaskPool("testbed", testbed, weight=self.TESTBED_FRACTION),
+        ]
+
+    def make_scheduler(self, rng, pools=None):
+        return Scheduler(pools if pools is not None else self.make_pools(), rng=rng)
+
+    def test_pool_weight_proportions_over_10k_draws(self):
+        from repro.population.world import World, WorldConfig
+
+        world = World(WorldConfig(seed=101, target_list_total=12, target_list_online=10))
+        batch = world.clients.sample_batch(10_000)
+        scheduler = self.make_scheduler(np.random.default_rng(101))
+        decisions = scheduler.assign_batch(batch)
+        assigned = [d.pool_name for d in decisions if d.pool_name]
+        assert len(assigned) > 4000
+        testbed_share = assigned.count("testbed") / len(assigned)
+        assert abs(testbed_share - self.TESTBED_FRACTION) < 0.02, testbed_share
+
+    def test_replication_balance_over_10k_draws(self):
+        from repro.population.world import World, WorldConfig
+
+        world = World(WorldConfig(seed=103, target_list_total=12, target_list_online=10))
+        batch = world.clients.sample_batch(10_000)
+        scheduler = self.make_scheduler(np.random.default_rng(103))
+        scheduler.assign_batch(batch)
+        counts = scheduler.replication_report()
+        targets = {t.measurement_id for t in scheduler.pools[0].tasks}
+        universal_testbed = {
+            t.measurement_id for t in scheduler.pools[1].tasks
+            if t.task_type is TaskType.IMAGE
+        }
+        # Universally runnable tasks stay within a couple of assignments of
+        # each other inside their pool.
+        for ids in (targets, universal_testbed):
+            values = [counts[i] for i in ids]
+            assert max(values) - min(values) <= 2, values
+        # The Chrome-only script task is picked less often but must not be
+        # starved or over-assigned relative to its pool-mates.
+        script_id = next(
+            t.measurement_id for t in scheduler.pools[1].tasks
+            if t.task_type is TaskType.SCRIPT
+        )
+        assert counts[script_id] > 0
+        assert counts[script_id] <= max(counts[i] for i in universal_testbed)
+
+    def test_batched_proportions_match_sequential_schedule(self):
+        from repro.population.world import World, WorldConfig
+
+        world = World(WorldConfig(seed=107, target_list_total=12, target_list_online=10))
+        batch = world.clients.sample_batch(2_000)
+        pools = self.make_pools()
+        sequential = self.make_scheduler(np.random.default_rng(107), pools)
+        batched = self.make_scheduler(np.random.default_rng(107), pools)
+        for client in batch.clients():
+            sequential.schedule(client)
+        batched.assign_batch(batch)
+        assert sequential.replication_report() == batched.replication_report()
+
+
 class TestCoordinationServer:
     @pytest.fixture(scope="class")
     def world(self):

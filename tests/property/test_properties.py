@@ -119,6 +119,77 @@ class TestDetectorProperties:
         assert report.detections == []
 
 
+class TestDetectorInvariants:
+    """Invariants of the binomial detector the batched runner's campaigns rely on."""
+
+    @given(
+        trials=st.integers(min_value=10, max_value=150),
+        successes=st.integers(min_value=0, max_value=150),
+        fewer=st.integers(min_value=0, max_value=150),
+    )
+    @settings(max_examples=60)
+    def test_detection_monotone_in_failure_count(self, trials, successes, fewer):
+        # With a healthy corroborating region fixed, lowering the failing
+        # region's success count (more failures) can never un-detect it.
+        successes = min(successes, trials)
+        fewer = min(fewer, successes)
+        detector = BinomialFilteringDetector(min_measurements=10)
+        healthy = {("site.org", "OK"): (200, 200)}
+        report = detector.detect_from_counts(
+            {**healthy, ("site.org", "XX"): (trials, successes)}
+        )
+        if report.detected("site.org", "XX"):
+            worse = detector.detect_from_counts(
+                {**healthy, ("site.org", "XX"): (trials, fewer)}
+            )
+            assert worse.detected("site.org", "XX")
+
+    @given(
+        min_measurements=st.integers(min_value=1, max_value=40),
+        trials=st.integers(min_value=1, max_value=80),
+    )
+    @settings(max_examples=60)
+    def test_min_measurements_gates_statistics_and_detections(
+        self, min_measurements, trials
+    ):
+        detector = BinomialFilteringDetector(min_measurements=min_measurements)
+        counts = {
+            ("site.org", "OK"): (200, 200),
+            ("site.org", "XX"): (trials, 0),
+        }
+        report = detector.detect_from_counts(counts)
+        included = {(s.domain, s.country_code) for s in report.statistics}
+        if trials < min_measurements:
+            # Too few measurements: the region must not even be scored,
+            # let alone detected.
+            assert ("site.org", "XX") not in included
+            assert not report.detected("site.org", "XX")
+        else:
+            # At or above the gate the region is always scored, and (with a
+            # healthy corroborating region) detected as soon as an all-failing
+            # record is statistically improbable at all.
+            assert ("site.org", "XX") in included
+            if binomial_cdf(0, trials, detector.success_prior) <= detector.significance:
+                assert report.detected("site.org", "XX")
+
+    @given(
+        trials=st.integers(min_value=10, max_value=200),
+        successes=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=60)
+    def test_statistics_match_input_counts(self, trials, successes):
+        successes = min(successes, trials)
+        detector = BinomialFilteringDetector(min_measurements=10)
+        report = detector.detect_from_counts({("site.org", "XX"): (trials, successes)})
+        assert len(report.statistics) == 1
+        stat = report.statistics[0]
+        assert stat.measurements == trials
+        assert stat.successes == successes
+        assert math.isclose(
+            stat.p_value, binomial_cdf(successes, trials, detector.success_prior)
+        )
+
+
 class TestCacheProperties:
     @given(st.lists(st.tuples(st.integers(min_value=0, max_value=20),
                               st.integers(min_value=1, max_value=100)), max_size=40))
