@@ -27,10 +27,11 @@ CAMPAIGN_VISITS = 25_000
 DETECTION_VISITS = 15_000
 SOUNDNESS_VISITS = 10_000
 
-#: The one benchmark module light enough to serve as a smoke check; every
-#: other benchmark builds full worlds / campaigns and is marked ``slow`` so
-#: ``pytest -m "not slow"`` stays fast.
-SMOKE_MODULES = ("test_bench_runner_throughput.py",)
+#: Benchmark modules light enough to serve as smoke checks; every other
+#: benchmark builds full worlds / campaigns and is marked ``slow`` so
+#: ``pytest -m "not slow"`` stays fast.  (``test_bench_store.py`` marks its
+#: own 100k case ``slow`` explicitly and keeps a small smoke case unmarked.)
+SMOKE_MODULES = ("test_bench_runner_throughput.py", "test_bench_store.py")
 
 _BENCH_DIR = Path(__file__).parent
 

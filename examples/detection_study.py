@@ -24,20 +24,21 @@ from repro.censor.censors import ground_truth_blocked
 def main(seed: int = 7, visits: int = 12000) -> None:
     deployment = EncoreDeployment.detection_experiment(seed=seed, visits=visits)
     result = deployment.run_campaign()
-    print(f"Collected {len(result.measurements)} measurements "
+    store = result.collection.store
+    print(f"Collected {len(result.collection)} measurements "
           f"from {result.collection.distinct_countries()} countries.\n")
 
-    # Per-(domain, country) success rates for the interesting countries.
+    # Per-(domain, country) success rates for the interesting countries —
+    # vectorized store selections, no per-row Measurement materialization.
     interesting = ["CN", "IR", "PK", "TR", "US", "GB", "DE", "BR"]
     rows = []
     for domain in ("facebook.com", "twitter.com", "youtube.com"):
         for country in interesting:
-            measurements = result.collection.filtered(domain=domain, country_code=country)
-            if not measurements:
+            selection = store.select(domain=domain, country_code=country)
+            if not selection.count:
                 continue
-            successes = sum(1 for m in measurements if m.succeeded)
-            rows.append([domain, country, len(measurements),
-                         f"{successes / len(measurements):.2f}"])
+            rows.append([domain, country, selection.count,
+                         f"{selection.success_rate:.2f}"])
     print("Per-country success rates (selected countries):")
     print(format_table(["domain", "country", "n", "success rate"], rows))
     print()

@@ -5,6 +5,11 @@ up an Encore deployment (task generation, coordination, collection), simulates
 a few thousand origin-site visits, and runs the binomial filtering detector
 over the collected measurements.
 
+The collected corpus lives in a columnar ``MeasurementStore``
+(``result.collection.store``): queries like the per-detection success rates
+below are vectorized selections over its column arrays — no per-row
+``Measurement`` objects are ever materialized.
+
 Run with::
 
     python examples/quickstart.py
@@ -36,6 +41,7 @@ def main(seed: int = 1, visits: int = 5000) -> None:
     print()
 
     result = deployment.run_campaign()
+    store = result.collection.store
     summary = result.collection.summary()
     print(
         f"Simulated {result.visits_simulated} visits -> "
@@ -43,13 +49,20 @@ def main(seed: int = 1, visits: int = 5000) -> None:
         f"{int(summary['distinct_ips'])} IPs in {int(summary['countries'])} countries.\n"
     )
 
+    # The detector consumes the store's grouped (domain, country) cells; the
+    # per-detection context below comes from vectorized store selections.
     report = result.detect()
-    rows = [
-        [d.domain, d.country_code, d.measurements, d.successes, f"{d.p_value:.2e}"]
-        for d in sorted(report.detections, key=lambda d: (d.domain, d.country_code))
-    ]
+    rows = []
+    for d in sorted(report.detections, key=lambda d: (d.domain, d.country_code)):
+        selection = store.select(domain=d.domain, country_code=d.country_code)
+        rows.append([
+            d.domain, d.country_code, d.measurements, d.successes,
+            f"{d.p_value:.2e}", f"{selection.success_rate:.2f}",
+        ])
     print("Filtering detections (binomial test, p=0.7, alpha=0.05):")
-    print(format_table(["domain", "country", "n", "successes", "p-value"], rows))
+    print(format_table(
+        ["domain", "country", "n", "successes", "p-value", "success rate"], rows
+    ))
 
 
 if __name__ == "__main__":

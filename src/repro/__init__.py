@@ -10,6 +10,12 @@ filtering-detection algorithm — together with the simulated substrates the
 offline reproduction needs: a synthetic Web, a network stack with censors, a
 browser model, and a global client population.
 
+Measurements are stored columnar: the collection server keeps the corpus in
+a struct-of-arrays :class:`~repro.core.store.MeasurementStore` (optionally
+spilling column segments to disk via ``CampaignConfig.max_rows_in_memory``),
+and the analysis queries it with vectorized selections and grouped
+reductions instead of looping over row lists.
+
 Quick start::
 
     from repro import EncoreDeployment
@@ -19,6 +25,13 @@ Quick start::
     report = result.detect()
     for detection in report.detections:
         print(detection.domain, detection.country_code, detection.p_value)
+
+    # Columnar queries over the collected corpus (no row materialization):
+    store = result.collection.store
+    pakistan = store.select(domain="youtube.com", country_code="PK")
+    print(pakistan.count, pakistan.success_rate)
+    for (domain, country), (n, ok) in store.success_counts().as_dict().items():
+        print(domain, country, n, ok)
 """
 
 from repro.core import (
@@ -30,6 +43,7 @@ from repro.core import (
     EncoreDeployment,
     FilteringDetection,
     Measurement,
+    MeasurementStore,
     MeasurementTask,
     Scheduler,
     TargetList,
@@ -54,6 +68,7 @@ __all__ = [
     "EncoreDeployment",
     "FilteringDetection",
     "Measurement",
+    "MeasurementStore",
     "MeasurementTask",
     "Scheduler",
     "TargetList",

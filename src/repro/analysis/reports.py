@@ -11,8 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.censor.testbed import CensorshipTestbed
 from repro.core.collection import Measurement
+from repro.core.store import TASK_TYPES, MeasurementStore
 from repro.core.tasks import TaskOutcome, TaskType
 
 
@@ -82,9 +85,17 @@ class SoundnessReport:
 
 
 def build_soundness_report(
-    measurements: Iterable[Measurement], testbed: CensorshipTestbed
+    measurements: Iterable[Measurement] | MeasurementStore, testbed: CensorshipTestbed
 ) -> SoundnessReport:
-    """Compare testbed measurements against ground truth (paper §7.1)."""
+    """Compare testbed measurements against ground truth (paper §7.1).
+
+    Accepts either an iterable of :class:`Measurement` rows or a
+    :class:`~repro.core.store.MeasurementStore`, in which case the confusion
+    counts come from one vectorized group-by over the store's code columns
+    (ground truth is resolved once per *distinct* testbed URL).
+    """
+    if isinstance(measurements, MeasurementStore):
+        return _soundness_from_store(measurements, testbed)
     report = SoundnessReport()
     for m in measurements:
         if not m.target_domain.endswith("encore-testbed.net"):
@@ -102,6 +113,32 @@ def build_soundness_report(
             stats.false_positives += 1
         else:
             stats.true_negatives += 1
+    return report
+
+
+def _soundness_from_store(store: MeasurementStore, testbed: CensorshipTestbed) -> SoundnessReport:
+    """Columnar confusion counts: one bincount over (task, expected, reported)."""
+    report = SoundnessReport()
+    selection = store.select(domain_suffix="encore-testbed.net")
+    if not len(selection):
+        return report
+    task = selection.column("task").astype(np.int64)
+    url = selection.column("url")
+    reported_filtered = selection.failed
+    expected_table = np.zeros(len(store.url_values), dtype=bool)
+    for code in np.unique(url).tolist():
+        expected_table[code] = testbed.expected_filtered(store.url_values[code].host)
+    combined = task * 4 + expected_table[url] * 2 + reported_filtered
+    counts = np.bincount(combined, minlength=len(TASK_TYPES) * 4)
+    for code, task_type in enumerate(TASK_TYPES):
+        tn, fp, fn, tp = (int(c) for c in counts[code * 4 : code * 4 + 4])
+        if not (tn or fp or fn or tp):
+            continue
+        stats = report.for_type(task_type)
+        stats.true_negatives = tn
+        stats.false_positives = fp
+        stats.false_negatives = fn
+        stats.true_positives = tp
     return report
 
 

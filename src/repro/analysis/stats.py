@@ -14,6 +14,13 @@ from typing import Iterable, Sequence
 import numpy as np
 
 
+def _as_float_array(values: Iterable[float]) -> np.ndarray:
+    """Coerce any iterable — numpy column views included — without copying arrays."""
+    if isinstance(values, np.ndarray):
+        return values.astype(float, copy=False)
+    return np.asarray(list(values), dtype=float)
+
+
 @dataclass
 class Ecdf:
     """An empirical cumulative distribution function."""
@@ -21,7 +28,7 @@ class Ecdf:
     values: np.ndarray
 
     def __init__(self, values: Iterable[float]) -> None:
-        self.values = np.sort(np.asarray(list(values), dtype=float))
+        self.values = np.sort(_as_float_array(values))
 
     def __len__(self) -> int:
         return len(self.values)
@@ -51,23 +58,23 @@ class Ecdf:
 
 def fraction_at_most(values: Iterable[float], threshold: float) -> float:
     """Fraction of ``values`` that are <= threshold."""
-    values = list(values)
-    if not values:
+    array = _as_float_array(values)
+    if array.size == 0:
         return 0.0
-    return sum(1 for v in values if v <= threshold) / len(values)
+    return int(np.count_nonzero(array <= threshold)) / array.size
 
 
 def fraction_at_least(values: Iterable[float], threshold: float) -> float:
     """Fraction of ``values`` that are >= threshold."""
-    values = list(values)
-    if not values:
+    array = _as_float_array(values)
+    if array.size == 0:
         return 0.0
-    return sum(1 for v in values if v >= threshold) / len(values)
+    return int(np.count_nonzero(array >= threshold)) / array.size
 
 
 def summarise_distribution(values: Iterable[float]) -> dict[str, float]:
     """Median, quartiles, and extremes of a distribution (Fig. 7 style)."""
-    array = np.asarray(list(values), dtype=float)
+    array = _as_float_array(values)
     if array.size == 0:
         return {"count": 0.0}
     return {

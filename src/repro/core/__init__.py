@@ -32,6 +32,7 @@ from repro.core.task_generation import (
 from repro.core.scheduler import Scheduler, TaskPool
 from repro.core.coordination import CoordinationServer
 from repro.core.collection import CollectionServer, Measurement
+from repro.core.store import GroupedCounts, MeasurementStore, Selection
 from repro.core.inference import (
     AdaptiveFilteringDetector,
     BinomialFilteringDetector,
@@ -65,6 +66,9 @@ __all__ = [
     "CoordinationServer",
     "CollectionServer",
     "Measurement",
+    "MeasurementStore",
+    "GroupedCounts",
+    "Selection",
     "AdaptiveFilteringDetector",
     "BinomialFilteringDetector",
     "FilteringDetection",

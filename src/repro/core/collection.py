@@ -8,15 +8,25 @@ record with what it can observe about the submitter: the source IP (which the
 analysis geolocates), the browser family, and the Referer header unless the
 origin site strips it (the paper notes 3/4 of measurements arrived with the
 Referer stripped, obscuring which origin delivered them).
+
+Internally the server keeps the corpus in a columnar
+:class:`~repro.core.store.MeasurementStore` (struct of arrays, optional disk
+spill) rather than a Python list of records; :class:`Measurement` survives as
+the row view the store materializes on demand, and the legacy query surface
+(``measurements``, :meth:`filtered`, :meth:`success_counts`, the distinct
+counters) is implemented on top of the store's vectorized queries.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, NamedTuple
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, NamedTuple
+
+import numpy as np
 
 from repro.browser.engine import Browser
+from repro.core.store import DictColumn, MeasurementStore
 from repro.core.tasks import TaskOutcome, TaskResult, TaskType
 from repro.population.clients import Client
 from repro.population.geoip import GeoIPDatabase
@@ -25,7 +35,13 @@ from repro.web.url import URL
 
 @dataclass(frozen=True)
 class Measurement:
-    """One measurement as stored by the collection server."""
+    """One measurement as stored by the collection server.
+
+    Rows live columnar inside :class:`~repro.core.store.MeasurementStore`;
+    instances of this dataclass are the materialized row view, constructed on
+    demand and field-for-field identical to what the original row-list
+    server stored.
+    """
 
     measurement_id: str
     task_type: TaskType
@@ -56,8 +72,8 @@ class SubmissionRecord(NamedTuple):
 
     The batched campaign runner resolves the network path (whether the
     submission reached the server) itself and streams the survivors into
-    :meth:`CollectionServer.submit_batch`; plain tuples with this field order
-    are accepted too.
+    :meth:`CollectionServer.ingest_records`; plain tuples with this field
+    order are accepted too.
     """
 
     measurement_id: str
@@ -77,6 +93,40 @@ class SubmissionRecord(NamedTuple):
     is_automated: bool
 
 
+@dataclass
+class ColumnarRecords:
+    """Already-delivered submissions as columns, ready for zero-copy ingestion.
+
+    The batch executor produces this instead of row tuples: repeated values
+    (task attributes, per-visit client attributes, per-origin Referer
+    stripping) travel as :class:`~repro.core.store.DictColumn` value tables
+    plus index arrays, and genuinely per-row quantities (outcome codes,
+    elapsed times) as numpy arrays.  ``client_ip`` and ``country_code`` must
+    share one ``indices`` array (one entry per submitting visit), which is
+    what lets the collection server geolocate each *visit* once instead of
+    each row.  ``origin_domain`` values already have Referer stripping
+    applied (``None`` where the origin strips).
+    """
+
+    measurement_id: DictColumn
+    task_type: DictColumn
+    target_url: DictColumn
+    target_domain: DictColumn
+    outcome: DictColumn
+    elapsed_ms: np.ndarray
+    probe_time_ms: np.ndarray
+    client_ip: DictColumn
+    country_code: DictColumn
+    isp: DictColumn
+    browser_family: DictColumn
+    origin_domain: DictColumn
+    day: np.ndarray
+    is_automated: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.elapsed_ms)
+
+
 class CollectionServer:
     """Receives, geolocates, and stores measurement submissions."""
 
@@ -88,12 +138,19 @@ class CollectionServer:
         self,
         submit_url: URL | str,
         geoip: GeoIPDatabase | None = None,
+        store: MeasurementStore | None = None,
+        max_rows_in_memory: int | None = None,
+        spill_dir: str | None = None,
     ) -> None:
         self.submit_url = submit_url if isinstance(submit_url, URL) else URL.parse(submit_url)
         self.geoip = geoip or GeoIPDatabase()
-        self.measurements: list[Measurement] = []
+        self.store = store or MeasurementStore(
+            max_rows_in_memory=max_rows_in_memory, spill_dir=spill_dir
+        )
         self.rejected_submissions = 0
         self.unreachable_submissions = 0
+        self._materialized: list[Measurement] | None = None
+        self._materialized_version = -1
 
     # ------------------------------------------------------------------
     # Submission path
@@ -141,55 +198,124 @@ class CollectionServer:
             probe_time_ms=result.probe_time_ms,
             is_automated=client.is_automated,
         )
-        self.measurements.append(measurement)
+        self.store.append_rows((measurement,))
         return measurement
+
+    def ingest_records(
+        self, records: Iterable[SubmissionRecord | tuple], unreachable: int = 0
+    ) -> int:
+        """Columnar bulk ingestion of submissions whose network path succeeded.
+
+        ``records`` follow :class:`SubmissionRecord`'s layout; they are
+        transposed into columns, geolocated with one batched GeoIP pass, and
+        appended to the store without constructing a single
+        :class:`Measurement`.  ``unreachable`` counts submissions the
+        campaign attempted but that never reached the server (censored or
+        lost).  Returns how many records were stored.
+        """
+        if not isinstance(records, (list, tuple)):
+            records = list(records)
+        self.unreachable_submissions += unreachable
+        if not records:
+            return 0
+        (
+            measurement_id, task_type, target_url, target_domain, outcome,
+            elapsed_ms, probe_time_ms, client_ip, country_code, isp,
+            browser_family, origin_domain, day, strip_referer, is_automated,
+        ) = zip(*records)
+        located = self.geoip.lookup_batch(client_ip)
+        return self.store.append_columns(
+            measurement_id=measurement_id,
+            task_type=task_type,
+            target_url=target_url,
+            target_domain=target_domain,
+            outcome=outcome,
+            elapsed_ms=elapsed_ms,
+            probe_time_ms=probe_time_ms,
+            client_ip=client_ip,
+            country_code=[
+                found or fallback for found, fallback in zip(located, country_code)
+            ],
+            isp=isp,
+            browser_family=browser_family,
+            origin_domain=[
+                None if strip else origin
+                for strip, origin in zip(strip_referer, origin_domain)
+            ],
+            day=day,
+            is_automated=is_automated,
+        )
+
+    def ingest_columns(self, columns: ColumnarRecords, unreachable: int = 0) -> int:
+        """Zero-copy bulk ingestion of an executor's column payload.
+
+        The only per-element work left at this layer is geolocation, and it
+        runs over the *visit* table (``client_ip.values``), not the rows:
+        each submitting visit is looked up once and the resolved country is
+        broadcast through the shared index array.
+        """
+        self.unreachable_submissions += unreachable
+        if len(columns) == 0:
+            return 0
+        located = self.geoip.lookup_batch(columns.client_ip.values)
+        resolved = DictColumn(
+            [
+                found if found is not None else fallback
+                for found, fallback in zip(located, columns.country_code.values)
+            ],
+            columns.client_ip.indices,
+        )
+        return self.store.append_columns(
+            measurement_id=columns.measurement_id,
+            task_type=columns.task_type,
+            target_url=columns.target_url,
+            target_domain=columns.target_domain,
+            outcome=columns.outcome,
+            elapsed_ms=columns.elapsed_ms,
+            probe_time_ms=columns.probe_time_ms,
+            client_ip=columns.client_ip,
+            country_code=resolved,
+            isp=columns.isp,
+            browser_family=columns.browser_family,
+            origin_domain=columns.origin_domain,
+            day=columns.day,
+            is_automated=columns.is_automated,
+        )
 
     def submit_batch(
         self, records: Iterable[SubmissionRecord | tuple], unreachable: int = 0
     ) -> list[Measurement]:
-        """Bulk-ingest submissions whose network path already succeeded.
+        """Legacy bulk-ingest shim: columnar ingestion plus row materialization.
 
-        ``records`` follow :class:`SubmissionRecord`'s layout; ``unreachable``
-        counts submissions the campaign attempted but that never reached the
-        server (censored or lost), matching what per-call :meth:`submit`
-        would have tallied.  Returns the stored measurements in order.
+        Kept for callers that want the stored :class:`Measurement` rows back;
+        the campaign runner uses :meth:`ingest_records`, which skips the row
+        construction entirely.
         """
-        lookup = self.geoip.lookup
-        stored: list[Measurement] = []
-        append = stored.append
-        for (
-            measurement_id, task_type, target_url, target_domain, outcome,
-            elapsed_ms, probe_time_ms, client_ip, country_code, isp,
-            browser_family, origin_domain, day, strip_referer, is_automated,
-        ) in records:
-            # Positional construction: Measurement's field order, hot path.
-            append(
-                Measurement(
-                    measurement_id,
-                    task_type,
-                    target_url,
-                    target_domain,
-                    outcome,
-                    elapsed_ms,
-                    client_ip,
-                    lookup(client_ip) or country_code,
-                    isp,
-                    browser_family,
-                    None if strip_referer else origin_domain,
-                    day,
-                    probe_time_ms,
-                    is_automated,
-                )
-            )
-        self.measurements.extend(stored)
-        self.unreachable_submissions += unreachable
-        return stored
+        start = len(self.store)
+        added = self.ingest_records(records, unreachable)
+        return self.store.rows(range(start, start + added)) if added else []
+
+    def ingest_measurements(self, measurements: Iterable[Measurement]) -> int:
+        """Append already-built rows (forged submissions, replayed corpora)."""
+        return self.store.append_rows(measurements)
 
     # ------------------------------------------------------------------
     # Query API used by the analysis
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.measurements)
+        return len(self.store)
+
+    @property
+    def measurements(self) -> list[Measurement]:
+        """Every stored measurement, materialized as rows (cached snapshot).
+
+        The list is rebuilt only when the store has grown; do not mutate it —
+        append through :meth:`ingest_measurements` instead.
+        """
+        if self._materialized is None or self._materialized_version != self.store.version:
+            self._materialized = self.store.rows()
+            self._materialized_version = self.store.version
+        return self._materialized
 
     def filtered(
         self,
@@ -203,56 +329,42 @@ class CollectionServer:
 
         Automated traffic is excluded by default, matching the paper's
         exclusion of "erroneously contributed measurements (e.g., from Web
-        crawlers)" (§7.1).
+        crawlers)" (§7.1).  Implemented as :meth:`MeasurementStore.select`
+        plus row materialization; callers that only need counts or rates
+        should query the selection directly.
         """
-        result = []
-        for m in self.measurements:
-            if exclude_automated and m.is_automated:
-                continue
-            if exclude_inconclusive and m.outcome is TaskOutcome.INCONCLUSIVE:
-                continue
-            if domain is not None and m.target_domain != domain:
-                continue
-            if country_code is not None and m.country_code != country_code:
-                continue
-            if task_type is not None and m.task_type is not task_type:
-                continue
-            result.append(m)
-        return result
+        return self.store.select(
+            domain=domain,
+            country_code=country_code,
+            task_type=task_type,
+            exclude_automated=exclude_automated,
+            exclude_inconclusive=exclude_inconclusive,
+        ).materialize()
 
     def distinct_ips(self) -> int:
-        return len({m.client_ip for m in self.measurements})
+        return self.store.distinct_ips()
 
     def distinct_countries(self) -> int:
-        return len({m.country_code for m in self.measurements})
+        return self.store.distinct_countries()
 
     def measurements_by_country(self) -> Counter:
-        return Counter(m.country_code for m in self.measurements)
+        return self.store.measurements_by_country()
 
     def success_counts(
         self, exclude_automated: bool = True
     ) -> dict[tuple[str, str], tuple[int, int]]:
         """Per (domain, country): (total measurements, successes).
 
-        This is exactly the input the binomial detection test consumes.
+        This is exactly the input the binomial detection test consumes; the
+        detector itself prefers the grouped-array form
+        (``store.success_counts()``) and skips this dict entirely.
         """
-        totals: dict[tuple[str, str], int] = defaultdict(int)
-        successes: dict[tuple[str, str], int] = defaultdict(int)
-        for m in self.measurements:
-            if exclude_automated and m.is_automated:
-                continue
-            if m.outcome is TaskOutcome.INCONCLUSIVE:
-                continue
-            key = (m.target_domain, m.country_code)
-            totals[key] += 1
-            if m.succeeded:
-                successes[key] += 1
-        return {key: (totals[key], successes[key]) for key in totals}
+        return self.store.success_counts(exclude_automated=exclude_automated).as_dict()
 
     def summary(self) -> dict[str, float]:
         """Campaign-scale headline numbers (paper §7)."""
         return {
-            "measurements": float(len(self.measurements)),
+            "measurements": float(len(self.store)),
             "distinct_ips": float(self.distinct_ips()),
             "countries": float(self.distinct_countries()),
             "unreachable_submissions": float(self.unreachable_submissions),

@@ -9,6 +9,13 @@ binomial test: the resource is considered filtered in region ``r`` if the
 observed success count is improbably low at significance 0.05 — *and* the
 same test does not fail in other regions, which rules out the resource simply
 being down for everyone.
+
+The detector consumes the grouped cell arrays of
+:class:`~repro.core.store.GroupedCounts` (what
+``MeasurementStore.success_counts()`` returns) and evaluates the binomial
+lower tail for *every* (domain, country) cell in one vectorized, SciPy-free
+pass over a ragged term matrix; the legacy ``{(domain, country): (n, s)}``
+dict is still accepted everywhere and converted on entry.
 """
 
 from __future__ import annotations
@@ -17,7 +24,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.core.collection import CollectionServer, Measurement
+import numpy as np
+
+from repro.core.collection import Measurement
+from repro.core.store import GroupedCounts
 from repro.core.tasks import TaskOutcome
 
 
@@ -26,7 +36,8 @@ def binomial_cdf(successes: int, trials: int, p: float) -> float:
 
     Exact summation is cheap for the trial counts Encore sees (hundreds to a
     few thousand per region) and avoids a SciPy dependency in the core
-    library.
+    library.  This is the scalar reference; :func:`binomial_cdf_cells`
+    evaluates many cells at once from the same log-factorial table.
     """
     if trials < 0:
         raise ValueError("trials must be non-negative")
@@ -53,6 +64,61 @@ def binomial_cdf(successes: int, trials: int, p: float) -> float:
         )
         total += math.exp(log_term)
     return min(1.0, total)
+
+
+#: Cached ``log(i!)`` table (``_LOG_FACTORIALS[i] == lgamma(i + 1)``), grown
+#: geometrically so repeated detections share one table.
+_LOG_FACTORIALS = np.zeros(1)
+
+
+def _log_factorials(max_n: int) -> np.ndarray:
+    global _LOG_FACTORIALS
+    if len(_LOG_FACTORIALS) <= max_n:
+        size = max(max_n + 1, 2 * len(_LOG_FACTORIALS))
+        _LOG_FACTORIALS = np.array([math.lgamma(i + 1.0) for i in range(size)])
+    return _LOG_FACTORIALS
+
+
+def binomial_cdf_cells(successes, trials, p) -> np.ndarray:
+    """Vectorized :func:`binomial_cdf` over many (successes, trials, p) cells.
+
+    Builds one ragged term vector — cell ``i`` contributes ``successes[i]+1``
+    log-space terms — and reduces it with a single ``np.add.reduceat``, so
+    the whole detection table is evaluated in one pass without SciPy.
+    """
+    s = np.asarray(successes, dtype=np.int64)
+    n = np.asarray(trials, dtype=np.int64)
+    p = np.broadcast_to(np.asarray(p, dtype=np.float64), s.shape)
+    if np.any(n < 0):
+        raise ValueError("trials must be non-negative")
+    if np.any((p < 0.0) | (p > 1.0)):
+        raise ValueError("p must be in [0, 1]")
+    out = np.ones(len(s), dtype=np.float64)
+    out[s < 0] = 0.0
+    out[(p == 1.0) & (s < n)] = 0.0
+    interior = (s >= 0) & (s < n) & (p > 0.0) & (p < 1.0)
+    cells = np.flatnonzero(interior)
+    if len(cells) == 0:
+        return out
+    si, ni, pi = s[cells], n[cells], p[cells]
+    terms_per_cell = si + 1
+    offsets = np.concatenate(([0], np.cumsum(terms_per_cell)[:-1]))
+    total_terms = int(terms_per_cell.sum())
+    cell_of_term = np.repeat(np.arange(len(cells)), terms_per_cell)
+    k = np.arange(total_terms) - offsets[cell_of_term]
+    log_fact = _log_factorials(int(ni.max()))
+    log_p = np.log(pi)
+    log_q = np.log1p(-pi)
+    n_of_term = ni[cell_of_term]
+    terms = np.exp(
+        log_fact[n_of_term]
+        - log_fact[k]
+        - log_fact[n_of_term - k]
+        + k * log_p[cell_of_term]
+        + (n_of_term - k) * log_q[cell_of_term]
+    )
+    out[cells] = np.minimum(1.0, np.add.reduceat(terms, offsets))
+    return out
 
 
 @dataclass(frozen=True)
@@ -105,8 +171,12 @@ class DetectionReport:
         return {(d.domain, d.country_code) for d in self.detections}
 
 
+def _as_grouped(counts) -> GroupedCounts:
+    return counts if isinstance(counts, GroupedCounts) else GroupedCounts.from_dict(counts)
+
+
 class BinomialFilteringDetector:
-    """The detection algorithm of §7.2."""
+    """The detection algorithm of §7.2, vectorized over all cells at once."""
 
     def __init__(
         self,
@@ -125,71 +195,107 @@ class BinomialFilteringDetector:
         self.min_measurements = min_measurements
 
     # ------------------------------------------------------------------
-    def region_statistics(
-        self, counts: dict[tuple[str, str], tuple[int, int]]
-    ) -> list[RegionStatistics]:
-        """Per-region statistics from (domain, country) -> (n, successes)."""
-        stats = []
-        for (domain, country), (n, successes) in sorted(counts.items()):
-            if n < self.min_measurements:
-                continue
-            p_value = binomial_cdf(successes, n, self.success_prior)
-            stats.append(
-                RegionStatistics(
-                    domain=domain,
-                    country_code=country,
-                    measurements=n,
-                    successes=successes,
-                    p_value=p_value,
-                )
+    def _cell_priors(
+        self,
+        domains: np.ndarray,
+        countries: np.ndarray,
+        totals: np.ndarray,
+        successes: np.ndarray,
+    ) -> np.ndarray:
+        """Per-cell success prior; the adaptive subclass overrides this."""
+        return np.full(len(totals), self.success_prior)
+
+    def _scored_cells(self, grouped: GroupedCounts):
+        """(domains, countries, n, successes, priors, p_values) for scored cells.
+
+        Cells below ``min_measurements`` are dropped; the rest are scored
+        with one vectorized binomial-tail evaluation.
+        """
+        keep = grouped.totals >= self.min_measurements
+        domains = grouped.domains[keep]
+        countries = grouped.countries[keep]
+        totals = grouped.totals[keep]
+        successes = grouped.successes[keep]
+        priors = np.asarray(
+            self._cell_priors(domains, countries, totals, successes), dtype=np.float64
+        )
+        p_values = binomial_cdf_cells(successes, totals, priors)
+        return domains, countries, totals, successes, priors, p_values
+
+    @staticmethod
+    def _statistics_from_cells(domains, countries, totals, successes, p_values):
+        return [
+            RegionStatistics(
+                domain=str(domain),
+                country_code=str(country),
+                measurements=int(n),
+                successes=int(s),
+                p_value=float(p_value),
             )
-        return stats
+            for domain, country, n, s, p_value in zip(
+                domains, countries, totals, successes, p_values
+            )
+        ]
 
-    def detect_from_counts(
-        self, counts: dict[tuple[str, str], tuple[int, int]]
-    ) -> DetectionReport:
-        """Run the test over precomputed per-region counts."""
-        stats = self.region_statistics(counts)
-        by_domain: dict[str, list[RegionStatistics]] = {}
-        for stat in stats:
-            by_domain.setdefault(stat.domain, []).append(stat)
+    def region_statistics(self, counts) -> list[RegionStatistics]:
+        """Per-region statistics from grouped cells (or the legacy dict)."""
+        domains, countries, totals, successes, _, p_values = self._scored_cells(
+            _as_grouped(counts)
+        )
+        return self._statistics_from_cells(domains, countries, totals, successes, p_values)
 
+    def detect_from_counts(self, counts) -> DetectionReport:
+        """Run the test over per-region counts (grouped arrays or legacy dict)."""
+        grouped = _as_grouped(counts)
+        domains, countries, totals, successes, priors, p_values = self._scored_cells(grouped)
+        stats = self._statistics_from_cells(domains, countries, totals, successes, p_values)
         report = DetectionReport(statistics=stats)
-        for domain, domain_stats in by_domain.items():
-            failing = [s for s in domain_stats if s.p_value <= self.significance]
-            # A corroborating region must not merely "not fail the test" (a
-            # handful of measurements never fails it); it must actually show
-            # the resource loading at or above the modelled success rate.
-            passing = [
-                s
-                for s in domain_stats
-                if s.p_value > self.significance and s.success_rate >= self.success_prior
-            ]
-            if not failing or not passing:
-                # Either nothing looks filtered, or the resource looks broken
+        if not stats:
+            return report
+        failing = p_values <= self.significance
+        # A corroborating region must not merely "not fail the test" (a
+        # handful of measurements never fails it); it must actually show the
+        # resource loading at or above the modelled success rate.
+        rates = successes / totals
+        passing = ~failing & (rates >= priors)
+        corroborating: dict[str, int] = {}
+        for stat, is_passing in zip(stats, passing.tolist()):
+            if is_passing:
+                corroborating[stat.domain] = corroborating.get(stat.domain, 0) + 1
+        for stat, is_failing in zip(stats, failing.tolist()):
+            if not is_failing:
+                continue
+            passing_regions = corroborating.get(stat.domain, 0)
+            if not passing_regions:
+                # Either nothing corroborates, so the resource looks broken
                 # everywhere (likely a site outage, not regional filtering).
                 continue
-            for stat in failing:
-                report.detections.append(
-                    FilteringDetection(
-                        domain=stat.domain,
-                        country_code=stat.country_code,
-                        measurements=stat.measurements,
-                        successes=stat.successes,
-                        p_value=stat.p_value,
-                        corroborating_regions=len(passing),
-                    )
+            report.detections.append(
+                FilteringDetection(
+                    domain=stat.domain,
+                    country_code=stat.country_code,
+                    measurements=stat.measurements,
+                    successes=stat.successes,
+                    p_value=stat.p_value,
+                    corroborating_regions=passing_regions,
                 )
+            )
         return report
 
     # ------------------------------------------------------------------
-    def detect(self, collection: CollectionServer) -> DetectionReport:
-        """Run the test over everything a collection server has gathered."""
+    def detect(self, collection) -> DetectionReport:
+        """Run the test over everything a collection server has gathered.
+
+        Prefers the store's grouped-array counts (no intermediate dict);
+        anything exposing the legacy ``success_counts()`` dict still works.
+        """
+        store = getattr(collection, "store", None)
+        if store is not None:
+            return self.detect_from_counts(store.success_counts())
         return self.detect_from_counts(collection.success_counts())
 
     def detect_from_measurements(self, measurements: Iterable[Measurement]) -> DetectionReport:
         """Run the test over an explicit list of measurements."""
-        counts: dict[tuple[str, str], tuple[int, int]] = {}
         totals: dict[tuple[str, str], int] = {}
         successes: dict[tuple[str, str], int] = {}
         for m in measurements:
@@ -199,8 +305,7 @@ class BinomialFilteringDetector:
             totals[key] = totals.get(key, 0) + 1
             if m.succeeded:
                 successes[key] = successes.get(key, 0) + 1
-        for key in totals:
-            counts[key] = (totals[key], successes.get(key, 0))
+        counts = {key: (totals[key], successes.get(key, 0)) for key in totals}
         return self.detect_from_counts(counts)
 
 
@@ -238,9 +343,7 @@ class AdaptiveFilteringDetector(BinomialFilteringDetector):
         self.max_prior = max_prior
         self.discount = discount
 
-    def country_priors(
-        self, counts: dict[tuple[str, str], tuple[int, int]]
-    ) -> dict[str, float]:
+    def country_priors(self, counts) -> dict[str, float]:
         """Estimate each country's baseline success probability.
 
         The baseline is the country's highest per-domain success rate among
@@ -248,67 +351,40 @@ class AdaptiveFilteringDetector(BinomialFilteringDetector):
         and network flakiness lowers it for every domain equally), discounted
         and clamped to the configured bounds.
         """
-        best: dict[str, float] = {}
-        for (domain, country), (n, successes) in counts.items():
-            if n < self.min_measurements:
-                continue
-            rate = successes / n
-            best[country] = max(best.get(country, 0.0), rate)
+        grouped = _as_grouped(counts)
+        keep = grouped.totals >= self.min_measurements
+        best = self._best_rates(
+            grouped.countries[keep], grouped.totals[keep], grouped.successes[keep]
+        )
         return {
             country: float(min(self.max_prior, max(self.min_prior, rate * self.discount)))
             for country, rate in best.items()
         }
 
-    def region_statistics(
-        self, counts: dict[tuple[str, str], tuple[int, int]]
-    ) -> list[RegionStatistics]:
-        priors = self.country_priors(counts)
-        stats = []
-        for (domain, country), (n, successes) in sorted(counts.items()):
-            if n < self.min_measurements:
-                continue
-            prior = priors.get(country, self.success_prior)
-            stats.append(
-                RegionStatistics(
-                    domain=domain,
-                    country_code=country,
-                    measurements=n,
-                    successes=successes,
-                    p_value=binomial_cdf(successes, n, prior),
-                )
-            )
-        return stats
+    @staticmethod
+    def _best_rates(countries: np.ndarray, totals: np.ndarray, successes: np.ndarray):
+        """Per-country maximum success rate over the given (kept) cells."""
+        best: dict[str, float] = {}
+        rates = successes / totals if len(totals) else totals
+        for country, rate in zip(countries.tolist(), np.asarray(rates).tolist()):
+            if rate > best.get(country, -1.0):
+                best[country] = rate
+        return best
 
-    def detect_from_counts(
-        self, counts: dict[tuple[str, str], tuple[int, int]]
-    ) -> DetectionReport:
-        """Same corroboration rule as the base detector, with per-country priors."""
-        priors = self.country_priors(counts)
-        stats = self.region_statistics(counts)
-        by_domain: dict[str, list[RegionStatistics]] = {}
-        for stat in stats:
-            by_domain.setdefault(stat.domain, []).append(stat)
-
-        report = DetectionReport(statistics=stats)
-        for domain, domain_stats in by_domain.items():
-            failing = [s for s in domain_stats if s.p_value <= self.significance]
-            passing = [
-                s
-                for s in domain_stats
-                if s.p_value > self.significance
-                and s.success_rate >= priors.get(s.country_code, self.success_prior)
-            ]
-            if not failing or not passing:
-                continue
-            for stat in failing:
-                report.detections.append(
-                    FilteringDetection(
-                        domain=stat.domain,
-                        country_code=stat.country_code,
-                        measurements=stat.measurements,
-                        successes=stat.successes,
-                        p_value=stat.p_value,
-                        corroborating_regions=len(passing),
-                    )
-                )
-        return report
+    def _cell_priors(
+        self,
+        domains: np.ndarray,
+        countries: np.ndarray,
+        totals: np.ndarray,
+        successes: np.ndarray,
+    ) -> np.ndarray:
+        best = self._best_rates(countries, totals, successes)
+        return np.array(
+            [
+                min(self.max_prior, max(self.min_prior, best[country] * self.discount))
+                if country in best
+                else self.success_prior
+                for country in countries.tolist()
+            ],
+            dtype=np.float64,
+        )

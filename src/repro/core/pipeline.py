@@ -62,6 +62,12 @@ class CampaignConfig:
     mode: str = "batch"
     #: Visits per runner batch (progress/checkpoint granularity).
     batch_size: int | None = None
+    #: Bound on measurement rows kept resident by the collection store;
+    #: sealed column segments beyond the bound spill to ``.npz`` files
+    #: (``None`` keeps everything in memory).
+    max_rows_in_memory: int | None = None
+    #: Where spilled segments go (a temporary directory if unset).
+    spill_dir: str | None = None
 
 
 @dataclass
@@ -79,6 +85,7 @@ class CampaignResult:
 
     @property
     def measurements(self) -> list[Measurement]:
+        """Every collected measurement, materialized from the columnar store."""
         return self.collection.measurements
 
     def detect(
@@ -95,11 +102,18 @@ class CampaignResult:
         )
         return detector.detect(self.collection)
 
+    def _testbed_selection(self):
+        return self.collection.store.select(
+            domain_suffix="encore-testbed.net",
+            exclude_automated=False,
+            exclude_inconclusive=False,
+        )
+
     def testbed_measurements(self) -> list[Measurement]:
-        return [m for m in self.measurements if m.target_domain.endswith("encore-testbed.net")]
+        return self._testbed_selection().materialize()
 
     def target_measurements(self) -> list[Measurement]:
-        return [m for m in self.measurements if not m.target_domain.endswith("encore-testbed.net")]
+        return self._testbed_selection().invert().materialize()
 
 
 class EncoreDeployment:
@@ -150,7 +164,10 @@ class EncoreDeployment:
             collection_url=self.world.collection_url,
         )
         self.collection = CollectionServer(
-            submit_url=self.world.collection_url, geoip=self.world.geoip
+            submit_url=self.world.collection_url,
+            geoip=self.world.geoip,
+            max_rows_in_memory=self.config.max_rows_in_memory,
+            spill_dir=self.config.spill_dir,
         )
 
         # --- Origin sites ----------------------------------------------------

@@ -83,8 +83,7 @@ class PoisoningAttacker:
     def inject(self, collection: CollectionServer, campaign: PoisoningCampaign) -> int:
         """Append forged measurements to ``collection``; returns how many."""
         forged = self.forge_measurements(campaign)
-        collection.measurements.extend(forged)
-        return len(forged)
+        return collection.ingest_measurements(forged)
 
 
 @dataclass

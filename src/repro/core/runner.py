@@ -27,8 +27,11 @@ This module executes campaigns in vectorized batches instead:
    measurements — an invariant pinned by
    ``tests/core/test_runner_equivalence.py``.
 5. **Collect.**  Results stream into the
-   :class:`~repro.core.collection.CollectionServer` through its bulk
-   :meth:`submit_batch` path, and per-batch progress/checkpoint hooks make
+   :class:`~repro.core.collection.CollectionServer` through its columnar
+   :meth:`ingest_records` path — record tuples are transposed into the
+   struct-of-arrays :class:`~repro.core.store.MeasurementStore` without ever
+   constructing per-row ``Measurement`` objects — and per-batch
+   progress/checkpoint hooks make
    long campaigns observable and resumable (re-run with
    ``resume_from_batch=n`` to replay sampling/scheduling for the completed
    batches without re-executing them).
@@ -48,8 +51,9 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.browser.engine import CACHED_RENDER_MAX_MS, CACHED_RENDER_MIN_MS
-from repro.core.collection import SubmissionRecord
+from repro.core.collection import ColumnarRecords, SubmissionRecord
 from repro.core.scheduler import ScheduleDecision
+from repro.core.store import DictColumn
 from repro.core.tasks import (
     CACHED_PROBE_THRESHOLD_MS,
     MeasurementTask,
@@ -462,13 +466,21 @@ class BatchPlan:
 
 @dataclass
 class BatchOutcome:
-    """What executing one batch produced."""
+    """What executing one batch produced.
 
-    #: Plain tuples in :class:`SubmissionRecord` field order.
-    records: list[tuple]
+    The serial reference executor emits row tuples (``records``); the
+    vectorized executor emits a column payload (``columns``) that the
+    collection store ingests without any per-row work.  Exactly one of the
+    two is set.
+    """
+
+    #: Plain tuples in :class:`SubmissionRecord` field order (serial path).
+    records: list[tuple] | None
     unreachable_submissions: int
     deliveries_attempted: int
     deliveries_failed: int
+    #: Column payload (batch path).
+    columns: ColumnarRecords | None = None
 
 
 @dataclass(frozen=True)
@@ -572,13 +584,23 @@ class CampaignRunner:
                 outcome = SerialExecutor(deployment, urls, submit_url_id).execute(plan)
             else:
                 outcome = BatchExecutor(deployment, urls, verdicts, submit_url_id).execute(plan)
-            stored = deployment.collection.submit_batch(
-                outcome.records, outcome.unreachable_submissions
-            )
+            # Columnar ingestion: the batch executor hands over column
+            # payloads that append straight into the collection store's
+            # arrays (per-visit batched GeoIP lookup, no per-record
+            # Measurement construction); the serial path's row tuples are
+            # transposed by ingest_records.
+            if outcome.columns is not None:
+                stored = deployment.collection.ingest_columns(
+                    outcome.columns, outcome.unreachable_submissions
+                )
+            else:
+                stored = deployment.collection.ingest_records(
+                    outcome.records, outcome.unreachable_submissions
+                )
             deployment.coordination.note_batch_deliveries(
                 outcome.deliveries_attempted, outcome.deliveries_failed
             )
-            executions += len(stored)
+            executions += stored
             if self.progress is not None:
                 self.progress(
                     BatchProgress(
@@ -586,7 +608,7 @@ class CampaignRunner:
                         batch_count=batch_count,
                         visits_completed=batch_index * self.batch_size + count,
                         visits_total=visits,
-                        measurements_added=len(stored),
+                        measurements_added=stored,
                         measurements_total=len(deployment.collection),
                         duration_s=time.perf_counter() - started,
                     )
@@ -1080,55 +1102,142 @@ class BatchExecutor:
 
         submit_ok = ok  # a submission reaches the server iff its fetch succeeded
 
-        # --- Row assembly -------------------------------------------------
+        # --- Row assembly: columnar ---------------------------------------
+        # Rows are described by index arrays — which delivered visit, which
+        # task-table entry, which slot — and everything repeated (task
+        # attributes, per-visit client attributes, per-origin stripping)
+        # stays in small value tables that the store expands by fancy-index.
         slot_cacheable = np.asarray(urls.cacheable, dtype=bool)[url_id]
-        records: list[tuple] = []
-        unreachable = 0
         origins = self.deployment.origins
         family_names = [p.family.value for p in batch.browser_profiles]
         cache_visits = program.cache_visits
+
+        task_ids: dict[int, int] = {}
+        task_mids: list[str] = []
+        task_types: list[TaskType] = []
+        task_urls: list[URL] = []
+        task_domains: list[str] = []
+
+        def task_index(task: MeasurementTask) -> int:
+            table_index = task_ids.get(id(task))
+            if table_index is None:
+                table_index = len(task_mids)
+                task_ids[id(task)] = table_index
+                task_mids.append(task.measurement_id)
+                task_types.append(task.task_type)
+                task_urls.append(task.target_url)
+                task_domains.append(task.target_domain)
+            return table_index
+
+        delivered_visits: list[int] = []
+        visit_rows: list[int] = []      #: delivered-visit position per row
+        task_rows: list[int] = []
+        main_rows: list[int] = []       #: target slot, or -1 for cache-aware rows
+        submit_rows: list[int] = []
+        override_rows: list[int] = []   #: index into the ov_* lists, or -1
+        ov_outcome: list[int] = []
+        ov_elapsed: list[float] = []
+        ov_probe: list[float] = []
+        ov_subok: list[bool] = []
+
         for index, entries in enumerate(program.visit_tasks):
             if not entries or not delivered[index]:
                 continue
-            origin = origins[plan.origin_indices[index]]
-            day = int(plan.days[index])
-            country = batch.country_codes[index]
-            ip_address = batch.ip_addresses[index]
-            isp = batch.isp(index)
-            family = family_names[batch.browser_indices[index]]
-            automated = bool(batch.automated[index])
+            position = len(delivered_visits)
+            delivered_visits.append(index)
             if index in cache_visits:
                 rows = self._cache_aware_rows(
                     entries, batch, index, draws, elapsed, ok, status,
                     has_response, is_block, url_id, slot_cacheable,
                     image_table, page_table, submit_ok,
                 )
+                for task, code, elapsed_total, probe_time, sub_ok in rows:
+                    visit_rows.append(position)
+                    task_rows.append(task_index(task))
+                    main_rows.append(-1)
+                    submit_rows.append(-1)
+                    override_rows.append(len(ov_outcome))
+                    ov_outcome.append(code)
+                    ov_elapsed.append(elapsed_total)
+                    ov_probe.append(np.nan if probe_time is None else probe_time)
+                    ov_subok.append(sub_ok)
             else:
-                rows = [
-                    (
-                        entry.task,
-                        int(outcome_code[entry.main_slot]),
-                        float(elapsed[entry.main_slot]),
-                        None,
-                        bool(submit_ok[entry.submit_slot]),
-                    )
-                    for entry in entries
-                ]
-            origin_domain = origin.domain
-            strips = origin.strips_referer
-            for task, code, elapsed_total, probe_time, sub_ok in rows:
-                if not sub_ok:
-                    unreachable += 1
-                    continue
-                # Plain tuple in SubmissionRecord field order (hot path).
-                records.append((
-                    task.measurement_id, task.task_type, task.target_url,
-                    task.target_domain, _OUTCOMES[code], elapsed_total,
-                    probe_time, ip_address, country, isp, family,
-                    origin_domain, day, strips, automated,
-                ))
+                for entry in entries:
+                    visit_rows.append(position)
+                    task_rows.append(task_index(entry.task))
+                    main_rows.append(entry.main_slot)
+                    submit_rows.append(entry.submit_slot)
+                    override_rows.append(-1)
+
+        if not visit_rows:
+            return BatchOutcome([], 0, attempted, failed)
+
+        pos_arr = np.asarray(visit_rows, dtype=np.int64)
+        task_arr = np.asarray(task_rows, dtype=np.int64)
+        main_arr = np.asarray(main_rows, dtype=np.int64)
+        submit_arr = np.asarray(submit_rows, dtype=np.int64)
+        over_arr = np.asarray(override_rows, dtype=np.int64)
+        normal = over_arr < 0
+
+        n_rows = len(pos_arr)
+        out_rows = np.empty(n_rows, dtype=np.int64)
+        elapsed_rows = np.empty(n_rows, dtype=np.float64)
+        probe_rows = np.full(n_rows, np.nan)
+        sub_rows = np.zeros(n_rows, dtype=bool)
+        out_rows[normal] = outcome_code[main_arr[normal]]
+        elapsed_rows[normal] = elapsed[main_arr[normal]]
+        sub_rows[normal] = submit_ok[submit_arr[normal]]
+        if ov_outcome:
+            overridden = ~normal
+            ov_idx = over_arr[overridden]
+            out_rows[overridden] = np.asarray(ov_outcome, dtype=np.int64)[ov_idx]
+            elapsed_rows[overridden] = np.asarray(ov_elapsed, dtype=np.float64)[ov_idx]
+            probe_rows[overridden] = np.asarray(ov_probe, dtype=np.float64)[ov_idx]
+            sub_rows[overridden] = np.asarray(ov_subok, dtype=bool)[ov_idx]
+
+        # A submission reaches the server iff its fetch succeeded; the rest
+        # are tallied as unreachable, exactly like the serial walk.
+        unreachable = int(n_rows - np.count_nonzero(sub_rows))
+        pos_arr = pos_arr[sub_rows]
+        task_arr = task_arr[sub_rows]
+        out_rows = out_rows[sub_rows]
+        elapsed_rows = elapsed_rows[sub_rows]
+        probe_rows = probe_rows[sub_rows]
+
+        dv = np.asarray(delivered_visits, dtype=np.int64)
+        origin_values = [
+            None if origin.strips_referer else origin.domain for origin in origins
+        ]
+        columns = ColumnarRecords(
+            measurement_id=DictColumn(task_mids, task_arr),
+            task_type=DictColumn(task_types, task_arr),
+            target_url=DictColumn(task_urls, task_arr),
+            target_domain=DictColumn(task_domains, task_arr),
+            outcome=DictColumn(_OUTCOMES, out_rows),
+            elapsed_ms=elapsed_rows,
+            probe_time_ms=probe_rows,
+            client_ip=DictColumn(
+                np.asarray(batch.ip_addresses, dtype=np.str_)[dv], pos_arr
+            ),
+            country_code=DictColumn(
+                [batch.country_codes[v] for v in delivered_visits], pos_arr
+            ),
+            isp=DictColumn([batch.isp(v) for v in delivered_visits], pos_arr),
+            browser_family=DictColumn(
+                np.asarray(family_names, dtype=np.str_)[
+                    np.asarray(batch.browser_indices, dtype=np.int64)[dv]
+                ],
+                pos_arr,
+            ),
+            origin_domain=DictColumn(
+                origin_values, np.asarray(plan.origin_indices, dtype=np.int64)[dv][pos_arr]
+            ),
+            day=np.asarray(plan.days, dtype=np.int64)[dv][pos_arr],
+            is_automated=np.asarray(batch.automated, dtype=bool)[dv][pos_arr],
+        )
         return BatchOutcome(
-            records=records,
+            records=None,
+            columns=columns,
             unreachable_submissions=unreachable,
             deliveries_attempted=attempted,
             deliveries_failed=failed,
@@ -1324,7 +1433,7 @@ class CampaignSweep:
                             country_code=country,
                             testbed_fraction=config.testbed_fraction,
                             visits=result.visits_simulated,
-                            measurements=len(result.measurements),
+                            measurements=len(result.collection),
                             countries=result.collection.distinct_countries(),
                             unreachable_submissions=result.collection.unreachable_submissions,
                             detected_pairs=frozenset(report.detected_pairs()),

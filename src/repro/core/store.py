@@ -1,0 +1,744 @@
+"""Columnar measurement storage: struct-of-arrays with disk spill.
+
+The paper's deployment collected ~141k measurements from 88k clients (§7),
+and every analysis the reproduction runs — filtering, per-region success
+counts, detection, reports — is an aggregation over that corpus.  Holding
+each measurement as a frozen dataclass in a Python list makes those
+aggregations per-row Python loops; this module stores the corpus as columns
+instead:
+
+* **Struct of arrays.**  Each :class:`Measurement` field is one numpy column.
+  Low-cardinality fields (task type, outcome, target URL/domain, country,
+  ISP, browser family, origin) are dictionary-encoded as small integer codes
+  with store-level value tables, so filters compare integers and group-bys
+  are ``bincount`` reductions.  High-cardinality strings (measurement id,
+  client IP) stay as numpy unicode arrays.
+* **Vectorized queries.**  :meth:`MeasurementStore.select` evaluates all
+  filter criteria as boolean masks and returns a :class:`Selection` (mask +
+  column views); :meth:`MeasurementStore.success_counts` computes the
+  per-(domain, country) totals the binomial detector consumes with two
+  ``bincount`` passes instead of a per-row dict update.
+* **Bounded memory.**  With ``max_rows_in_memory=`` set, sealed column
+  segments spill to ``.npz`` files under ``spill_dir`` (a temporary
+  directory if none is given).  Queries transparently concatenate spilled
+  and resident segments — and only load the columns they touch, so the
+  detection pipeline over a spilled store never reads the string columns.
+* **Row compatibility.**  :meth:`rows` materializes
+  :class:`~repro.core.collection.Measurement` dataclasses on demand,
+  field-for-field identical to what the row-list collection server stored,
+  which is what keeps ``CollectionServer.measurements`` and
+  ``CampaignResult.measurements`` working unchanged.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, NamedTuple, Sequence
+
+import numpy as np
+
+from repro.core.tasks import TaskOutcome, TaskType
+from repro.web.url import URL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (collection imports us)
+    from repro.core.collection import Measurement
+
+# Fixed enum encodings shared by every store.
+TASK_TYPES: tuple[TaskType, ...] = tuple(TaskType)
+OUTCOMES: tuple[TaskOutcome, ...] = tuple(TaskOutcome)
+_TASK_CODES = {t: i for i, t in enumerate(TASK_TYPES)}
+_OUTCOME_CODES = {o: i for i, o in enumerate(OUTCOMES)}
+OUTCOME_SUCCESS = _OUTCOME_CODES[TaskOutcome.SUCCESS]
+OUTCOME_FAILURE = _OUTCOME_CODES[TaskOutcome.FAILURE]
+OUTCOME_INCONCLUSIVE = _OUTCOME_CODES[TaskOutcome.INCONCLUSIVE]
+
+#: Column name -> dtype of the empty column (string columns widen on append).
+_COLUMN_DTYPES = {
+    "measurement_id": np.dtype("U1"),
+    "task": np.dtype(np.int8),
+    "url": np.dtype(np.int32),
+    "domain": np.dtype(np.int32),
+    "outcome": np.dtype(np.int8),
+    "elapsed_ms": np.dtype(np.float64),
+    "probe_time_ms": np.dtype(np.float64),
+    "client_ip": np.dtype("U1"),
+    "country": np.dtype(np.int16),
+    "isp": np.dtype(np.int32),
+    "family": np.dtype(np.int16),
+    "origin": np.dtype(np.int32),
+    "day": np.dtype(np.int32),
+    "automated": np.dtype(bool),
+}
+_COLUMN_NAMES = tuple(_COLUMN_DTYPES)
+
+
+class DictColumn(NamedTuple):
+    """A column given as ``values[indices]`` without expanding it row-wise.
+
+    Producers that already know a column's distinct (or per-group) values —
+    the batch executor knows every row's task, and every client attribute
+    per *visit* rather than per row — hand the store the small ``values``
+    table plus a per-row ``indices`` array.  The store encodes ``values``
+    once (``len(values)`` dictionary operations instead of one per row) and
+    broadcasts the codes with a single fancy-index, which is what makes bulk
+    ingestion free of per-row Python work.
+    """
+
+    values: Sequence
+    indices: np.ndarray
+
+
+def _column_length(column) -> int:
+    return len(column.indices) if isinstance(column, DictColumn) else len(column)
+
+
+class GroupedCounts:
+    """Per-(domain, country) measurement totals as parallel arrays.
+
+    The cells are sorted by ``(domain, country)`` — the order the detector
+    reports statistics in — and ``totals``/``successes`` line up with
+    ``domains``/``countries`` index-for-index.  :meth:`as_dict` recovers the
+    legacy ``{(domain, country): (n, successes)}`` mapping.
+    """
+
+    __slots__ = ("domains", "countries", "totals", "successes")
+
+    def __init__(
+        self,
+        domains: np.ndarray,
+        countries: np.ndarray,
+        totals: np.ndarray,
+        successes: np.ndarray,
+    ) -> None:
+        self.domains = domains
+        self.countries = countries
+        self.totals = totals
+        self.successes = successes
+
+    def __len__(self) -> int:
+        return len(self.totals)
+
+    @classmethod
+    def from_dict(cls, counts: dict) -> "GroupedCounts":
+        """Build sorted cell arrays from a legacy counts mapping."""
+        items = sorted(counts.items())
+        domains = np.asarray([d for (d, _), _ in items], dtype=np.str_)
+        countries = np.asarray([c for (_, c), _ in items], dtype=np.str_)
+        totals = np.asarray([n for _, (n, _) in items], dtype=np.int64)
+        successes = np.asarray([s for _, (_, s) in items], dtype=np.int64)
+        return cls(domains, countries, totals, successes)
+
+    def as_dict(self) -> dict[tuple[str, str], tuple[int, int]]:
+        """The legacy ``(domain, country) -> (n, successes)`` mapping."""
+        return {
+            (str(d), str(c)): (int(n), int(s))
+            for d, c, n, s in zip(self.domains, self.countries, self.totals, self.successes)
+        }
+
+
+class Selection:
+    """The result of :meth:`MeasurementStore.select`: a row mask over the store.
+
+    Exposes the matching rows as column views (no copies of non-selected
+    data) and materializes :class:`Measurement` rows only on request.
+    """
+
+    __slots__ = ("store", "mask", "_indices", "_count")
+
+    def __init__(self, store: "MeasurementStore", mask: np.ndarray) -> None:
+        self.store = store
+        self.mask = mask
+        self._indices: np.ndarray | None = None
+        self._count: int | None = None
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = int(np.count_nonzero(self.mask))
+        return self._count
+
+    @property
+    def count(self) -> int:
+        return len(self)
+
+    @property
+    def indices(self) -> np.ndarray:
+        if self._indices is None:
+            self._indices = np.flatnonzero(self.mask)
+        return self._indices
+
+    def column(self, name: str) -> np.ndarray:
+        """The selected rows of one store column."""
+        return self.store.column(name)[self.mask]
+
+    def invert(self) -> "Selection":
+        """The complementary selection (rows this one excludes)."""
+        return Selection(self.store, ~self.mask)
+
+    @property
+    def succeeded(self) -> np.ndarray:
+        return self.column("outcome") == OUTCOME_SUCCESS
+
+    @property
+    def failed(self) -> np.ndarray:
+        return self.column("outcome") == OUTCOME_FAILURE
+
+    @property
+    def elapsed_ms(self) -> np.ndarray:
+        return self.column("elapsed_ms")
+
+    @property
+    def successes(self) -> int:
+        return int(np.count_nonzero(self.succeeded))
+
+    @property
+    def success_rate(self) -> float:
+        n = len(self)
+        return self.successes / n if n else 0.0
+
+    def materialize(self) -> "list[Measurement]":
+        """The selected rows as :class:`Measurement` dataclasses, in store order."""
+        return self.store.rows(self.indices)
+
+
+class _Segment:
+    """One sealed block of column arrays, resident or spilled to an ``.npz``."""
+
+    __slots__ = ("length", "columns", "path")
+
+    def __init__(self, length: int, columns: dict[str, np.ndarray] | None,
+                 path: Path | None = None) -> None:
+        self.length = length
+        self.columns = columns
+        self.path = path
+
+    @property
+    def spilled(self) -> bool:
+        return self.columns is None
+
+    def column(self, name: str) -> np.ndarray:
+        if self.columns is not None:
+            return self.columns[name]
+        assert self.path is not None
+        with np.load(self.path) as data:
+            return data[name]
+
+    def spill(self, path: Path) -> None:
+        assert self.columns is not None
+        np.savez(path, **self.columns)
+        self.path = path
+        self.columns = None
+
+
+class MeasurementStore:
+    """Struct-of-arrays storage for measurements, with optional disk spill.
+
+    ``segment_rows`` controls how many pending rows are batched before they
+    are sealed into an immutable segment; ``max_rows_in_memory`` bounds the
+    rows kept resident (sealed segments beyond the bound spill, oldest
+    first, to ``spill_dir``).
+    """
+
+    DEFAULT_SEGMENT_ROWS = 65_536
+
+    def __init__(
+        self,
+        segment_rows: int | None = None,
+        max_rows_in_memory: int | None = None,
+        spill_dir: str | Path | None = None,
+    ) -> None:
+        if segment_rows is not None and segment_rows < 1:
+            raise ValueError("segment_rows must be positive")
+        if max_rows_in_memory is not None and max_rows_in_memory < 1:
+            raise ValueError("max_rows_in_memory must be positive")
+        self.segment_rows = segment_rows or self.DEFAULT_SEGMENT_ROWS
+        self.max_rows_in_memory = max_rows_in_memory
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        #: Unique per-store directory under ``spill_dir``, created on first
+        #: spill, so stores sharing one configured directory (e.g. a sweep's
+        #: campaigns) never overwrite each other's segment files.
+        self._spill_subdir: Path | None = None
+        self._segments: list[_Segment] = []
+        self._pending: list[dict[str, np.ndarray]] = []
+        self._pending_rows = 0
+        self._length = 0
+        self._version = 0
+        self._spill_count = 0
+        # Dictionary-encoded value tables (store-level, shared by segments).
+        self._url_values: list[URL] = []
+        self._url_codes: dict[URL, int] = {}
+        self._domain_values: list[str] = []
+        self._domain_codes: dict[str, int] = {}
+        self._country_values: list[str] = []
+        self._country_codes: dict[str, int] = {}
+        self._isp_values: list[str] = []
+        self._isp_codes: dict[str, int] = {}
+        self._family_values: list[str] = []
+        self._family_codes: dict[str, int] = {}
+        self._origin_values: list[str] = []
+        #: ``None`` origins (stripped Referer) encode as -1.
+        self._origin_codes: dict[str | None, int] = {None: -1}
+        # Query-time caches, all invalidated by version comparison.
+        self._column_cache: dict[str, np.ndarray] = {}
+        self._column_cache_version = -1
+        self._derived_cache: dict[object, object] = {}
+        self._derived_cache_version = -1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every append (cache invalidation key)."""
+        return self._version
+
+    @property
+    def url_values(self) -> Sequence[URL]:
+        return self._url_values
+
+    @property
+    def domain_values(self) -> Sequence[str]:
+        return self._domain_values
+
+    @property
+    def country_values(self) -> Sequence[str]:
+        return self._country_values
+
+    @property
+    def spill_dir(self) -> Path | None:
+        return self._spill_dir
+
+    @property
+    def segment_files(self) -> list[Path]:
+        """Paths of the segments currently spilled to disk."""
+        return [seg.path for seg in self._segments if seg.spilled and seg.path is not None]
+
+    @property
+    def rows_in_memory(self) -> int:
+        """Rows currently resident (pending plus unspilled segments)."""
+        return self._pending_rows + sum(
+            seg.length for seg in self._segments if not seg.spilled
+        )
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def append_columns(
+        self,
+        *,
+        measurement_id: Sequence[str],
+        task_type: Sequence[TaskType],
+        target_url: Sequence[URL],
+        target_domain: Sequence[str],
+        outcome: Sequence[TaskOutcome],
+        elapsed_ms,
+        client_ip: Sequence[str],
+        country_code: Sequence[str],
+        isp: Sequence[str],
+        browser_family: Sequence[str],
+        origin_domain: Sequence[str | None],
+        day,
+        probe_time_ms=None,
+        is_automated=None,
+    ) -> int:
+        """Append ``n`` rows given column-wise, returning ``n``.
+
+        Every argument is either a sequence of length ``n`` in
+        :class:`Measurement` field semantics or a :class:`DictColumn`
+        (``values`` table + per-row ``indices``), which the store expands
+        with one fancy-index after encoding only the table;
+        ``probe_time_ms`` entries may be ``None`` (stored as NaN) and
+        ``origin_domain`` entries may be ``None`` (stored as code -1).  This
+        is the zero-object ingestion path: no per-row :class:`Measurement`
+        is ever constructed.
+        """
+        n = _column_length(measurement_id)
+        if n == 0:
+            return 0
+        chunk = {
+            "measurement_id": _string_column(measurement_id),
+            "task": self._encode(task_type, _TASK_CODES, None, np.int8),
+            "url": self._encode(target_url, self._url_codes, self._url_values, np.int32),
+            "domain": self._encode(
+                target_domain, self._domain_codes, self._domain_values, np.int32
+            ),
+            "outcome": self._encode(outcome, _OUTCOME_CODES, None, np.int8),
+            "elapsed_ms": np.asarray(elapsed_ms, dtype=np.float64),
+            "probe_time_ms": _as_optional_floats(probe_time_ms, n),
+            "client_ip": _string_column(client_ip),
+            "country": self._encode(
+                country_code, self._country_codes, self._country_values, np.int16
+            ),
+            "isp": self._encode(isp, self._isp_codes, self._isp_values, np.int32),
+            "family": self._encode(
+                browser_family, self._family_codes, self._family_values, np.int16
+            ),
+            "origin": self._encode(
+                origin_domain, self._origin_codes, self._origin_values, np.int32
+            ),
+            "day": np.asarray(day, dtype=np.int32),
+            "automated": (
+                np.zeros(n, dtype=bool)
+                if is_automated is None
+                else np.asarray(is_automated, dtype=bool)
+            ),
+        }
+        self._append_chunk(chunk, n)
+        return n
+
+    def append_rows(self, measurements: "Iterable[Measurement]") -> int:
+        """Append already-materialized :class:`Measurement` rows."""
+        ms = measurements if isinstance(measurements, (list, tuple)) else list(measurements)
+        if not ms:
+            return 0
+        return self.append_columns(
+            measurement_id=[m.measurement_id for m in ms],
+            task_type=[m.task_type for m in ms],
+            target_url=[m.target_url for m in ms],
+            target_domain=[m.target_domain for m in ms],
+            outcome=[m.outcome for m in ms],
+            elapsed_ms=[m.elapsed_ms for m in ms],
+            client_ip=[m.client_ip for m in ms],
+            country_code=[m.country_code for m in ms],
+            isp=[m.isp for m in ms],
+            browser_family=[m.browser_family for m in ms],
+            origin_domain=[m.origin_domain for m in ms],
+            day=[m.day for m in ms],
+            probe_time_ms=[m.probe_time_ms for m in ms],
+            is_automated=[m.is_automated for m in ms],
+        )
+
+    def _encode(self, values, code_map: dict, value_list: list | None, dtype) -> np.ndarray:
+        """Dictionary-encode ``values`` into integer codes.
+
+        A :class:`DictColumn` encodes only its (small) value table and
+        broadcasts the codes by fancy-index.  Otherwise the fast path maps
+        every value through the existing code table in one C-level pass; the
+        first sight of a new value falls back to an inserting scan
+        (``value_list is None`` means the table is closed — fixed enum
+        encodings — and unknown values are an error).
+        """
+        if isinstance(values, DictColumn):
+            return self._encode(values.values, code_map, value_list, dtype)[values.indices]
+        try:
+            return np.fromiter(
+                map(code_map.__getitem__, values), dtype=dtype, count=len(values)
+            )
+        except KeyError:
+            if value_list is None:
+                raise
+        out = np.empty(len(values), dtype=dtype)
+        get = code_map.get
+        for index, value in enumerate(values):
+            code = get(value)
+            if code is None:
+                code = len(value_list)
+                code_map[value] = code
+                value_list.append(value)
+            out[index] = code
+        return out
+
+    def _append_chunk(self, chunk: dict[str, np.ndarray], n: int) -> None:
+        self._pending.append(chunk)
+        self._pending_rows += n
+        self._length += n
+        self._version += 1
+        threshold = self.segment_rows
+        if self.max_rows_in_memory is not None:
+            threshold = min(threshold, self.max_rows_in_memory)
+        if self._pending_rows >= threshold:
+            self._seal_pending()
+            self._maybe_spill()
+
+    def _seal_pending(self) -> None:
+        if not self._pending:
+            return
+        if len(self._pending) == 1:
+            columns = self._pending[0]
+        else:
+            columns = {
+                name: np.concatenate([chunk[name] for chunk in self._pending])
+                for name in _COLUMN_NAMES
+            }
+        self._segments.append(_Segment(self._pending_rows, columns))
+        self._pending = []
+        self._pending_rows = 0
+
+    def _maybe_spill(self) -> None:
+        if self.max_rows_in_memory is None:
+            return
+        resident = self.rows_in_memory
+        for seg in self._segments:
+            if resident <= self.max_rows_in_memory:
+                break
+            if seg.spilled:
+                continue
+            seg.spill(self._next_spill_path())
+            resident -= seg.length
+
+    def _next_spill_path(self) -> Path:
+        if self._spill_subdir is None:
+            if self._spill_dir is None:
+                self._spill_subdir = Path(tempfile.mkdtemp(prefix="measurement-store-"))
+            else:
+                self._spill_dir.mkdir(parents=True, exist_ok=True)
+                self._spill_subdir = Path(
+                    tempfile.mkdtemp(prefix="store-", dir=self._spill_dir)
+                )
+        self._spill_count += 1
+        return self._spill_subdir / f"segment-{self._spill_count:05d}.npz"
+
+    def spill(self) -> int:
+        """Seal pending rows and spill every resident segment; returns spilled count."""
+        self._seal_pending()
+        spilled = 0
+        for seg in self._segments:
+            if not seg.spilled:
+                seg.spill(self._next_spill_path())
+                spilled += 1
+        self._column_cache.clear()
+        self._column_cache_version = -1
+        return spilled
+
+    # ------------------------------------------------------------------
+    # Columnar access
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """The full column ``name``, transparently concatenated across segments.
+
+        Spilled segments are read back on demand; only the requested column
+        is loaded from each ``.npz``, so queries that never touch the string
+        columns never pay for them.
+        """
+        if name not in _COLUMN_DTYPES:
+            raise KeyError(f"unknown column {name!r}")
+        if self._column_cache_version != self._version:
+            self._column_cache.clear()
+            self._column_cache_version = self._version
+        cached = self._column_cache.get(name)
+        if cached is None:
+            parts = [seg.column(name) for seg in self._segments]
+            parts.extend(chunk[name] for chunk in self._pending)
+            if not parts:
+                cached = np.empty(0, dtype=_COLUMN_DTYPES[name])
+            elif len(parts) == 1:
+                cached = parts[0]
+            else:
+                cached = np.concatenate(parts)
+            # Keeping a concatenated *string* column alive on a spilled
+            # store would quietly grow memory back to full-corpus size; the
+            # small code/numeric columns are the ones queries hit repeatedly.
+            if _COLUMN_DTYPES[name].kind != "U" or not any(
+                seg.spilled for seg in self._segments
+            ):
+                self._column_cache[name] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        domain: str | None = None,
+        country_code: str | None = None,
+        task_type: TaskType | None = None,
+        *,
+        domain_suffix: str | None = None,
+        exclude_automated: bool = True,
+        exclude_inconclusive: bool = True,
+    ) -> Selection:
+        """Rows matching the given criteria, as a mask-backed :class:`Selection`.
+
+        Matches the legacy ``CollectionServer.filtered`` semantics: automated
+        traffic and inconclusive outcomes are excluded by default (paper
+        §7.1), and each criterion narrows the selection.
+        """
+        mask = np.ones(len(self), dtype=bool)
+        if exclude_automated:
+            mask &= ~self.column("automated")
+        if exclude_inconclusive:
+            mask &= self.column("outcome") != OUTCOME_INCONCLUSIVE
+        if domain is not None:
+            code = self._domain_codes.get(domain)
+            if code is None:
+                mask[:] = False
+            else:
+                mask &= self.column("domain") == code
+        if domain_suffix is not None:
+            codes = [
+                code
+                for value, code in self._domain_codes.items()
+                if value.endswith(domain_suffix)
+            ]
+            mask &= np.isin(self.column("domain"), codes)
+        if country_code is not None:
+            code = self._country_codes.get(country_code)
+            if code is None:
+                mask[:] = False
+            else:
+                mask &= self.column("country") == code
+        if task_type is not None:
+            mask &= self.column("task") == _TASK_CODES[task_type]
+        return Selection(self, mask)
+
+    def success_counts(self, exclude_automated: bool = True) -> GroupedCounts:
+        """Per-(domain, country) totals and successes by grouped reduction.
+
+        Two ``bincount`` passes over a combined ``domain * n_countries +
+        country`` key replace the per-row dict updates of the row-list path;
+        inconclusive outcomes (and by default automated traffic) are
+        excluded, exactly as the binomial detection test requires.
+        """
+        cache_key = ("success_counts", exclude_automated)
+        cached = self._derived(cache_key)
+        if cached is not None:
+            return cached
+        if len(self) == 0 or not self._country_values:
+            empty = GroupedCounts(
+                np.empty(0, dtype=np.str_),
+                np.empty(0, dtype=np.str_),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+            return self._derive(cache_key, empty)
+        outcome = self.column("outcome")
+        valid = outcome != OUTCOME_INCONCLUSIVE
+        if exclude_automated:
+            valid &= ~self.column("automated")
+        n_countries = len(self._country_values)
+        key = self.column("domain")[valid].astype(np.int64) * n_countries
+        key += self.column("country")[valid]
+        minlength = len(self._domain_values) * n_countries
+        totals = np.bincount(key, minlength=minlength)
+        successes = np.bincount(
+            key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
+        )
+        cells = np.flatnonzero(totals)
+        domains = np.asarray(self._domain_values, dtype=np.str_)[cells // n_countries]
+        countries = np.asarray(self._country_values, dtype=np.str_)[cells % n_countries]
+        order = np.lexsort((countries, domains))
+        grouped = GroupedCounts(
+            domains[order],
+            countries[order],
+            totals[cells][order],
+            successes[cells][order],
+        )
+        return self._derive(cache_key, grouped)
+
+    def distinct_ips(self) -> int:
+        cached = self._derived("distinct_ips")
+        if cached is None:
+            cached = self._derive(
+                "distinct_ips", int(np.unique(self.column("client_ip")).size)
+            )
+        return cached
+
+    def distinct_countries(self) -> int:
+        cached = self._derived("distinct_countries")
+        if cached is None:
+            present = np.bincount(
+                self.column("country"), minlength=len(self._country_values)
+            )
+            cached = self._derive("distinct_countries", int(np.count_nonzero(present)))
+        return cached
+
+    def measurements_by_country(self) -> Counter:
+        """Measurement volume per country (all rows, like the legacy Counter)."""
+        cached = self._derived("by_country")
+        if cached is None:
+            counts = np.bincount(
+                self.column("country"), minlength=len(self._country_values)
+            )
+            cached = self._derive(
+                "by_country",
+                Counter(
+                    {
+                        self._country_values[code]: int(count)
+                        for code, count in enumerate(counts.tolist())
+                        if count
+                    }
+                ),
+            )
+        return cached
+
+    def _derived(self, key):
+        if self._derived_cache_version != self._version:
+            self._derived_cache.clear()
+            self._derived_cache_version = self._version
+        return self._derived_cache.get(key)
+
+    def _derive(self, key, value):
+        self._derived_cache[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # Row materialization (the backward-compatible view)
+    # ------------------------------------------------------------------
+    def rows(self, indices: np.ndarray | Sequence[int] | None = None) -> "list[Measurement]":
+        """Materialize rows as :class:`Measurement` dataclasses, in store order."""
+        from repro.core.collection import Measurement  # deferred: collection imports us
+
+        if indices is not None:
+            indices = np.asarray(indices, dtype=np.int64)
+
+        def pick(name: str) -> list:
+            col = self.column(name)
+            if indices is not None:
+                col = col[indices]
+            return col.tolist()
+
+        urls = self._url_values
+        domains = self._domain_values
+        countries = self._country_values
+        isps = self._isp_values
+        families = self._family_values
+        origins = self._origin_values
+        return [
+            Measurement(
+                measurement_id=mid,
+                task_type=TASK_TYPES[task],
+                target_url=urls[url],
+                target_domain=domains[dom],
+                outcome=OUTCOMES[out],
+                elapsed_ms=elapsed,
+                client_ip=ip,
+                country_code=countries[country],
+                isp=isps[isp_code],
+                browser_family=families[family],
+                origin_domain=origins[origin] if origin >= 0 else None,
+                day=day,
+                probe_time_ms=None if probe != probe else probe,
+                is_automated=automated,
+            )
+            for mid, task, url, dom, out, elapsed, probe, ip, country, isp_code,
+                family, origin, day, automated in zip(
+                pick("measurement_id"), pick("task"), pick("url"), pick("domain"),
+                pick("outcome"), pick("elapsed_ms"), pick("probe_time_ms"),
+                pick("client_ip"), pick("country"), pick("isp"), pick("family"),
+                pick("origin"), pick("day"), pick("automated"),
+            )
+        ]
+
+
+def _string_column(values) -> np.ndarray:
+    """A per-row unicode array from a plain sequence or a :class:`DictColumn`."""
+    if isinstance(values, DictColumn):
+        return np.asarray(values.values, dtype=np.str_)[values.indices]
+    return np.asarray(values, dtype=np.str_)
+
+
+def _as_optional_floats(values, n: int) -> np.ndarray:
+    """Float column from a sequence that may contain ``None`` (stored as NaN)."""
+    if values is None:
+        return np.full(n, np.nan)
+    if isinstance(values, np.ndarray) and values.dtype.kind == "f":
+        return values.astype(np.float64, copy=False)
+    return np.fromiter(
+        (np.nan if value is None else value for value in values),
+        dtype=np.float64,
+        count=n,
+    )

@@ -73,12 +73,15 @@ class GeoIPDatabase:
 
     def lookup(self, ip_address: str) -> str | None:
         """Country code for ``ip_address``, or None for unknown space."""
-        prefix = ip_address.rsplit(".", 2)[0]
+        return self._lookup_prefix(ip_address.rsplit(".", 2)[0])
+
+    def _lookup_prefix(self, prefix: str) -> str | None:
+        """Country for an ``"a.b"`` block prefix (cache-through)."""
         cached = self._lookup_cache.get(prefix)
         if cached is not None:
             return cached
-        parts = ip_address.split(".")
-        if len(parts) != 4:
+        parts = prefix.split(".")
+        if len(parts) != 2:
             return None
         try:
             key = (int(parts[0]), int(parts[1]))
@@ -88,6 +91,37 @@ class GeoIPDatabase:
         if country is not None:
             self._lookup_cache[prefix] = country
         return country
+
+    def lookup_batch(self, ip_addresses) -> list[str | None]:
+        """Country codes for many addresses with one vectorized pass.
+
+        Strips each address down to its ``"a.b"`` block prefix with
+        vectorized string ops, resolves every *distinct* prefix against the
+        allocation table once, and broadcasts the answers back — equivalent
+        to (but much cheaper than) calling :meth:`lookup` per address.
+        """
+        addresses = (
+            ip_addresses
+            if isinstance(ip_addresses, np.ndarray)
+            else np.asarray(ip_addresses, dtype=np.str_)
+        )
+        if addresses.size == 0:
+            return []
+        prefixes = np.char.rpartition(np.char.rpartition(addresses, ".")[..., 0], ".")[..., 0]
+        # Distinct prefixes are few (a campaign sees a handful of blocks per
+        # country); resolve each once through a local memo instead of paying
+        # a sort-based unique over the whole batch.
+        resolved: dict[str, str | None] = {}
+        lookup_prefix = self._lookup_prefix
+        out = []
+        append = out.append
+        for prefix in prefixes.tolist():
+            try:
+                country = resolved[prefix]
+            except KeyError:
+                country = resolved[prefix] = lookup_prefix(prefix)
+            append(country)
+        return out
 
     def countries(self) -> list[str]:
         return list(self._country_to_blocks)

@@ -1,0 +1,443 @@
+"""The columnar MeasurementStore vs. the seed row-list semantics.
+
+The store replaced the collection server's ``list[Measurement]`` with
+struct-of-arrays storage; these tests pin the redesign's compatibility
+contract: every query (``select``/``filtered``, ``success_counts``, the
+distinct counters, detection) must agree with the seed row-list
+implementations — reproduced here as reference functions — on arbitrary
+corpora, with and without spilling segments to disk.
+"""
+
+import tempfile
+from collections import Counter, defaultdict
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.collection import CollectionServer, Measurement
+from repro.core.inference import (
+    AdaptiveFilteringDetector,
+    BinomialFilteringDetector,
+    binomial_cdf,
+    binomial_cdf_cells,
+)
+from repro.core.pipeline import CampaignConfig, EncoreDeployment
+from repro.core.store import GroupedCounts, MeasurementStore
+from repro.core.tasks import TaskOutcome, TaskType
+from repro.population.geoip import GeoIPDatabase
+from repro.population.world import World, WorldConfig
+from repro.web.url import URL
+
+
+# ----------------------------------------------------------------------
+# Seed reference implementations (the pre-store row-list semantics)
+# ----------------------------------------------------------------------
+def reference_filtered(measurements, domain=None, country_code=None, task_type=None,
+                       exclude_automated=True, exclude_inconclusive=True):
+    result = []
+    for m in measurements:
+        if exclude_automated and m.is_automated:
+            continue
+        if exclude_inconclusive and m.outcome is TaskOutcome.INCONCLUSIVE:
+            continue
+        if domain is not None and m.target_domain != domain:
+            continue
+        if country_code is not None and m.country_code != country_code:
+            continue
+        if task_type is not None and m.task_type is not task_type:
+            continue
+        result.append(m)
+    return result
+
+
+def reference_success_counts(measurements, exclude_automated=True):
+    totals = defaultdict(int)
+    successes = defaultdict(int)
+    for m in measurements:
+        if exclude_automated and m.is_automated:
+            continue
+        if m.outcome is TaskOutcome.INCONCLUSIVE:
+            continue
+        key = (m.target_domain, m.country_code)
+        totals[key] += 1
+        if m.succeeded:
+            successes[key] += 1
+    return {key: (totals[key], successes[key]) for key in totals}
+
+
+def reference_detect(counts, success_prior=0.7, significance=0.05, min_measurements=10):
+    """The seed scalar detection loop, returning the detected pairs."""
+    stats = []
+    for (domain, country), (n, successes) in sorted(counts.items()):
+        if n < min_measurements:
+            continue
+        stats.append((domain, country, n, successes,
+                      binomial_cdf(successes, n, success_prior)))
+    by_domain = defaultdict(list)
+    for stat in stats:
+        by_domain[stat[0]].append(stat)
+    detected = set()
+    for domain, domain_stats in by_domain.items():
+        failing = [s for s in domain_stats if s[4] <= significance]
+        passing = [
+            s for s in domain_stats
+            if s[4] > significance and (s[3] / s[2] if s[2] else 0.0) >= success_prior
+        ]
+        if not failing or not passing:
+            continue
+        for stat in failing:
+            detected.add((stat[0], stat[1]))
+    return detected
+
+
+# ----------------------------------------------------------------------
+# Random corpora
+# ----------------------------------------------------------------------
+DOMAINS = ("facebook.com", "youtube.com", "twitter.com", "host-00.encore-testbed.net")
+COUNTRIES = ("US", "CN", "IR", "PK", "DE")
+ISPS = ("us-isp-1", "cn-isp-2", "attacker")
+FAMILIES = ("chrome", "firefox", "ie")
+
+
+@st.composite
+def measurements(draw):
+    domain = draw(st.sampled_from(DOMAINS))
+    country = draw(st.sampled_from(COUNTRIES))
+    task_type = draw(st.sampled_from(list(TaskType)))
+    probe = draw(st.one_of(st.none(), st.floats(min_value=0.0, max_value=500.0)))
+    return Measurement(
+        measurement_id=f"m{draw(st.integers(min_value=0, max_value=30))}",
+        task_type=task_type,
+        target_url=URL.parse(f"http://{domain}/favicon.ico"),
+        target_domain=domain,
+        outcome=draw(st.sampled_from(list(TaskOutcome))),
+        elapsed_ms=draw(st.floats(min_value=0.0, max_value=5000.0)),
+        client_ip=f"10.0.{draw(st.integers(min_value=0, max_value=40))}.7",
+        country_code=country,
+        isp=draw(st.sampled_from(ISPS)),
+        browser_family=draw(st.sampled_from(FAMILIES)),
+        origin_domain=draw(st.one_of(st.none(), st.sampled_from(("origin-00.example.edu", "origin-01.example.edu")))),
+        day=draw(st.integers(min_value=0, max_value=29)),
+        probe_time_ms=probe,
+        is_automated=draw(st.booleans()),
+    )
+
+
+corpora = st.lists(measurements(), max_size=60)
+
+filter_combos = st.fixed_dictionaries(
+    {
+        "domain": st.one_of(st.none(), st.sampled_from(DOMAINS)),
+        "country_code": st.one_of(st.none(), st.sampled_from(COUNTRIES + ("XX",))),
+        "task_type": st.one_of(st.none(), st.sampled_from(list(TaskType))),
+        "exclude_automated": st.booleans(),
+        "exclude_inconclusive": st.booleans(),
+    }
+)
+
+
+class TestStoreMatchesRowListSemantics:
+    @given(corpus=corpora, combo=filter_combos)
+    @settings(max_examples=60, deadline=None)
+    def test_select_equals_seed_filtered(self, corpus, combo):
+        store = MeasurementStore(segment_rows=16)
+        store.append_rows(corpus)
+        assert store.select(**combo).materialize() == reference_filtered(corpus, **combo)
+
+    @given(corpus=corpora, exclude_automated=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_success_counts_equal_seed(self, corpus, exclude_automated):
+        store = MeasurementStore(segment_rows=16)
+        store.append_rows(corpus)
+        grouped = store.success_counts(exclude_automated=exclude_automated)
+        assert grouped.as_dict() == reference_success_counts(corpus, exclude_automated)
+
+    @given(corpus=corpora)
+    @settings(max_examples=40, deadline=None)
+    def test_rows_round_trip_field_for_field(self, corpus):
+        store = MeasurementStore(segment_rows=8)
+        store.append_rows(corpus)
+        assert store.rows() == corpus
+
+    @given(corpus=corpora, combo=filter_combos)
+    @settings(max_examples=30, deadline=None)
+    def test_spilled_store_answers_identically(self, corpus, combo):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = MeasurementStore(segment_rows=8, max_rows_in_memory=8, spill_dir=tmp)
+            store.append_rows(corpus)
+            store.spill()
+            if corpus:
+                assert store.segment_files, "expected .npz segments on disk"
+                assert store.rows_in_memory == 0
+            assert store.rows() == corpus
+            assert store.select(**combo).materialize() == reference_filtered(corpus, **combo)
+            assert store.success_counts().as_dict() == reference_success_counts(corpus)
+
+    def test_spilling_many_resident_segments_at_once_keeps_rows(self, tmp_path):
+        # Regression: spilling several resident segments in one call must
+        # write one .npz per segment, not overwrite a single path.
+        corpus = TestDerivedCaches().make_corpus(30)
+        store = MeasurementStore(segment_rows=10, spill_dir=tmp_path)
+        for start in (0, 10, 20):
+            store.append_rows(corpus[start:start + 10])
+        assert store.spill() == 3
+        assert len(store.segment_files) == 3
+        assert len(set(store.segment_files)) == 3
+        assert store.rows() == corpus
+
+    def test_stores_sharing_a_spill_dir_do_not_collide(self, tmp_path):
+        # Regression: two stores pointed at one spill_dir (e.g. a sweep's
+        # campaigns) must not overwrite each other's segment files.
+        first_corpus = TestDerivedCaches().make_corpus(10)
+        second_corpus = [
+            Measurement(**{**m.__dict__, "measurement_id": f"other-{i}"})
+            for i, m in enumerate(TestDerivedCaches().make_corpus(10))
+        ]
+        first = MeasurementStore(spill_dir=tmp_path)
+        second = MeasurementStore(spill_dir=tmp_path)
+        first.append_rows(first_corpus)
+        second.append_rows(second_corpus)
+        first.spill()
+        second.spill()
+        assert first.rows() == first_corpus
+        assert second.rows() == second_corpus
+
+    @given(corpus=corpora)
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_counters_equal_seed(self, corpus):
+        store = MeasurementStore(segment_rows=16)
+        store.append_rows(corpus)
+        assert store.distinct_ips() == len({m.client_ip for m in corpus})
+        assert store.distinct_countries() == len({m.country_code for m in corpus})
+        assert store.measurements_by_country() == Counter(m.country_code for m in corpus)
+
+
+class TestDerivedCaches:
+    def make_corpus(self, n=20):
+        rng = np.random.default_rng(5)
+        return [
+            Measurement(
+                measurement_id=f"m{i}",
+                task_type=TaskType.IMAGE,
+                target_url=URL.parse("http://facebook.com/favicon.ico"),
+                target_domain="facebook.com",
+                outcome=TaskOutcome.SUCCESS if rng.random() < 0.7 else TaskOutcome.FAILURE,
+                elapsed_ms=float(rng.uniform(10, 100)),
+                client_ip=f"10.0.0.{i}",
+                country_code="US" if i % 2 else "CN",
+                isp="isp",
+                browser_family="chrome",
+                origin_domain=None,
+                day=0,
+            )
+            for i in range(n)
+        ]
+
+    def test_caches_hit_until_append_invalidates(self):
+        corpus = self.make_corpus()
+        store = MeasurementStore()
+        store.append_rows(corpus)
+        by_country = store.measurements_by_country()
+        assert store.measurements_by_country() is by_country          # cache hit
+        assert store.success_counts() is store.success_counts()
+        ips_before = store.distinct_ips()
+        extra = self.make_corpus()[0]
+        extra = Measurement(**{**extra.__dict__, "client_ip": "10.9.9.9",
+                               "country_code": "IR", "measurement_id": "fresh"})
+        store.append_rows([extra])                                     # invalidates
+        assert store.distinct_ips() == ips_before + 1
+        assert store.measurements_by_country()["IR"] == 1
+        assert store.measurements_by_country() is not by_country
+
+    def test_collection_measurements_snapshot_is_cached(self):
+        server = CollectionServer("http://collector.encore-measurement.org/submit")
+        server.ingest_measurements(self.make_corpus())
+        first = server.measurements
+        assert server.measurements is first
+        server.ingest_measurements(self.make_corpus(1))
+        assert server.measurements is not first
+        assert len(server.measurements) == 21
+
+
+class TestGeoIPBatchLookup:
+    @given(
+        ips=st.lists(
+            st.one_of(
+                st.builds(
+                    lambda a, b, c, d: f"{a}.{b}.{c}.{d}",
+                    st.integers(min_value=9, max_value=13),
+                    st.integers(min_value=0, max_value=255),
+                    st.integers(min_value=0, max_value=255),
+                    st.integers(min_value=0, max_value=255),
+                ),
+                st.sampled_from(("not-an-ip", "10.0", "10.0.1", "10.0.1.2.3", "a.b.c.d")),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lookup_batch_equals_scalar_lookup(self, ips):
+        batch_db = GeoIPDatabase()
+        scalar_db = GeoIPDatabase()
+        assert batch_db.lookup_batch(ips) == [scalar_db.lookup(ip) for ip in ips]
+
+    def test_allocated_ips_geolocate_back(self):
+        db = GeoIPDatabase()
+        ips = db.allocate_ips("IR", 1000) + db.allocate_ips("US", 10)
+        assert db.lookup_batch(ips) == ["IR"] * 1000 + ["US"] * 10
+
+
+class TestVectorizedDetectorMatchesSeed:
+    @st.composite
+    def counts_tables(draw):
+        n_domains = draw(st.integers(min_value=1, max_value=3))
+        n_regions = draw(st.integers(min_value=1, max_value=6))
+        counts = {}
+        for d in range(n_domains):
+            for r in range(n_regions):
+                if draw(st.booleans()):
+                    trials = draw(st.integers(min_value=1, max_value=200))
+                    counts[(f"site-{d}.org", f"C{r}")] = (
+                        trials, draw(st.integers(min_value=0, max_value=trials))
+                    )
+        return counts
+
+    @given(counts=counts_tables())
+    @settings(max_examples=80, deadline=None)
+    def test_detect_from_counts_matches_seed_scalar_path(self, counts):
+        detector = BinomialFilteringDetector(min_measurements=5)
+        report = detector.detect_from_counts(counts)
+        assert report.detected_pairs() == reference_detect(
+            counts, detector.success_prior, detector.significance, detector.min_measurements
+        )
+        for stat in report.statistics:
+            expected = binomial_cdf(stat.successes, stat.measurements, detector.success_prior)
+            assert stat.p_value == pytest.approx(expected, rel=1e-12, abs=1e-300)
+
+    @given(counts=counts_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_adaptive_cell_priors_match_country_priors(self, counts):
+        detector = AdaptiveFilteringDetector(min_measurements=5)
+        priors = detector.country_priors(counts)
+        for stat in detector.region_statistics(counts):
+            prior = priors.get(stat.country_code, detector.success_prior)
+            expected = binomial_cdf(stat.successes, stat.measurements, prior)
+            assert stat.p_value == pytest.approx(expected, rel=1e-12, abs=1e-300)
+
+    def test_cells_evaluator_edge_cases(self):
+        successes = np.array([-1, 10, 5, 5, 0])
+        trials = np.array([10, 10, 10, 10, 0])
+        p = np.array([0.5, 0.5, 0.0, 1.0, 0.5])
+        result = binomial_cdf_cells(successes, trials, p)
+        expected = [binomial_cdf(s, n, q) for s, n, q in zip(successes, trials, p)]
+        assert result.tolist() == pytest.approx(expected)
+        with pytest.raises(ValueError):
+            binomial_cdf_cells([1], [-1], 0.5)
+        with pytest.raises(ValueError):
+            binomial_cdf_cells([1], [2], 1.5)
+
+    def test_grouped_counts_dict_round_trip(self):
+        counts = {("b.org", "US"): (10, 7), ("a.org", "CN"): (5, 1), ("a.org", "US"): (8, 8)}
+        grouped = GroupedCounts.from_dict(counts)
+        assert grouped.as_dict() == counts
+        assert [str(d) for d in grouped.domains] == ["a.org", "a.org", "b.org"]
+
+
+def small_deployment(seed=11, visits=600, **config_kwargs):
+    world = World(
+        WorldConfig(seed=7, target_list_total=30, target_list_online=24, origin_site_count=4)
+    )
+    config = CampaignConfig(
+        visits=visits, include_testbed=True, testbed_fraction=0.3, seed=seed,
+        **config_kwargs,
+    )
+    return EncoreDeployment(world, config)
+
+
+class TestCampaignBackedStore:
+    def test_campaign_result_rows_match_seed_representation(self):
+        """CampaignResult.measurements yields Measurement rows whose fields
+        round-trip exactly through the columnar representation."""
+        result = small_deployment().run_campaign()
+        rows = result.measurements
+        assert rows and all(isinstance(m, Measurement) for m in rows)
+        # Re-ingesting the materialized rows into a fresh store and reading
+        # them back must be the identity, field for field.
+        round_trip = MeasurementStore()
+        round_trip.append_rows(rows)
+        assert round_trip.rows() == rows
+        # And the store-backed queries agree with the seed row-list logic.
+        collection = result.collection
+        assert collection.filtered(domain="youtube.com", country_code="CN") == \
+            reference_filtered(rows, domain="youtube.com", country_code="CN")
+        assert collection.success_counts() == reference_success_counts(rows)
+        assert collection.distinct_ips() == len({m.client_ip for m in rows})
+
+    def test_record_returns_seed_identical_measurement(self):
+        from repro.browser.profiles import BrowserProfile
+        from repro.core.tasks import TaskResult
+        from repro.netsim.latency import LinkQuality
+        from repro.population.clients import Client
+
+        geoip = GeoIPDatabase()
+        server = CollectionServer("http://collector.encore-measurement.org/submit", geoip)
+        client = Client(
+            client_id=1, ip_address=geoip.allocate_ip("IR"), country_code="IR",
+            isp="ir-isp-1", browser=BrowserProfile.chrome(), link=LinkQuality.broadband(),
+            dwell_time_s=30.0,
+        )
+        url = URL.parse("http://facebook.com/favicon.ico")
+        result = TaskResult(
+            measurement_id="m1", task_type=TaskType.IMAGE, target_url=url,
+            target_domain="facebook.com", outcome=TaskOutcome.SUCCESS, elapsed_ms=80.0,
+        )
+        stored = server.record(result, client, "origin-00.example.edu", day=3)
+        expected = Measurement(
+            measurement_id="m1", task_type=TaskType.IMAGE, target_url=url,
+            target_domain="facebook.com", outcome=TaskOutcome.SUCCESS, elapsed_ms=80.0,
+            client_ip=client.ip_address, country_code="IR", isp="ir-isp-1",
+            browser_family="chrome", origin_domain="origin-00.example.edu", day=3,
+            probe_time_ms=None, is_automated=False,
+        )
+        assert stored == expected
+        assert server.measurements == [expected]
+
+    def test_campaign_with_spill_matches_in_memory_campaign(self, tmp_path):
+        baseline = small_deployment(seed=23).run_campaign()
+        spilling = small_deployment(
+            seed=23, max_rows_in_memory=150, spill_dir=str(tmp_path)
+        ).run_campaign()
+        store = spilling.collection.store
+        assert store.segment_files and all(p.suffix == ".npz" for p in store.segment_files)
+        assert all(Path(p).is_relative_to(tmp_path) for p in store.segment_files)
+
+        # Identical rows minus the uuid4 task ids, which legitimately differ
+        # between two independently built deployments.
+        def key(rows):
+            return [
+                (str(m.target_url), m.task_type.value, m.country_code, m.outcome.value,
+                 m.elapsed_ms, m.probe_time_ms, m.origin_domain, m.day, m.client_ip,
+                 m.isp, m.browser_family, m.is_automated)
+                for m in rows
+            ]
+
+        assert key(spilling.measurements) == key(baseline.measurements)
+        assert spilling.detect().detected_pairs() == baseline.detect().detected_pairs()
+        assert spilling.collection.success_counts() == baseline.collection.success_counts()
+
+    def test_soundness_report_columnar_path_matches_row_path(self):
+        from repro.analysis.reports import build_soundness_report
+
+        deployment = small_deployment(seed=5, visits=800)
+        result = deployment.run_campaign()
+        from_rows = build_soundness_report(result.measurements, deployment.testbed)
+        from_store = build_soundness_report(result.collection.store, deployment.testbed)
+        assert from_store.total_measurements == from_rows.total_measurements
+        for task_type, stats in from_rows.per_task_type.items():
+            columnar = from_store.per_task_type[task_type]
+            assert (columnar.true_positives, columnar.false_positives,
+                    columnar.true_negatives, columnar.false_negatives) == (
+                stats.true_positives, stats.false_positives,
+                stats.true_negatives, stats.false_negatives)
