@@ -41,6 +41,13 @@ from repro.core.inference import (
 from repro.core.robustness import PoisoningAttacker, PoisoningCampaign, ReputationFilter
 from repro.core.origin import OriginSite, snippet_overhead_bytes
 from repro.core.pipeline import CampaignConfig, CampaignResult, EncoreDeployment
+from repro.core.shard import (
+    ShardAssignment,
+    ShardPlanner,
+    ShardProgress,
+    StoreMerger,
+    run_sharded,
+)
 
 __all__ = [
     "CACHED_PROBE_THRESHOLD_MS",
@@ -80,4 +87,9 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "EncoreDeployment",
+    "ShardAssignment",
+    "ShardPlanner",
+    "ShardProgress",
+    "StoreMerger",
+    "run_sharded",
 ]

@@ -144,8 +144,12 @@ class CollectionServer:
     ) -> None:
         self.submit_url = submit_url if isinstance(submit_url, URL) else URL.parse(submit_url)
         self.geoip = geoip or GeoIPDatabase()
-        self.store = store or MeasurementStore(
-            max_rows_in_memory=max_rows_in_memory, spill_dir=spill_dir
+        # ``is not None``: a freshly built store is empty and therefore falsy,
+        # but it is still the store the caller wants measurements to land in.
+        self.store = (
+            store
+            if store is not None
+            else MeasurementStore(max_rows_in_memory=max_rows_in_memory, spill_dir=spill_dir)
         )
         self.rejected_submissions = 0
         self.unreachable_submissions = 0

@@ -58,16 +58,34 @@ class CampaignConfig:
     country_code: str | None = None
     #: Default execution mode for :meth:`EncoreDeployment.run_campaign`:
     #: ``"batch"`` (vectorized), ``"serial"`` (scalar reference with identical
-    #: results), or ``"legacy"`` (the original per-visit browser loop).
+    #: results), ``"sharded"`` (the batch path fanned out over worker
+    #: processes), or ``"legacy"`` (the original per-visit browser loop).
     mode: str = "batch"
     #: Visits per runner batch (progress/checkpoint granularity).
     batch_size: int | None = None
+    #: Visits per planning block — the unit whose randomness derives from
+    #: ``(seed, epoch, block_index)`` alone.  Part of the campaign's
+    #: identity: changing it changes the sampled campaign (batch size does
+    #: not).  Also the sharding granularity of ``mode="sharded"``.
+    plan_block_visits: int = 2048
     #: Bound on measurement rows kept resident by the collection store;
     #: sealed column segments beyond the bound spill to ``.npz`` files
     #: (``None`` keeps everything in memory).
     max_rows_in_memory: int | None = None
     #: Where spilled segments go (a temporary directory if unset).
     spill_dir: str | None = None
+    #: Worker processes for ``mode="sharded"`` (``None`` → one per CPU,
+    #: capped by the number of planning blocks).
+    num_shards: int | None = None
+    #: Where shard workers write their spill segments + manifests.  Setting
+    #: it makes an interrupted sharded campaign resumable: shards whose
+    #: manifest is already on disk are adopted without re-execution.  Unset,
+    #: a temporary directory is used.
+    worker_spill_dir: str | None = None
+    #: How shard workers run: ``"process"`` (a real
+    #: ``ProcessPoolExecutor``) or ``"inline"`` (sequentially in-process —
+    #: deterministic, dependency-free, used by tests and single-CPU hosts).
+    shard_executor: str = "process"
 
 
 @dataclass
@@ -192,6 +210,10 @@ class EncoreDeployment:
         #: Monotone counter so successive campaigns on one deployment draw
         #: fresh (but reproducible) randomness.
         self._campaign_epoch = 0
+        #: Cumulative visits of the campaigns already started, used as the
+        #: base for client id / IP-host numbering so two campaigns on one
+        #: deployment never mint colliding client identities.
+        self._visit_base = 0
 
     # ------------------------------------------------------------------
     def _build_testbed_tasks(self) -> list[MeasurementTask]:
@@ -242,6 +264,19 @@ class EncoreDeployment:
         self._campaign_epoch += 1
         return self._campaign_epoch
 
+    def claim_visit_range(self, visits: int) -> int:
+        """Reserve ``visits`` slots of the deployment's visit numbering.
+
+        Returns the base index of the reserved range.  Client ids and
+        per-country IP hosts are numbered by global visit index, so each
+        campaign claiming its range up front keeps identities unique across
+        successive campaigns on one deployment (until a country's IP space
+        wraps, exactly like the counter-based allocator it replaced).
+        """
+        base = self._visit_base
+        self._visit_base += visits
+        return base
+
     def simulate_visit(self, day: int | None = None, country_code: str | None = None) -> int:
         """Simulate one origin-site visit; returns the number of submissions."""
         client = self.world.sample_client(country_code or self.config.country_code)
@@ -271,6 +306,9 @@ class EncoreDeployment:
         batch_size: int | None = None,
         progress=None,
         resume_from_batch: int = 0,
+        num_shards: int | None = None,
+        worker_spill_dir: str | None = None,
+        shard_executor: str | None = None,
     ) -> CampaignResult:
         """Simulate a full campaign of origin-site visits.
 
@@ -280,13 +318,43 @@ class EncoreDeployment:
         fixed seed, and ``"legacy"`` the original one-browser-per-visit loop
         retained as a full-fidelity baseline.  ``progress`` is invoked with a
         :class:`~repro.core.runner.BatchProgress` after every batch;
-        ``resume_from_batch`` skips execution (but replays planning) of
-        already-completed batches.
+        ``resume_from_batch`` skips already-completed batches.
+
+        ``mode="sharded"`` fans the batch path out across worker processes
+        (:func:`repro.core.shard.run_sharded`) and merges the workers'
+        spilled segments back into this deployment's store; for a fixed seed
+        the merged campaign is identical to ``mode="batch"`` at any
+        ``num_shards``.  ``progress`` then receives a
+        :class:`~repro.core.shard.ShardProgress` per completed shard, and a
+        re-run pointed at the same ``worker_spill_dir`` resumes by adopting
+        the manifests of shards that already finished.
         """
         from repro.core.runner import CampaignRunner
 
         mode = mode if mode is not None else self.config.mode
         visits = visits if visits is not None else self.config.visits
+        if mode == "sharded":
+            if resume_from_batch or batch_size is not None:
+                raise ValueError(
+                    "mode='sharded' executes whole planning blocks and "
+                    "resumes from worker manifests (worker_spill_dir); "
+                    "batch_size and resume_from_batch do not apply"
+                )
+            from repro.core.shard import run_sharded
+
+            return run_sharded(
+                self,
+                visits=visits,
+                num_shards=num_shards,
+                worker_spill_dir=worker_spill_dir,
+                shard_executor=shard_executor,
+                progress=progress,
+            )
+        if num_shards is not None or worker_spill_dir is not None or shard_executor is not None:
+            raise ValueError(
+                "num_shards, worker_spill_dir, and shard_executor only apply "
+                "to mode='sharded'"
+            )
         if mode == "legacy":
             if progress is not None or resume_from_batch or batch_size is not None:
                 raise ValueError(
@@ -296,8 +364,11 @@ class EncoreDeployment:
             # Count the campaign even though the legacy loop draws from the
             # deployment/world RNGs directly: it advances shared state (GeoIP
             # counters, scheduler counts), so the runner's resume-staleness
-            # guard must see it.
+            # guard must see it.  Claiming the visit range keeps a later
+            # batch campaign's identity numbering clear of the legacy
+            # allocator's dense per-country counters.
             self.next_campaign_epoch()
+            self.claim_visit_range(visits)
             executions = 0
             for _ in range(visits):
                 executions += self.simulate_visit()

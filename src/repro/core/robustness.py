@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.collection import CollectionServer, Measurement
+from repro.core.store import OUTCOME_FAILURE, MeasurementStore
 from repro.core.tasks import TaskOutcome, TaskType
 from repro.population.geoip import GeoIPDatabase
 from repro.web.url import URL
@@ -99,6 +100,32 @@ class ReputationReport:
         return self.dropped_rate_limited + self.dropped_low_reputation
 
 
+@dataclass
+class StoreReputationReport:
+    """A reputation verdict over a columnar store: a row mask plus drop tallies.
+
+    The store-native sibling of :class:`ReputationReport`: nothing is
+    materialized until asked, so filtering a spilled or multi-worker merged
+    corpus stays cheap.
+    """
+
+    store: MeasurementStore
+    keep_mask: np.ndarray
+    dropped_rate_limited: int = 0
+    dropped_low_reputation: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_rate_limited + self.dropped_low_reputation
+
+    @property
+    def kept_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.keep_mask)
+
+    def kept_measurements(self) -> list[Measurement]:
+        return self.store.rows(self.kept_indices)
+
+
 class ReputationFilter:
     """Practical defences against poisoned submissions.
 
@@ -128,7 +155,147 @@ class ReputationFilter:
 
     # ------------------------------------------------------------------
     def apply(self, measurements: list[Measurement]) -> ReputationReport:
-        """Filter ``measurements`` and report what was kept and dropped."""
+        """Filter ``measurements`` and report what was kept and dropped.
+
+        Implemented as columnar group-bys over (domain, country, client)
+        keys — identical verdicts to the readable per-row
+        :meth:`apply_reference` walk (an equivalence the tests pin), at
+        array speed.
+        """
+        if not measurements:
+            return ReputationReport()
+        _, domain = np.unique(
+            np.asarray([m.target_domain for m in measurements], dtype=np.str_),
+            return_inverse=True,
+        )
+        countries, country = np.unique(
+            np.asarray([m.country_code for m in measurements], dtype=np.str_),
+            return_inverse=True,
+        )
+        _, ip = np.unique(
+            np.asarray([m.client_ip for m in measurements], dtype=np.str_),
+            return_inverse=True,
+        )
+        failed = np.asarray([m.failed for m in measurements], dtype=bool)
+        pair = domain.astype(np.int64) * len(countries) + country
+        keep, dropped_rate, dropped_rep = self._columnar_verdict(pair, ip, failed)
+        return ReputationReport(
+            kept=[m for m, kept in zip(measurements, keep.tolist()) if kept],
+            dropped_rate_limited=dropped_rate,
+            dropped_low_reputation=dropped_rep,
+        )
+
+    def apply_store(
+        self, collection: "MeasurementStore | CollectionServer"
+    ) -> StoreReputationReport:
+        """Filter a columnar store (or a collection server) in place.
+
+        Runs the same group-by verdict straight over the store's
+        dictionary-code columns — no :class:`Measurement` is ever built, so
+        this is the natural path for spilled or multi-worker merged corpora.
+        """
+        store = collection.store if isinstance(collection, CollectionServer) else collection
+        if len(store) == 0:
+            return StoreReputationReport(store, np.zeros(0, dtype=bool))
+        domain = store.column("domain").astype(np.int64)
+        country = store.column("country").astype(np.int64)
+        _, ip = np.unique(store.column("client_ip"), return_inverse=True)
+        failed = store.column("outcome") == OUTCOME_FAILURE
+        pair = domain * (int(country.max()) + 1) + country
+        keep, dropped_rate, dropped_rep = self._columnar_verdict(pair, ip, failed)
+        return StoreReputationReport(
+            store=store,
+            keep_mask=keep,
+            dropped_rate_limited=dropped_rate,
+            dropped_low_reputation=dropped_rep,
+        )
+
+    def _columnar_verdict(
+        self, pair: np.ndarray, ip: np.ndarray, failed: np.ndarray
+    ) -> tuple[np.ndarray, int, int]:
+        """(keep mask, rate-limited drops, reputation drops) for coded rows.
+
+        ``pair`` encodes (domain, country) and ``ip`` the client identity as
+        integer codes; both passes of the reference walk become grouped
+        reductions over a combined ``pair * n_clients + ip`` key.
+        """
+        n = len(pair)
+        n_ips = int(ip.max()) + 1
+        key = pair * n_ips + ip
+
+        # Pass 1: per-client rate limiting = "keep each key's first
+        # ``max_submissions_per_client`` occurrences, in arrival order".
+        # A stable sort groups the keys without losing arrival order, so the
+        # occurrence rank is the position within the sorted run.
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        run_starts = np.flatnonzero(np.r_[True, sorted_key[1:] != sorted_key[:-1]])
+        run_lengths = np.diff(np.r_[run_starts, n])
+        occurrence = np.empty(n, dtype=np.int64)
+        occurrence[order] = np.arange(n) - np.repeat(run_starts, run_lengths)
+        keep = occurrence < self.max_submissions_per_client
+        dropped_rate = int(n - np.count_nonzero(keep))
+
+        # Pass 2 over the rate-limited survivors: per (pair, client) counts,
+        # per-pair medians, dominance, and the minority-verdict test.
+        survivors = np.flatnonzero(keep)
+        triple_keys, triple_of_row, triple_rows = np.unique(
+            key[survivors], return_inverse=True, return_counts=True
+        )
+        pair_of_triple = triple_keys // n_ips
+        _, pair_of = np.unique(pair_of_triple, return_inverse=True)
+        n_pairs = pair_of.max() + 1 if len(pair_of) else 0
+        clients_per_pair = np.bincount(pair_of, minlength=n_pairs)
+        rows_per_pair = np.bincount(
+            pair_of, weights=triple_rows, minlength=n_pairs
+        ).astype(np.int64)
+
+        # Median client volume per pair: sort the per-client counts within
+        # each pair and take the element at ``len // 2``, exactly like the
+        # reference's ``counts[len(counts) // 2]``.
+        by_pair_then_count = np.lexsort((triple_rows, pair_of))
+        pair_starts = np.r_[0, np.cumsum(clients_per_pair)[:-1]]
+        median_rows = triple_rows[by_pair_then_count][
+            pair_starts + clients_per_pair // 2
+        ]
+
+        dominant = (
+            triple_rows / rows_per_pair[pair_of] > self.suspicious_share
+        ) | (triple_rows > np.maximum(3, 5 * median_rows[pair_of]))
+
+        fails_per_triple = np.bincount(
+            triple_of_row, weights=failed[survivors]
+        ).astype(np.int64)
+        baseline_rows = np.bincount(
+            pair_of, weights=np.where(dominant, 0, triple_rows), minlength=n_pairs
+        ).astype(np.int64)
+        baseline_fails = np.bincount(
+            pair_of, weights=np.where(dominant, 0, fails_per_triple), minlength=n_pairs
+        ).astype(np.int64)
+        baseline_rate = np.divide(
+            baseline_fails,
+            baseline_rows,
+            out=np.zeros(n_pairs, dtype=np.float64),
+            where=baseline_rows > 0,
+        )
+        own_rate = fails_per_triple / triple_rows
+        suspicious = (
+            dominant
+            & (clients_per_pair[pair_of] >= 2)
+            & (baseline_rows[pair_of] > 0)
+            & (np.abs(own_rate - baseline_rate[pair_of]) > 0.5)
+        )
+        dropped_rows = suspicious[triple_of_row]
+        keep[survivors[dropped_rows]] = False
+        return keep, dropped_rate, int(np.count_nonzero(dropped_rows))
+
+    # ------------------------------------------------------------------
+    def apply_reference(self, measurements: list[Measurement]) -> ReputationReport:
+        """The readable per-row reference implementation of :meth:`apply`.
+
+        Kept verbatim from the original filter: the equivalence tests pin
+        that the columnar verdict matches this walk row for row.
+        """
         report = ReputationReport()
 
         # Pass 1: per-client rate limiting within each (domain, country) pair.

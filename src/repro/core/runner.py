@@ -33,8 +33,17 @@ This module executes campaigns in vectorized batches instead:
    constructing per-row ``Measurement`` objects — and per-batch
    progress/checkpoint hooks make
    long campaigns observable and resumable (re-run with
-   ``resume_from_batch=n`` to replay sampling/scheduling for the completed
-   batches without re-executing them).
+   ``resume_from_batch=n`` to skip the completed batches' execution; their
+   planning is replayed so campaign-wide counters stay complete).
+
+Planning is **block-keyed**: visits are planned in fixed-size blocks
+(``CampaignConfig.plan_block_visits``) whose randomness — client sampling,
+scheduling, origins, days, the pre-drawn uniform matrix — derives from
+``(seed, epoch, block_index)`` alone, with client IPs/ids indexed by global
+visit position.  Campaign content is therefore invariant to batch size
+(batches are just progress/ingestion groupings sliced out of blocks), resume
+needs no replay, and any process can plan any block independently — the
+foundation of the :mod:`repro.core.shard` multi-process execution path.
 
 :class:`CampaignSweep` runs many campaign configurations (seeds × pinned
 countries × testbed fractions) against one shared ``World``, which is how
@@ -44,6 +53,7 @@ parameter sweeps stay cheap enough to explore.
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import dataclass, field, replace
 from itertools import repeat
 from typing import Callable, Iterable, Sequence
@@ -465,6 +475,68 @@ class BatchPlan:
 
 
 @dataclass
+class PlanContext:
+    """Shared state of one campaign's planning: URL facts plus the campaign key.
+
+    Built once per campaign run (or once per shard worker) and threaded
+    through every block plan.  ``assignment_counts`` accumulates the scoped
+    schedulers' per-block counts so the campaign-wide replication report can
+    be reconstructed by whoever owns the deployment's scheduler.
+    """
+
+    epoch: int
+    visits: int
+    block_visits: int
+    urls: UrlTable
+    verdicts: VerdictCache
+    delivery_url_ids: list[int]
+    submit_url_id: int
+    #: Global visit index this campaign's numbering starts at (client ids,
+    #: per-country IP hosts) — nonzero when earlier campaigns on the same
+    #: deployment already claimed their ranges.
+    visit_base: int = 0
+    assignment_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def block_count(self) -> int:
+        return (self.visits + self.block_visits - 1) // self.block_visits
+
+    def count_assignments(self, counts: dict[str, int]) -> None:
+        self.assignment_counts.update(counts)
+
+
+@dataclass
+class _BlockPlan:
+    """One fully planned block: the unit whose randomness is self-contained."""
+
+    index: int
+    start: int
+    count: int
+    client_batch: object
+    clients: list | None
+    origin_indices: np.ndarray
+    days: np.ndarray
+    decisions: list[ScheduleDecision]
+    program: FetchProgram
+    uniforms: np.ndarray
+    #: ``slot_bounds[v]`` is the first program slot of visit ``v`` (length
+    #: ``count + 1``), so a visit range maps to a contiguous slot range.
+    slot_bounds: np.ndarray
+
+
+@dataclass
+class BlockExecution:
+    """What executing one planning block produced (shard workers consume this)."""
+
+    block_index: int
+    visits: int
+    stored: int
+    deliveries_attempted: int
+    deliveries_failed: int
+    unreachable_submissions: int
+
+
+@dataclass
 class BatchOutcome:
     """What executing one batch produced.
 
@@ -508,6 +580,10 @@ class CampaignRunner:
 
     MODES = ("batch", "serial")
     DEFAULT_BATCH_SIZE = 8192
+    #: Visits per planning block — the unit whose randomness is derived
+    #: entirely from ``(seed, epoch, block_index)``.  Overridden per campaign
+    #: by ``CampaignConfig.plan_block_visits``.
+    DEFAULT_PLAN_BLOCK_VISITS = 2048
 
     def __init__(
         self,
@@ -524,20 +600,26 @@ class CampaignRunner:
         self.mode = mode
         self.batch_size = batch_size or self.DEFAULT_BATCH_SIZE
         self.progress = progress
+        #: (campaign key, plan) of the most recently planned block — adjacent
+        #: batches share boundary blocks.  Keyed on (epoch, visits) too, so a
+        #: runner reused for a second campaign never serves a stale plan.
+        self._block_cache: tuple[tuple, _BlockPlan] | None = None
 
     # ------------------------------------------------------------------
     def run(self, visits: int | None = None, resume_from_batch: int = 0):
         """Run ``visits`` origin-site visits and return a ``CampaignResult``.
 
-        ``resume_from_batch`` replays the sampling and scheduling of the
-        first ``n`` batches (so every downstream draw stays aligned) but
-        skips their execution; combined with the per-batch progress hook it
-        makes an interrupted campaign resumable from its last checkpoint.
-        Replay only reproduces the interrupted run when it starts from the
-        same initial state, i.e. a freshly built ``World`` + deployment with
-        the same seeds — resuming on objects whose RNG streams have already
-        advanced is rejected rather than silently producing a different
-        campaign.
+        Planning is block-keyed (every planning block's randomness derives
+        from ``(seed, epoch, block_index)`` alone), so ``resume_from_batch``
+        skips the completed batches' *execution* outright — no replay is
+        needed for the remaining draws to line up.  Their planning is still
+        replayed (it carries the scheduling counters), so campaign-wide
+        surfaces like ``Scheduler.replication_report`` come out identical to
+        an uninterrupted run.  Resuming still requires a freshly built
+        ``World`` + deployment with the same seeds so that the campaign
+        epoch matches the interrupted run; resuming on a deployment that has
+        already run a campaign is rejected rather than silently producing a
+        different one.
         """
         from repro.core.pipeline import CampaignResult  # local: avoids a cycle
 
@@ -554,65 +636,49 @@ class CampaignRunner:
                     "resume_from_batch requires a freshly built World and "
                     "deployment (same seeds as the interrupted run); this "
                     "deployment/world has already sampled or run a campaign, "
-                    "so the replayed batches would not match"
+                    "so the resumed batches would belong to a different "
+                    "campaign epoch"
                 )
         epoch = deployment.next_campaign_epoch()
-        # Independent streams per planned quantity, so the campaign is a
-        # function of the seed alone regardless of batch boundaries.
-        origin_rng = np.random.default_rng([config.seed, 101, epoch])
-        day_rng = np.random.default_rng([config.seed, 103, epoch])
-        draw_rng = np.random.default_rng([config.seed, 211, epoch])
-        urls = UrlTable(deployment.world)
-        verdicts = VerdictCache(deployment.world, urls)
-        delivery_url_ids = [
-            urls.url_id(url) for url in deployment.coordination.all_delivery_urls
-        ]
-        submit_url_id = urls.url_id(deployment.collection.submit_url)
+        ctx = self.plan_context(visits, epoch, deployment.claim_visit_range(visits))
+        if resume_from_batch:
+            # Replay the planning (only) of the blocks the skipped batches
+            # fully cover; the boundary block is planned by the main loop.
+            boundary = min(resume_from_batch * self.batch_size, visits)
+            skipped_blocks = (
+                ctx.block_count if boundary >= visits
+                else boundary // ctx.block_visits
+            )
+            for block_index in range(skipped_blocks):
+                self._plan_block(ctx, block_index)
 
         batch_count = (visits + self.batch_size - 1) // self.batch_size
         executions = 0
         started = time.perf_counter()
-        for batch_index in range(batch_count):
-            count = min(self.batch_size, visits - batch_index * self.batch_size)
-            plan = self._plan_batch(
-                batch_index * self.batch_size, count, origin_rng, day_rng,
-                draw_rng, urls, delivery_url_ids, submit_url_id,
-            )
-            if batch_index < resume_from_batch:
-                continue
-            if self.mode == "serial":
-                outcome = SerialExecutor(deployment, urls, submit_url_id).execute(plan)
-            else:
-                outcome = BatchExecutor(deployment, urls, verdicts, submit_url_id).execute(plan)
-            # Columnar ingestion: the batch executor hands over column
-            # payloads that append straight into the collection store's
-            # arrays (per-visit batched GeoIP lookup, no per-record
-            # Measurement construction); the serial path's row tuples are
-            # transposed by ingest_records.
-            if outcome.columns is not None:
-                stored = deployment.collection.ingest_columns(
-                    outcome.columns, outcome.unreachable_submissions
+        for batch_index in range(resume_from_batch, batch_count):
+            start = batch_index * self.batch_size
+            end = min(start + self.batch_size, visits)
+            stored_in_batch = 0
+            for plan in self.plan_parts(ctx, start, end):
+                outcome = self.execute_plan(ctx, plan)
+                stored_in_batch += self._ingest(deployment.collection, outcome)
+                deployment.coordination.note_batch_deliveries(
+                    outcome.deliveries_attempted, outcome.deliveries_failed
                 )
-            else:
-                stored = deployment.collection.ingest_records(
-                    outcome.records, outcome.unreachable_submissions
-                )
-            deployment.coordination.note_batch_deliveries(
-                outcome.deliveries_attempted, outcome.deliveries_failed
-            )
-            executions += stored
+            executions += stored_in_batch
             if self.progress is not None:
                 self.progress(
                     BatchProgress(
                         batch_index=batch_index,
                         batch_count=batch_count,
-                        visits_completed=batch_index * self.batch_size + count,
+                        visits_completed=end,
                         visits_total=visits,
-                        measurements_added=stored,
+                        measurements_added=stored_in_batch,
                         measurements_total=len(deployment.collection),
                         duration_s=time.perf_counter() - started,
                     )
                 )
+        deployment.scheduler.absorb_counts(ctx.assignment_counts)
         return CampaignResult(
             config=config,
             collection=deployment.collection,
@@ -624,33 +690,126 @@ class CampaignRunner:
         )
 
     # ------------------------------------------------------------------
-    def _plan_batch(
-        self,
-        start_visit: int,
-        count: int,
-        origin_rng: np.random.Generator,
-        day_rng: np.random.Generator,
-        draw_rng: np.random.Generator,
-        urls: UrlTable,
-        delivery_url_ids: Sequence[int],
-        submit_url_id: int,
-    ) -> BatchPlan:
+    # Planning: block-keyed randomness
+    # ------------------------------------------------------------------
+    def plan_context(self, visits: int, epoch: int, visit_base: int = 0) -> PlanContext:
+        """Resolve the campaign-constant planning state (URL facts, key)."""
         deployment = self.deployment
-        batch = deployment.world.sample_client_batch(
-            count, deployment.config.country_code
+        urls = UrlTable(deployment.world)
+        block_visits = deployment.config.plan_block_visits
+        if block_visits is None:
+            block_visits = self.DEFAULT_PLAN_BLOCK_VISITS
+        if block_visits < 1:
+            raise ValueError("plan_block_visits must be positive")
+        return PlanContext(
+            epoch=epoch,
+            visits=visits,
+            block_visits=block_visits,
+            visit_base=visit_base,
+            urls=urls,
+            verdicts=VerdictCache(deployment.world, urls),
+            delivery_url_ids=[
+                urls.url_id(url) for url in deployment.coordination.all_delivery_urls
+            ],
+            submit_url_id=urls.url_id(deployment.collection.submit_url),
         )
-        origin_indices = origin_rng.integers(0, len(deployment.origins), size=count)
-        days = day_rng.integers(0, deployment.config.days, size=count)
+
+    def _plan_block(self, ctx: PlanContext, block_index: int) -> _BlockPlan:
+        """Plan one block of visits from its own derived RNG substreams.
+
+        Every random quantity a block consumes — client sampling, task
+        scheduling, origin/day assignment, the per-slot uniform matrix — is
+        drawn from generators seeded ``[seed, stream, epoch, block_index]``,
+        and the block's client IPs/ids are indexed by global visit position.
+        A block is therefore a pure function of ``(config, epoch,
+        block_index)``: any process can plan any block independently and get
+        byte-identical results, which is what makes process-sharded
+        campaigns merge back into exactly the single-process campaign.
+        """
+        cache_key = (ctx.epoch, ctx.visits, block_index)
+        cached = self._block_cache
+        if cached is not None and cached[0] == cache_key:
+            return cached[1]
+        deployment = self.deployment
+        config = deployment.config
+        seed, epoch = config.seed, ctx.epoch
+        start = block_index * ctx.block_visits
+        count = min(ctx.block_visits, ctx.visits - start)
+        batch = deployment.world.sample_client_batch(
+            count,
+            config.country_code,
+            rng=np.random.default_rng([seed, 127, epoch, block_index]),
+            first_id=ctx.visit_base + start + 1,
+            host_base=ctx.visit_base + start,
+        )
+        origin_indices = np.random.default_rng(
+            [seed, 101, epoch, block_index]
+        ).integers(0, len(deployment.origins), size=count)
+        days = np.random.default_rng(
+            [seed, 103, epoch, block_index]
+        ).integers(0, config.days, size=count)
+        scoped = deployment.scheduler.scoped(
+            np.random.default_rng([seed, 131, epoch, block_index])
+        )
         if self.mode == "serial":
             clients = batch.clients()
-            decisions = [deployment.scheduler.schedule(client) for client in clients]
+            decisions = [scoped.schedule(client) for client in clients]
         else:
             # Batch mode schedules straight off the column arrays; per-visit
             # Client objects are never materialized.
             clients = None
-            decisions = deployment.scheduler.assign_batch(batch)
-        program = compile_program(urls, decisions, delivery_url_ids, submit_url_id)
-        uniforms = draw_rng.random((len(program), DRAWS_PER_SLOT))
+            decisions = scoped.assign_batch(batch)
+        ctx.count_assignments(scoped.assignment_counts)
+        program = compile_program(
+            ctx.urls, decisions, ctx.delivery_url_ids, ctx.submit_url_id
+        )
+        uniforms = np.random.default_rng(
+            [seed, 211, epoch, block_index]
+        ).random((len(program), DRAWS_PER_SLOT))
+        block = _BlockPlan(
+            index=block_index,
+            start=start,
+            count=count,
+            client_batch=batch,
+            clients=clients,
+            origin_indices=origin_indices,
+            days=days,
+            decisions=decisions,
+            program=program,
+            uniforms=uniforms,
+            slot_bounds=np.searchsorted(
+                np.asarray(program.visit, dtype=np.int64), np.arange(count + 1)
+            ),
+        )
+        self._block_cache = (cache_key, block)
+        return block
+
+    def _slice_block(self, ctx: PlanContext, block: _BlockPlan, lo: int, hi: int) -> BatchPlan:
+        """The executable plan for absolute visits ``[lo, hi)`` of ``block``.
+
+        A full-block slice reuses the block's compiled program and draws; a
+        partial slice (a batch boundary that cuts through the block)
+        recompiles the sub-range's program — the slot layout of a visit
+        depends only on its own decision, so the sub-program is exactly the
+        corresponding slot range of the block program, and the pre-drawn
+        uniform rows are sliced to match.
+        """
+        l0, l1 = lo - block.start, hi - block.start
+        if l0 == 0 and l1 == block.count:
+            batch = block.client_batch
+            clients = block.clients
+            decisions = block.decisions
+            program = block.program
+            uniforms = block.uniforms
+        else:
+            batch = block.client_batch.slice(l0, l1)
+            clients = block.clients[l0:l1] if block.clients is not None else None
+            decisions = block.decisions[l0:l1]
+            program = compile_program(
+                ctx.urls, decisions, ctx.delivery_url_ids, ctx.submit_url_id
+            )
+            s0, s1 = int(block.slot_bounds[l0]), int(block.slot_bounds[l1])
+            uniforms = block.uniforms[s0:s1]
         visit_idx = np.asarray(program.visit, dtype=np.int64)
         draws = derive_slot_draws(
             uniforms,
@@ -660,14 +819,71 @@ class CampaignRunner:
             batch.bandwidth_kbps[visit_idx],
         )
         return BatchPlan(
-            start_visit=start_visit,
+            start_visit=lo,
             client_batch=batch,
             clients=clients,
-            origin_indices=origin_indices,
-            days=days,
+            origin_indices=block.origin_indices[l0:l1],
+            days=block.days[l0:l1],
             decisions=decisions,
             program=program,
             draws=draws,
+        )
+
+    def plan_parts(self, ctx: PlanContext, start: int, end: int) -> Iterable[BatchPlan]:
+        """Executable plans covering visits ``[start, end)``, one per block piece."""
+        B = ctx.block_visits
+        visit = start
+        while visit < end:
+            block = self._plan_block(ctx, visit // B)
+            hi = min(end, block.start + block.count)
+            yield self._slice_block(ctx, block, visit, hi)
+            visit = hi
+
+    # ------------------------------------------------------------------
+    # Execution + ingestion
+    # ------------------------------------------------------------------
+    def execute_plan(self, ctx: PlanContext, plan: BatchPlan) -> BatchOutcome:
+        if self.mode == "serial":
+            return SerialExecutor(
+                self.deployment, ctx.urls, ctx.submit_url_id
+            ).execute(plan)
+        return BatchExecutor(
+            self.deployment, ctx.urls, ctx.verdicts, ctx.submit_url_id
+        ).execute(plan)
+
+    @staticmethod
+    def _ingest(collection, outcome: BatchOutcome) -> int:
+        """Columnar ingestion: the batch executor hands over column payloads
+        that append straight into the collection store's arrays (per-visit
+        batched GeoIP lookup, no per-record Measurement construction); the
+        serial path's row tuples are transposed by ``ingest_records``."""
+        if outcome.columns is not None:
+            return collection.ingest_columns(
+                outcome.columns, outcome.unreachable_submissions
+            )
+        return collection.ingest_records(
+            outcome.records, outcome.unreachable_submissions
+        )
+
+    def execute_block(self, ctx: PlanContext, block_index: int, collection) -> BlockExecution:
+        """Plan, execute, and ingest one whole planning block.
+
+        The shard worker's unit of work: results go to the worker's own
+        ``collection`` and delivery/assignment counters are *returned*, not
+        applied to the deployment, so the parent process can absorb exactly
+        one copy of each shard's counters from its manifest.
+        """
+        block = self._plan_block(ctx, block_index)
+        plan = self._slice_block(ctx, block, block.start, block.start + block.count)
+        outcome = self.execute_plan(ctx, plan)
+        stored = self._ingest(collection, outcome)
+        return BlockExecution(
+            block_index=block_index,
+            visits=block.count,
+            stored=stored,
+            deliveries_attempted=outcome.deliveries_attempted,
+            deliveries_failed=outcome.deliveries_failed,
+            unreachable_submissions=outcome.unreachable_submissions,
         )
 
 

@@ -309,6 +309,23 @@ class Scheduler:
         return decisions
 
     # ------------------------------------------------------------------
+    def scoped(self, rng: np.random.Generator | int | None) -> "Scheduler":
+        """A scheduler over the same pools with its own RNG and counts.
+
+        The block-keyed campaign planner schedules every planning block with
+        a fresh scope (RNG derived from the campaign seed and block index,
+        assignment counts starting empty) so a block's decisions are a pure
+        function of the block — the property process-sharded campaigns rely
+        on.  Merge the scope's counts back with :meth:`absorb_counts` to keep
+        the campaign-wide :meth:`replication_report` meaningful.
+        """
+        return Scheduler(self.pools, rng=rng)
+
+    def absorb_counts(self, counts: dict[str, int]) -> None:
+        """Fold a scoped scheduler's (or a shard worker's) assignment counts in."""
+        for measurement_id, count in counts.items():
+            self.assignment_counts[measurement_id] += count
+
     def replication_report(self) -> dict[str, int]:
         """How many times each measurement has been assigned so far."""
         return dict(self.assignment_counts)

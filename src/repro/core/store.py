@@ -203,26 +203,52 @@ class Selection:
 
 
 class _Segment:
-    """One sealed block of column arrays, resident or spilled to an ``.npz``."""
+    """One sealed block of column arrays, resident or spilled to an ``.npz``.
 
-    __slots__ = ("length", "columns", "path")
+    ``remap`` holds per-column code-translation arrays for *adopted*
+    segments — segments written by another store (a shard worker) whose
+    dictionary codes reference that store's value tables.  Translation is a
+    single fancy-index applied lazily at read time, so adopting a foreign
+    segment never rewrites its rows on disk or in memory.
+    """
+
+    __slots__ = ("length", "columns", "path", "remap")
 
     def __init__(self, length: int, columns: dict[str, np.ndarray] | None,
-                 path: Path | None = None) -> None:
+                 path: Path | None = None,
+                 remap: dict[str, np.ndarray] | None = None) -> None:
         self.length = length
         self.columns = columns
         self.path = path
+        self.remap = remap
 
     @property
     def spilled(self) -> bool:
         return self.columns is None
+
+    def _translated(self, name: str, values: np.ndarray) -> np.ndarray:
+        if self.remap is None:
+            return values
+        translation = self.remap.get(name)
+        if translation is None:
+            return values
+        # The sentinel tail entry maps code -1 (stripped origins) to itself.
+        return translation[values]
 
     def column(self, name: str) -> np.ndarray:
         if self.columns is not None:
             return self.columns[name]
         assert self.path is not None
         with np.load(self.path) as data:
-            return data[name]
+            return self._translated(name, data[name])
+
+    def load_columns(self, names: Sequence[str]) -> dict[str, np.ndarray]:
+        """Several columns with one file open (streamed aggregation path)."""
+        if self.columns is not None:
+            return {name: self.columns[name] for name in names}
+        assert self.path is not None
+        with np.load(self.path) as data:
+            return {name: self._translated(name, data[name]) for name in names}
 
     def spill(self, path: Path) -> None:
         assert self.columns is not None
@@ -505,6 +531,69 @@ class MeasurementStore:
         return spilled
 
     # ------------------------------------------------------------------
+    # Segment adoption (multi-process merge support)
+    # ------------------------------------------------------------------
+    #: Columns whose codes reference store-level value tables (and therefore
+    #: need translation when a segment written by another store is adopted).
+    DICT_KINDS = ("url", "domain", "country", "isp", "family", "origin")
+
+    def _dict_tables(self, kind: str) -> tuple[dict, list]:
+        tables = {
+            "url": (self._url_codes, self._url_values),
+            "domain": (self._domain_codes, self._domain_values),
+            "country": (self._country_codes, self._country_values),
+            "isp": (self._isp_codes, self._isp_values),
+            "family": (self._family_codes, self._family_values),
+            "origin": (self._origin_codes, self._origin_values),
+        }
+        return tables[kind]
+
+    def value_tables(self) -> dict[str, list]:
+        """The dictionary value tables, in code order, per :data:`DICT_KINDS`."""
+        return {kind: list(self._dict_tables(kind)[1]) for kind in self.DICT_KINDS}
+
+    def merge_value_table(self, kind: str, values: Sequence) -> np.ndarray:
+        """Fold another store's value table into this one; return the translation.
+
+        ``translation[code]`` is this store's code for the foreign store's
+        ``code``; the extra tail entry maps the stripped-origin sentinel
+        ``-1`` to itself, so translating a foreign code column is one
+        fancy-index regardless of sentinels.
+        """
+        code_map, value_list = self._dict_tables(kind)
+        translation = np.empty(len(values) + 1, dtype=np.int64)
+        translation[-1] = -1
+        for index, value in enumerate(values):
+            code = code_map.get(value)
+            if code is None:
+                code = len(value_list)
+                code_map[value] = code
+                value_list.append(value)
+            translation[index] = code
+        return translation
+
+    def adopt_spilled_segment(
+        self,
+        path: str | Path,
+        length: int,
+        remap: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        """Mount a segment ``.npz`` written by another store, without copying rows.
+
+        The file stays where it is and is read on demand like any spilled
+        segment; ``remap`` (column name -> translation array, typically from
+        :meth:`merge_value_table`) reconciles the writer's dictionary codes
+        with this store's at read time.  Pending rows are sealed first so
+        store order stays append-consistent.
+        """
+        if length <= 0:
+            return
+        self._seal_pending()
+        self._segments.append(_Segment(length, None, Path(path), remap=remap))
+        self._length += length
+        self._version += 1
+
+    # ------------------------------------------------------------------
     # Columnar access
     # ------------------------------------------------------------------
     def column(self, name: str) -> np.ndarray:
@@ -585,12 +674,27 @@ class MeasurementStore:
             mask &= self.column("task") == _TASK_CODES[task_type]
         return Selection(self, mask)
 
+    def _segment_parts(self, names: Sequence[str]):
+        """Yield the requested columns segment-by-segment (pending included).
+
+        Streamed aggregations use this to touch one segment's worth of data
+        at a time: each spilled ``.npz`` is opened once for all requested
+        columns, and nothing is ever concatenated into a full-corpus array.
+        """
+        for seg in self._segments:
+            yield seg.load_columns(names)
+        for chunk in self._pending:
+            yield {name: chunk[name] for name in names}
+
     def success_counts(self, exclude_automated: bool = True) -> GroupedCounts:
         """Per-(domain, country) totals and successes by grouped reduction.
 
-        Two ``bincount`` passes over a combined ``domain * n_countries +
-        country`` key replace the per-row dict updates of the row-list path;
-        inconclusive outcomes (and by default automated traffic) are
+        Streams segment-by-segment: each segment (spilled or resident)
+        contributes two ``bincount`` passes over a combined ``domain *
+        n_countries + country`` key, accumulated into one pair of cell
+        arrays — no column is ever concatenated across segments, which is
+        what keeps this cheap on spilled and multi-worker merged stores.
+        Inconclusive outcomes (and by default automated traffic) are
         excluded, exactly as the binomial detection test requires.
         """
         cache_key = ("success_counts", exclude_automated)
@@ -605,18 +709,24 @@ class MeasurementStore:
                 np.empty(0, dtype=np.int64),
             )
             return self._derive(cache_key, empty)
-        outcome = self.column("outcome")
-        valid = outcome != OUTCOME_INCONCLUSIVE
-        if exclude_automated:
-            valid &= ~self.column("automated")
         n_countries = len(self._country_values)
-        key = self.column("domain")[valid].astype(np.int64) * n_countries
-        key += self.column("country")[valid]
         minlength = len(self._domain_values) * n_countries
-        totals = np.bincount(key, minlength=minlength)
-        successes = np.bincount(
-            key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
+        totals = np.zeros(minlength, dtype=np.int64)
+        successes = np.zeros(minlength, dtype=np.int64)
+        names = ("outcome", "domain", "country") + (
+            ("automated",) if exclude_automated else ()
         )
+        for part in self._segment_parts(names):
+            outcome = part["outcome"]
+            valid = outcome != OUTCOME_INCONCLUSIVE
+            if exclude_automated:
+                valid &= ~part["automated"]
+            key = part["domain"][valid].astype(np.int64) * n_countries
+            key += part["country"][valid]
+            totals += np.bincount(key, minlength=minlength)
+            successes += np.bincount(
+                key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
+            )
         cells = np.flatnonzero(totals)
         domains = np.asarray(self._domain_values, dtype=np.str_)[cells // n_countries]
         countries = np.asarray(self._country_values, dtype=np.str_)[cells % n_countries]

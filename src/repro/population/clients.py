@@ -110,6 +110,30 @@ class ClientBatch:
     def clients(self) -> list[Client]:
         return [self.client(i) for i in range(len(self))]
 
+    def slice(self, start: int, stop: int) -> "ClientBatch":
+        """A view of visitors ``[start, stop)`` as a smaller batch.
+
+        The shared lookup tables (browser profiles, link presets) are reused;
+        only the per-visitor columns are sliced, so the campaign runner can
+        carve a planning block into batch-sized parts without resampling.
+        """
+        return ClientBatch(
+            client_ids=self.client_ids[start:stop],
+            country_codes=self.country_codes[start:stop],
+            ip_addresses=self.ip_addresses[start:stop],
+            isp_indices=self.isp_indices[start:stop],
+            browser_profiles=self.browser_profiles,
+            browser_indices=self.browser_indices[start:stop],
+            links=self.links,
+            link_indices=self.link_indices[start:stop],
+            dwell_times_s=self.dwell_times_s[start:stop],
+            automated=self.automated[start:stop],
+            rtt_ms=self.rtt_ms[start:stop],
+            jitter_ms=self.jitter_ms[start:stop],
+            loss_rate=self.loss_rate[start:stop],
+            bandwidth_kbps=self.bandwidth_kbps[start:stop],
+        )
+
 
 class ClientFactory:
     """Samples clients according to the country / browser / link models."""
@@ -215,7 +239,15 @@ class ClientFactory:
         return self._field_rngs is not None
 
     # ------------------------------------------------------------------
-    def sample_batch(self, count: int, country_code: str | None = None) -> ClientBatch:
+    def sample_batch(
+        self,
+        count: int,
+        country_code: str | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+        first_id: int | None = None,
+        host_base: int | None = None,
+    ) -> ClientBatch:
         """Sample ``count`` visitors at once with vectorized draws.
 
         Field distributions are identical to :meth:`sample_client`'s (same
@@ -223,27 +255,49 @@ class ClientFactory:
         automated-traffic fraction); each field is drawn as one bulk RNG call
         instead of ``count`` scalar calls, which is where the batched
         campaign runner gets most of its sampling speedup.
+
+        With the default arguments the factory's own sequential streams and
+        counters are consumed, so successive batches continue one campaign-
+        long client sequence.  The block-keyed campaign planner instead
+        passes an explicit ``rng`` (field streams are spawned from it, the
+        factory state is untouched), ``first_id`` (client ids numbered from
+        the block's first visit), and ``host_base`` (IP addresses taken at
+        the visitors' *global visit indices* inside each country's space via
+        :meth:`GeoIPDatabase.ips_at`) — which together make the batch a pure
+        function of its arguments, the property process-sharded campaigns
+        are built on.
         """
-        if self._field_rngs is None:
-            # One independent stream per sampled field.  Consuming each
-            # field's stream sequentially makes a campaign's client sequence
-            # a function of the seed alone, not of how visits are chunked
-            # into batches (checkpoint/resume relies on this).
-            self._field_rngs = self._rng.spawn(7)
-        (country_rng, isp_rng, browser_rng, link_rng,
-         roll_rng, span_rng, automated_rng) = self._field_rngs
+        if rng is not None:
+            (country_rng, isp_rng, browser_rng, link_rng,
+             roll_rng, span_rng, automated_rng) = rng.spawn(7)
+        else:
+            if self._field_rngs is None:
+                # One independent stream per sampled field.  Consuming each
+                # field's stream sequentially makes a campaign's client sequence
+                # a function of the seed alone, not of how visits are chunked
+                # into batches (checkpoint/resume relies on this).
+                self._field_rngs = self._rng.spawn(7)
+            (country_rng, isp_rng, browser_rng, link_rng,
+             roll_rng, span_rng, automated_rng) = self._field_rngs
         if country_code is not None:
             country_idx = np.full(count, self._code_index[country_code], dtype=np.int64)
         else:
             country_idx = country_rng.choice(len(self._codes), size=count, p=self._shares_array)
         codes = [self._codes[i] for i in country_idx]
 
-        # IPs: allocate per country in visit order, advancing the same GeoIP
-        # counters the scalar path uses.
+        # IPs: either allocate per country in visit order, advancing the same
+        # GeoIP counters the scalar path uses, or (with ``host_base``) read
+        # the addresses at the visitors' global visit indices without
+        # touching shared state.
         ips: list[str | None] = [None] * count
         for code_id in np.unique(country_idx):
             where = np.flatnonzero(country_idx == code_id)
-            allocated = self.geoip.allocate_ips(self._codes[code_id], len(where))
+            if host_base is not None:
+                allocated = self.geoip.ips_at(
+                    self._codes[code_id], (host_base + where).tolist()
+                )
+            else:
+                allocated = self.geoip.allocate_ips(self._codes[code_id], len(where))
             for position, address in zip(where, allocated):
                 ips[position] = address
 
@@ -271,7 +325,10 @@ class ClientFactory:
             default=60.0 + span_u * (900.0 - 60.0),
         )
         automated = automated_rng.random(count) < self.AUTOMATED_FRACTION
-        ids = np.fromiter(itertools.islice(self._ids, count), dtype=np.int64, count=count)
+        if first_id is not None:
+            ids = np.arange(first_id, first_id + count, dtype=np.int64)
+        else:
+            ids = np.fromiter(itertools.islice(self._ids, count), dtype=np.int64, count=count)
 
         return ClientBatch(
             client_ids=ids,

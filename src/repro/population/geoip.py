@@ -64,8 +64,27 @@ class GeoIPDatabase:
             raise KeyError(f"unknown country {country_code!r}")
         start = self._next_host[country_code]
         self._next_host[country_code] = start + count
+        return self._ips_for_hosts(blocks, range(start, start + count))
+
+    def ips_at(self, country_code: str, hosts) -> list[str]:
+        """Addresses at explicit host slots of ``country_code``'s space.
+
+        A pure function of ``(country_code, host)`` — no counters move — so
+        callers that already own a collision-free host numbering (the block-
+        keyed campaign planner uses the global visit index) get addresses
+        that are reproducible regardless of which process, or in which
+        order, asks.  Hosts beyond the country's space wrap around, exactly
+        like the counter-based allocator.
+        """
+        blocks = self._country_to_blocks.get(country_code)
+        if not blocks:
+            raise KeyError(f"unknown country {country_code!r}")
+        return self._ips_for_hosts(blocks, hosts)
+
+    @staticmethod
+    def _ips_for_hosts(blocks: list[tuple[int, int]], hosts) -> list[str]:
         addresses = []
-        for host in range(start, start + count):
+        for host in hosts:
             block = blocks[host // 65536 % len(blocks)]
             offset = host % 65536
             addresses.append(f"{block[0]}.{block[1]}.{offset // 256}.{offset % 256}")

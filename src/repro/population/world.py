@@ -150,9 +150,24 @@ class World:
     def sample_client(self, country_code: str | None = None) -> Client:
         return self.clients.sample_client(country_code)
 
-    def sample_client_batch(self, count: int, country_code: str | None = None):
-        """Sample a vectorized :class:`~repro.population.clients.ClientBatch`."""
-        return self.clients.sample_batch(count, country_code)
+    def sample_client_batch(
+        self,
+        count: int,
+        country_code: str | None = None,
+        *,
+        rng=None,
+        first_id: int | None = None,
+        host_base: int | None = None,
+    ):
+        """Sample a vectorized :class:`~repro.population.clients.ClientBatch`.
+
+        ``rng``/``first_id``/``host_base`` are the block-keyed sampling
+        arguments of :meth:`ClientFactory.sample_batch`: with them the batch
+        is a pure function of the arguments and no world state moves.
+        """
+        return self.clients.sample_batch(
+            count, country_code, rng=rng, first_id=first_id, host_base=host_base
+        )
 
     def make_browser(self, client: Client, now_s: float = 0.0) -> Browser:
         """Build the simulated browser a client uses for its visit."""

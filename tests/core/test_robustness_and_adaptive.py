@@ -95,6 +95,52 @@ class TestReputationFilter:
         assert report.dropped == report.dropped_rate_limited + report.dropped_low_reputation
 
 
+class TestReputationFilterColumnarEquivalence:
+    """The vectorized group-by verdict must match the per-row reference walk."""
+
+    def poisoned_corpus(self, detection_result, rng_seed=6):
+        attacker = PoisoningAttacker(rng=rng_seed)
+        forged = attacker.forge_measurements(
+            PoisoningCampaign("facebook.com", "DE", submissions=400, client_identities=8)
+        )
+        forged += attacker.forge_measurements(
+            PoisoningCampaign("youtube.com", "PK", fabricate_blocking=False,
+                              submissions=150, client_identities=3)
+        )
+        return list(detection_result.measurements) + forged
+
+    @pytest.mark.parametrize("max_per_client,share", [(10, 0.2), (3, 0.1), (50, 0.5)])
+    def test_apply_matches_reference_row_for_row(self, detection_result, max_per_client, share):
+        corpus = self.poisoned_corpus(detection_result)
+        filt = ReputationFilter(max_submissions_per_client=max_per_client,
+                                suspicious_share=share)
+        reference = filt.apply_reference(corpus)
+        columnar = filt.apply(corpus)
+        assert columnar.kept == reference.kept
+        assert columnar.dropped_rate_limited == reference.dropped_rate_limited
+        assert columnar.dropped_low_reputation == reference.dropped_low_reputation
+
+    def test_apply_store_matches_reference(self, detection_result):
+        corpus = self.poisoned_corpus(detection_result, rng_seed=7)
+        collection = CollectionServer("http://collector.encore-measurement.org/submit")
+        collection.ingest_measurements(corpus)
+        filt = ReputationFilter()
+        reference = filt.apply_reference(collection.measurements)
+        store_report = filt.apply_store(collection)
+        assert store_report.dropped_rate_limited == reference.dropped_rate_limited
+        assert store_report.dropped_low_reputation == reference.dropped_low_reputation
+        assert len(store_report.kept_indices) == len(reference.kept)
+        kept = store_report.kept_measurements()
+        assert [(m.client_ip, m.target_domain, m.outcome) for m in kept] == [
+            (m.client_ip, m.target_domain, m.outcome) for m in reference.kept
+        ]
+
+    def test_empty_corpus(self):
+        filt = ReputationFilter()
+        assert filt.apply([]).kept == []
+        assert filt.apply([]).dropped == 0
+
+
 class TestAdaptiveFilteringDetector:
     def test_parameter_validation(self):
         with pytest.raises(ValueError):

@@ -18,7 +18,8 @@ from repro.core.tasks import MeasurementTask, TaskType
 from repro.population.world import World, WorldConfig
 
 
-def small_deployment(mode, include_testbed=False, seed=11, visits=900, country=None):
+def small_deployment(mode, include_testbed=False, seed=11, visits=900, country=None,
+                     plan_block_visits=2048):
     world = World(
         WorldConfig(seed=7, target_list_total=30, target_list_online=24, origin_site_count=4)
     )
@@ -29,6 +30,7 @@ def small_deployment(mode, include_testbed=False, seed=11, visits=900, country=N
         seed=seed,
         mode=mode,
         country_code=country,
+        plan_block_visits=plan_block_visits,
     )
     return EncoreDeployment(world, config)
 
@@ -84,6 +86,35 @@ class TestSerialBatchEquivalence:
         coarse = small_deployment("batch").run_campaign(batch_size=1000)
         fine = small_deployment("batch").run_campaign(batch_size=137)
         assert measurement_key(coarse) == measurement_key(fine)
+
+
+class TestShardedBatchEquivalence:
+    """mode="sharded" is the batch path fanned out over workers: for a fixed
+    seed the merged campaign must be identical to mode="batch" — the shard
+    subsystem's core guarantee (tests/core/test_shard.py pins it in depth)."""
+
+    @pytest.mark.parametrize("include_testbed", [False, True])
+    def test_sharded_matches_batch(self, include_testbed):
+        batch = small_deployment(
+            "batch", include_testbed, visits=600, plan_block_visits=100
+        ).run_campaign()
+        sharded = small_deployment(
+            "sharded", include_testbed, visits=600, plan_block_visits=100
+        ).run_campaign(num_shards=3, shard_executor="inline")
+        assert sharded.mode == "sharded"
+        assert measurement_key(sharded) == measurement_key(batch)
+        assert sharded.detect().detected_pairs() == batch.detect().detected_pairs()
+
+    def test_sharding_is_batch_size_invariant(self):
+        # Shards partition planning blocks, batches slice them: neither may
+        # change the campaign.
+        fine = small_deployment(
+            "batch", visits=600, plan_block_visits=100
+        ).run_campaign(batch_size=97)
+        sharded = small_deployment(
+            "sharded", visits=600, plan_block_visits=100
+        ).run_campaign(num_shards=2, shard_executor="inline")
+        assert measurement_key(sharded) == measurement_key(fine)
 
 
 class TestSchedulerBatchEquivalence:
@@ -193,6 +224,30 @@ class TestCheckpointResume:
         resumed = small_deployment("batch", visits=600)
         resumed_result = resumed.run_campaign(batch_size=200, resume_from_batch=2)
         assert measurement_key(resumed_result) == full_keys[done_before_resume:]
+
+    def test_runner_instance_is_reusable_across_campaigns(self):
+        # Regression: the block-plan cache is keyed on the campaign epoch,
+        # so a runner driven twice must not serve the first campaign's
+        # stale block plans to the second.
+        deployment = small_deployment("batch", visits=300)
+        runner = CampaignRunner(deployment, mode="batch")
+        first = runner.run(300)
+        after_first = len(deployment.collection)
+        second = runner.run(300)
+        assert first.visits_simulated == second.visits_simulated == 300
+        assert len(deployment.collection) > after_first
+
+    def test_resume_keeps_replication_report_complete(self):
+        # Skipped batches' planning is replayed (execution is not), so the
+        # campaign-wide replication report matches an uninterrupted run
+        # regardless of where the resume boundary falls inside a block.
+        full = small_deployment("batch", visits=600, plan_block_visits=100)
+        full.run_campaign(batch_size=200)
+        resumed = small_deployment("batch", visits=600, plan_block_visits=100)
+        resumed.run_campaign(batch_size=200, resume_from_batch=2)
+        assert sorted(full.scheduler.replication_report().values()) == sorted(
+            resumed.scheduler.replication_report().values()
+        )
 
     def test_resume_is_mode_agnostic(self):
         serial = small_deployment("serial", visits=400)

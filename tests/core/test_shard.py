@@ -1,0 +1,507 @@
+"""Sharded multi-process campaign execution (the shard subsystem's guarantees).
+
+``mode="sharded"`` partitions a campaign's planning blocks across worker
+processes and merges their spilled segments back into one store.  Because
+every block's randomness derives from ``(seed, epoch, block_index)`` alone,
+the merged campaign must be *identical* — same rows, same order — to the
+single-process ``mode="batch"`` campaign for any shard count; these tests
+pin that, plus the planner's partition properties, the store merger's code
+translation, and the manifest-based crash-resume path.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.collection import CollectionServer
+from repro.core.pipeline import CampaignConfig, EncoreDeployment
+from repro.core.shard import (
+    MANIFEST_NAME,
+    ShardPlanner,
+    ShardProgress,
+    StoreMerger,
+    campaign_signature,
+    execute_shard,
+    load_manifest,
+)
+from repro.core.store import MeasurementStore
+from repro.core.tasks import TaskOutcome, TaskType
+from repro.population.world import World, WorldConfig
+from repro.web.url import URL
+
+
+def small_deployment(mode, seed=11, visits=900, include_testbed=True, **config_kw):
+    world = World(
+        WorldConfig(seed=7, target_list_total=30, target_list_online=24, origin_site_count=4)
+    )
+    config_kw.setdefault("testbed_fraction", 0.3)
+    config_kw.setdefault("plan_block_visits", 128)
+    config = CampaignConfig(
+        visits=visits,
+        include_testbed=include_testbed,
+        seed=seed,
+        mode=mode,
+        **config_kw,
+    )
+    return EncoreDeployment(world, config)
+
+
+def measurement_key(result):
+    return [
+        (
+            str(m.target_url), m.task_type.value, m.country_code,
+            m.outcome.value, m.elapsed_ms, m.probe_time_ms, m.origin_domain,
+            m.day, m.client_ip, m.isp, m.browser_family, m.is_automated,
+        )
+        for m in result.measurements
+    ]
+
+
+class TestShardPlanner:
+    def test_blocks_partitioned_exactly_once(self):
+        planner = ShardPlanner(visits=10_000, plan_block_visits=256, num_shards=7)
+        assignments = planner.plan()
+        dealt = [b for a in assignments for b in a.block_indices]
+        assert sorted(dealt) == list(range(planner.block_count))
+
+    def test_round_robin_balances_shards(self):
+        planner = ShardPlanner(visits=64 * 100, plan_block_visits=64, num_shards=4)
+        sizes = [len(a.block_indices) for a in planner.plan()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_blocks_drops_empty_shards(self):
+        planner = ShardPlanner(visits=300, plan_block_visits=128, num_shards=8)
+        assignments = planner.plan()
+        assert len(assignments) == planner.block_count == 3
+        assert all(a.block_indices for a in assignments)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlanner(visits=-1, plan_block_visits=10, num_shards=1)
+        with pytest.raises(ValueError):
+            ShardPlanner(visits=10, plan_block_visits=0, num_shards=1)
+        with pytest.raises(ValueError):
+            ShardPlanner(visits=10, plan_block_visits=10, num_shards=0)
+
+
+class TestShardedEqualsBatch:
+    """The core determinism property: any shard count, identical campaign."""
+
+    @pytest.fixture(scope="class")
+    def batch_reference(self):
+        return small_deployment("batch").run_campaign()
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 7])
+    def test_merged_rows_identical_for_any_shard_count(self, batch_reference, num_shards):
+        sharded = small_deployment("sharded").run_campaign(
+            num_shards=num_shards, shard_executor="inline"
+        )
+        assert sharded.mode == "sharded"
+        # Not just the same multiset: the merger adopts blocks in campaign
+        # order, so even the row order matches the single-process campaign.
+        assert measurement_key(sharded) == measurement_key(batch_reference)
+        assert sharded.task_executions == batch_reference.task_executions
+
+    def test_counters_and_verdicts_match(self, batch_reference):
+        deployment = small_deployment("sharded")
+        sharded = deployment.run_campaign(num_shards=3, shard_executor="inline")
+        assert (
+            sharded.collection.unreachable_submissions
+            == batch_reference.collection.unreachable_submissions
+        )
+        assert (
+            deployment.coordination.delivery_failure_rate
+            == batch_reference.coordination.delivery_failure_rate
+        )
+        assert sharded.detect().detected_pairs() == batch_reference.detect().detected_pairs()
+        assert (
+            sharded.collection.success_counts()
+            == batch_reference.collection.success_counts()
+        )
+        assert sharded.collection.distinct_ips() == batch_reference.collection.distinct_ips()
+
+    def test_process_pool_matches_batch(self, batch_reference):
+        sharded = small_deployment("sharded").run_campaign(num_shards=2)
+        assert measurement_key(sharded) == measurement_key(batch_reference)
+
+    def test_replication_counts_survive_the_merge(self):
+        # Worker-side scheduling counts are folded back through manifests,
+        # so the campaign-wide replication report matches the in-process
+        # run's (up to the uuid4 task ids, which differ per deployment).
+        sharded_deployment = small_deployment("sharded")
+        sharded_deployment.run_campaign(num_shards=3, shard_executor="inline")
+        batch_deployment = small_deployment("batch")
+        batch_deployment.run_campaign()
+        assert sorted(sharded_deployment.scheduler.replication_report().values()) == sorted(
+            batch_deployment.scheduler.replication_report().values()
+        )
+
+    def test_sharded_mode_rejects_batch_only_arguments(self):
+        deployment = small_deployment("sharded", visits=128)
+        with pytest.raises(ValueError, match="sharded"):
+            deployment.run_campaign(batch_size=64)
+        with pytest.raises(ValueError, match="sharded"):
+            deployment.run_campaign(resume_from_batch=1)
+        batch = small_deployment("batch", visits=128)
+        with pytest.raises(ValueError, match="sharded"):
+            batch.run_campaign(num_shards=2)
+
+
+class TestShardProgressAndResume:
+    def test_progress_hook_sees_every_shard(self, tmp_path):
+        seen = []
+        deployment = small_deployment("sharded", worker_spill_dir=str(tmp_path))
+        deployment.run_campaign(num_shards=3, shard_executor="inline", progress=seen.append)
+        assert len(seen) == 3
+        assert all(isinstance(p, ShardProgress) for p in seen)
+        assert seen[-1].shards_completed == 3
+        assert seen[-1].visits_completed == 900
+        assert seen[-1].blocks_completed == seen[-1].blocks_total
+        assert not any(p.resumed for p in seen)
+        assert seen[-1].measurements_total == len(deployment.collection)
+
+    def test_killed_worker_resumes_from_surviving_manifests(self, tmp_path):
+        reference = small_deployment("batch").run_campaign()
+
+        first = small_deployment("sharded", worker_spill_dir=str(tmp_path))
+        first_result = first.run_campaign(num_shards=3, shard_executor="inline")
+        first_ids = {m.measurement_id for m in first_result.measurements}
+        survivors = {
+            p: (p / MANIFEST_NAME).read_text()
+            for p in sorted(tmp_path.rglob("shard-*"))
+        }
+        assert len(survivors) == 3
+
+        # Simulate a worker killed mid-shard: its manifest (the commit
+        # marker) never landed, so its partial segments are garbage.
+        victim = sorted(tmp_path.rglob("shard-*"))[1]
+        (victim / MANIFEST_NAME).unlink()
+        orphan = victim / "left-behind.npz"
+        orphan.write_bytes(b"partial output of the dead attempt")
+
+        seen = []
+        # A *fresh* deployment (new uuid4 task ids, as after a process
+        # restart): the campaign file pins the original id space.
+        resumed = small_deployment("sharded", worker_spill_dir=str(tmp_path))
+        result = resumed.run_campaign(
+            num_shards=3, shard_executor="inline", progress=seen.append
+        )
+        # Only the killed shard re-executed; the survivors were adopted
+        # verbatim from their manifests.
+        assert sorted(p.resumed for p in seen) == [False, True, True]
+        for path, manifest_text in survivors.items():
+            if path != victim:
+                assert (path / MANIFEST_NAME).read_text() == manifest_text
+        assert measurement_key(result) == measurement_key(reference)
+        assert (
+            result.collection.unreachable_submissions
+            == reference.collection.unreachable_submissions
+        )
+        # One coherent measurement-id space across the restart — the
+        # re-executed shard adopted the original run's task ids — and the
+        # dead attempt's partial segments were cleared, not accumulated.
+        assert {m.measurement_id for m in result.measurements} == first_ids
+        assert not orphan.exists()
+
+    def test_foreign_manifest_is_ignored(self, tmp_path):
+        deployment = small_deployment("sharded", worker_spill_dir=str(tmp_path))
+        config = deployment.config
+        signature = campaign_signature(deployment, epoch=1, visits=900)
+        planner = ShardPlanner(900, config.plan_block_visits, 2)
+        assignment = planner.plan()[0]
+        shard_dir = tmp_path / assignment.directory_name
+        shard_dir.mkdir()
+        foreign = json.loads(json.dumps(signature))
+        foreign["campaign"]["seed"] = 999
+        stale = {"signature": foreign, "block_indices": list(assignment.block_indices)}
+        (shard_dir / MANIFEST_NAME).write_text(json.dumps(stale))
+        assert load_manifest(shard_dir, signature, assignment) is None
+
+    def test_resume_with_unset_shard_count_reuses_recorded_partition(self, tmp_path):
+        # num_shards=None falls back to the host CPU count, which can
+        # differ on the resuming host; the campaign file records the
+        # original partition so a resume adopts the old manifests instead
+        # of silently re-executing everything.
+        reference = small_deployment("batch").run_campaign()
+        first = small_deployment("sharded", worker_spill_dir=str(tmp_path))
+        first.run_campaign(num_shards=3, shard_executor="inline")
+
+        seen = []
+        resumed = small_deployment("sharded", worker_spill_dir=str(tmp_path))
+        result = resumed.run_campaign(shard_executor="inline", progress=seen.append)
+        assert len(seen) == 3 and all(p.resumed for p in seen)
+        assert measurement_key(result) == measurement_key(reference)
+
+    def test_repartitioned_campaign_keeps_earlier_merge_readable(self, tmp_path):
+        # Same campaign, same spill dir, different explicit shard count:
+        # the partition is part of the shard directory names, so the new
+        # run's cleanup can never delete segments the first run's merged
+        # store still reads lazily.
+        first = small_deployment("sharded", worker_spill_dir=str(tmp_path)).run_campaign(
+            num_shards=4, shard_executor="inline"
+        )
+        first_counts = first.collection.success_counts()
+        second = small_deployment("sharded", worker_spill_dir=str(tmp_path)).run_campaign(
+            num_shards=2, shard_executor="inline"
+        )
+        assert measurement_key(second) == measurement_key(first)
+        assert first.collection.success_counts() == first_counts
+        assert len(first.collection.measurements) == len(first.collection)
+
+    def test_second_campaign_on_one_deployment_gets_fresh_client_identities(self):
+        # Client ids / IP hosts are numbered from the deployment's claimed
+        # visit base, so two campaigns on one deployment never mint the
+        # same client identity (until a country's IP space wraps).
+        deployment = small_deployment("batch", visits=400)
+        deployment.run_campaign()
+        first_rows = len(deployment.collection)
+        first_ips = {m.client_ip for m in deployment.collection.measurements[:first_rows]}
+        deployment.run_campaign()
+        second_ips = {
+            m.client_ip for m in deployment.collection.measurements[first_rows:]
+        }
+        assert not (first_ips & second_ips)
+        assert deployment.collection.distinct_ips() == len(first_ips) + len(second_ips)
+
+    def test_shared_spill_dir_keeps_earlier_campaigns_readable(self, tmp_path):
+        # Regression: campaigns get signature-keyed subdirectories of the
+        # spill root, so re-executing campaign B's shards can never delete
+        # segment files campaign A's merged store still reads lazily.
+        first_dep = small_deployment("sharded", seed=11, worker_spill_dir=str(tmp_path))
+        first = first_dep.run_campaign(num_shards=2, shard_executor="inline")
+        first_counts = first.collection.success_counts()
+        second = small_deployment(
+            "sharded", seed=12, worker_spill_dir=str(tmp_path)
+        ).run_campaign(num_shards=2, shard_executor="inline")
+        assert len(second.collection) > 0
+        # The first campaign's store still answers queries off its files.
+        assert first.collection.success_counts() == first_counts
+        assert len(first.collection.measurements) == len(first.collection)
+
+    def test_zero_plan_block_visits_rejected_in_every_mode(self):
+        batch = small_deployment("batch", visits=64, plan_block_visits=0)
+        with pytest.raises(ValueError, match="plan_block_visits"):
+            batch.run_campaign()
+        sharded = small_deployment("sharded", visits=64, plan_block_visits=0)
+        with pytest.raises(ValueError, match="plan_block_visits"):
+            sharded.run_campaign(num_shards=1, shard_executor="inline")
+
+    def test_temporary_spill_root_reclaimed_with_the_store(self):
+        import gc
+
+        deployment = small_deployment("sharded", visits=256)
+        result = deployment.run_campaign(num_shards=2, shard_executor="inline")
+        segment = Path(result.collection.store.segment_files[0])
+        # <temp root>/campaign-XX-xxxx/shard-XXX/store-XXXX/segment-XXXXX.npz
+        temp_root = segment.parents[3]
+        assert temp_root.name.startswith("encore-shards-")
+        del result
+        deployment.collection = None
+        del deployment
+        gc.collect()
+        assert not temp_root.exists()
+
+    def test_signature_covers_campaign_content(self):
+        # Same seed/visits but different campaign content (days, testbed,
+        # targets, world) must not share manifests.
+        base = small_deployment("sharded")
+        reference = campaign_signature(base, epoch=1, visits=900)
+        for kw in (
+            {"days": 7},
+            {"include_testbed": False},
+            {"testbed_fraction": 0.5},
+            {"target_domains": ("facebook.com",)},
+        ):
+            other = small_deployment("sharded", **kw)
+            assert campaign_signature(other, 1, 900) != reference
+        different_world = EncoreDeployment(
+            World(WorldConfig(seed=8, target_list_total=30, target_list_online=24,
+                              origin_site_count=4)),
+            base.config,
+        )
+        assert campaign_signature(different_world, 1, 900) != reference
+
+    def test_rebuilt_worker_matches_forked_worker(self, tmp_path):
+        # The spawn fallback rebuilds the deployment from pickled configs
+        # and adopts the parent's task ids, so its shard output — including
+        # the measurement_id column — is byte-equal to a worker sharing the
+        # parent deployment (what fork provides).
+        from repro.core import shard as shard_module
+
+        parent = small_deployment("batch", visits=256)
+        epoch = parent.next_campaign_epoch()
+        signature = campaign_signature(parent, epoch, 256)
+        assignment = ShardPlanner(256, 128, 2).plan()[0]
+        shared_manifest = execute_shard(
+            parent, assignment, epoch, 256, tmp_path / "shared", signature
+        )
+        assert shard_module._FORK_DEPLOYMENT is None
+        rebuilt_path = shard_module.shard_worker(
+            {
+                "assignment": assignment,
+                "epoch": epoch,
+                "visits": 256,
+                "shard_dir": tmp_path / "rebuilt",
+                "signature": signature,
+                "world_config": parent.world.config,
+                "campaign_config": parent.config,
+                "task_ids": [
+                    t.measurement_id
+                    for pool in parent.scheduler.pools
+                    for t in pool.tasks
+                ],
+                "visit_base": 0,
+            }
+        )
+
+        def rows_of(manifest):
+            store = MeasurementStore()
+            StoreMerger(store).merge([manifest])
+            return [
+                (m.measurement_id, str(m.target_url), m.client_ip, m.country_code,
+                 m.outcome, m.elapsed_ms, m.day)
+                for m in store.rows()
+            ]
+
+        rebuilt_manifest = json.loads(Path(rebuilt_path).read_text())
+        assert rows_of(rebuilt_manifest) == rows_of(shared_manifest)
+
+    def test_execute_shard_writes_committing_manifest(self, tmp_path):
+        deployment = small_deployment("batch", visits=256)
+        epoch = deployment.next_campaign_epoch()
+        signature = campaign_signature(deployment, epoch, 256)
+        assignment = ShardPlanner(256, 128, 2).plan()[0]
+        manifest = execute_shard(
+            deployment, assignment, epoch, 256, tmp_path / "shard-000", signature
+        )
+        on_disk = json.loads((tmp_path / "shard-000" / MANIFEST_NAME).read_text())
+        assert on_disk == manifest
+        assert manifest["signature"] == signature
+        assert [b["block"] for b in manifest["blocks"]] == list(assignment.block_indices)
+        for block in manifest["blocks"]:
+            for segment in block["segments"]:
+                assert Path(segment["path"]).is_file()
+        assert manifest["counters"]["stored"] == sum(
+            b["rows"] for b in manifest["blocks"]
+        )
+        assert load_manifest(tmp_path / "shard-000", signature, assignment) is not None
+
+
+class TestStoreMerger:
+    """Segment adoption reconciles dictionary codes across writer stores."""
+
+    @staticmethod
+    def measurement(domain, country, outcome=TaskOutcome.SUCCESS, ip="10.0.0.1"):
+        from repro.core.collection import Measurement
+
+        return Measurement(
+            measurement_id=f"m-{domain}-{country}",
+            task_type=TaskType.IMAGE,
+            target_url=URL.parse(f"http://{domain}/favicon.ico"),
+            target_domain=domain,
+            outcome=outcome,
+            elapsed_ms=12.5,
+            client_ip=ip,
+            country_code=country,
+            isp=f"{country.lower()}-isp-1",
+            browser_family="chrome",
+            origin_domain=None,
+            day=3,
+        )
+
+    def manifest_for(self, store: MeasurementStore, block: int) -> dict:
+        store.spill()
+        tables = store.value_tables()
+        return {
+            "shard_index": block,
+            "value_tables": {
+                kind: ([str(u) for u in values] if kind == "url" else values)
+                for kind, values in tables.items()
+            },
+            "blocks": [
+                {
+                    "block": block,
+                    "visits": len(store),
+                    "rows": len(store),
+                    "segments": [
+                        {"path": str(path), "rows": len(store)}
+                        for path in store.segment_files
+                    ],
+                }
+            ],
+        }
+
+    def test_adoption_translates_codes_between_stores(self, tmp_path):
+        # Two writers see the same values in *different* insertion orders,
+        # so their integer codes disagree; adoption must reconcile them.
+        first = MeasurementStore(spill_dir=tmp_path / "a")
+        first.append_rows([
+            self.measurement("alpha.org", "DE"),
+            self.measurement("beta.org", "IR", outcome=TaskOutcome.FAILURE),
+        ])
+        second = MeasurementStore(spill_dir=tmp_path / "b")
+        second.append_rows([
+            self.measurement("beta.org", "IR"),
+            self.measurement("alpha.org", "DE", outcome=TaskOutcome.FAILURE, ip="10.0.0.2"),
+        ])
+        merged = MeasurementStore()
+        merger = StoreMerger(merged)
+        adopted = merger.merge([self.manifest_for(first, 0), self.manifest_for(second, 1)])
+        assert adopted == len(merged) == 4
+        rows = merged.rows()
+        assert [(m.target_domain, m.country_code, m.outcome) for m in rows] == [
+            ("alpha.org", "DE", TaskOutcome.SUCCESS),
+            ("beta.org", "IR", TaskOutcome.FAILURE),
+            ("beta.org", "IR", TaskOutcome.SUCCESS),
+            ("alpha.org", "DE", TaskOutcome.FAILURE),
+        ]
+        assert all(isinstance(m.target_url, URL) for m in rows)
+        # Grouped queries see one coherent code space.
+        counts = merged.success_counts(exclude_automated=False).as_dict()
+        assert counts[("alpha.org", "DE")] == (2, 1)
+        assert counts[("beta.org", "IR")] == (2, 1)
+
+    def test_adoption_does_not_copy_rows(self, tmp_path):
+        store = MeasurementStore(spill_dir=tmp_path)
+        store.append_rows([self.measurement("alpha.org", "DE")])
+        manifest = self.manifest_for(store, 0)
+        merged = MeasurementStore()
+        StoreMerger(merged).merge([manifest])
+        # The merged store mounts the writer's file in place.
+        assert merged.segment_files == store.segment_files
+        assert merged.rows_in_memory == 0
+
+    def test_adopted_store_streams_success_counts(self, tmp_path):
+        # Streaming aggregation over adopted segments never concatenates
+        # the corpus; verify against a row-built reference store.
+        writers = []
+        for index in range(3):
+            writer = MeasurementStore(spill_dir=tmp_path / str(index))
+            writer.append_rows([
+                self.measurement("alpha.org", "DE"),
+                self.measurement("beta.org", "IR",
+                                 outcome=TaskOutcome.FAILURE if index else TaskOutcome.SUCCESS),
+            ])
+            writers.append(self.manifest_for(writer, index))
+        merged = MeasurementStore()
+        StoreMerger(merged).merge(writers)
+        reference = MeasurementStore()
+        reference.append_rows(merged.rows())
+        assert (
+            merged.success_counts(exclude_automated=False).as_dict()
+            == reference.success_counts(exclude_automated=False).as_dict()
+        )
+
+
+class TestCollectionServerStoreArgument:
+    def test_explicit_empty_store_is_used(self):
+        # Regression: an empty MeasurementStore is falsy, and ``store or
+        # default`` used to silently replace it — shard workers pass a
+        # fresh (empty) spilling store and must get their rows back.
+        store = MeasurementStore()
+        server = CollectionServer(
+            "http://collector.encore-measurement.org/submit", store=store
+        )
+        assert server.store is store
