@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Fail CI when a freshly measured benchmark ratio regresses >25%.
+
+Every throughput benchmark writes a ``BENCH_*.json`` next to this script
+with a ``speedup`` field (vectorized/sharded path vs. its scalar
+reference).  Those files are committed, so the repository always carries
+the last accepted numbers; after the slow lane re-runs the benchmarks,
+this script compares each freshly written ratio against the committed
+baseline and exits non-zero if any dropped by more than
+``MAX_REGRESSION`` (25%).
+
+Baselines come from ``git show HEAD:benchmarks/<name>`` by default (the
+working-tree copies have just been overwritten by the benchmark run);
+``--baseline-dir`` points at a directory of snapshot copies instead.
+
+On hosts with fewer than 4 CPUs the whole gate is *skipped, loudly*:
+wall-clock ratios on a 1-core container measure the scheduler, not the
+code (the sharded benchmark can't even win), so rather than compare noise
+the script prints exactly why it is not comparing and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+#: File -> field holding the pinned ratio.
+RATIO_FIELDS = {
+    "BENCH_runner.json": "speedup",
+    "BENCH_store.json": "speedup",
+    "BENCH_shard.json": "speedup",
+    "BENCH_robustness.json": "speedup",
+}
+#: Largest tolerated relative drop of a ratio before the gate fails.
+MAX_REGRESSION = 0.25
+MIN_CPUS = 4
+
+
+def committed_baseline(name: str) -> dict | None:
+    """The committed copy of ``benchmarks/<name>`` at HEAD, if any."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:benchmarks/{name}"],
+            capture_output=True, check=True, cwd=BENCH_DIR,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    try:
+        return json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+
+
+def snapshot_baseline(directory: Path, name: str) -> dict | None:
+    path = directory / name
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=None,
+        help="directory holding baseline BENCH_*.json copies "
+             "(default: read them from git HEAD)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=MAX_REGRESSION,
+        help="largest tolerated relative ratio drop (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    if cpus < MIN_CPUS:
+        print(
+            f"SKIPPED: benchmark regression gate needs >= {MIN_CPUS} CPUs to "
+            f"measure stable ratios, host has {cpus} (the 1-core container "
+            f"case); not comparing BENCH_*.json — this is a skip, not a pass."
+        )
+        return 0
+
+    failures = []
+    for name, field in RATIO_FIELDS.items():
+        fresh_path = BENCH_DIR / name
+        if not fresh_path.is_file():
+            print(f"{name}: SKIP (no fresh file written by this benchmark run)")
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        baseline = (
+            snapshot_baseline(args.baseline_dir, name)
+            if args.baseline_dir is not None
+            else committed_baseline(name)
+        )
+        if baseline is None or field not in baseline:
+            print(f"{name}: SKIP (no committed baseline to compare against)")
+            continue
+        old = float(baseline[field])
+        new = float(fresh.get(field, 0.0))
+        floor = old * (1.0 - args.max_regression)
+        verdict = "ok" if new >= floor else "REGRESSED"
+        print(f"{name}: {field} {old:.2f} -> {new:.2f} (floor {floor:.2f}) {verdict}")
+        if new < floor:
+            failures.append(name)
+
+    if failures:
+        print(f"FAIL: ratio regressions >25% in: {', '.join(failures)}")
+        return 1
+    print("All benchmark ratios within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,13 +6,17 @@ problem.  This ablation quantifies the statement: sweep the attacker's budget
 (forged submissions and Sybil identities) and report whether a fabricated
 detection appears with and without the reputation filter, and whether the
 real detections survive filtering.
+
+The sweep runs entirely on the columnar store path: each budget's forged
+corpus is sealed into spilled segments (fanned out across worker processes),
+merged with the honest campaign store by zero-copy segment adoption, and
+scored without materializing a single ``Measurement`` row.
 """
 
 from __future__ import annotations
 
 from repro.analysis.reports import format_table
 from repro.core.inference import BinomialFilteringDetector
-from repro.core.robustness import PoisoningAttacker, PoisoningCampaign, ReputationFilter
 
 EXPECTED = {
     ("youtube.com", "PK"), ("youtube.com", "IR"), ("youtube.com", "CN"),
@@ -27,54 +31,39 @@ ATTACK_BUDGETS = [
 ]
 
 
-def sweep(measurements):
-    detector = BinomialFilteringDetector(min_measurements=10)
-    reputation = ReputationFilter()
-    rows = []
-    for submissions, identities in ATTACK_BUDGETS:
-        attacker = PoisoningAttacker(rng=submissions + identities)
-        forged = attacker.forge_measurements(
-            PoisoningCampaign("facebook.com", "DE", fabricate_blocking=True,
-                              submissions=submissions, client_identities=identities)
-        )
-        poisoned = list(measurements) + forged
-        naive = detector.detect_from_measurements(poisoned).detected_pairs()
-        cleaned = reputation.filtered_measurements(poisoned)
-        defended = detector.detect_from_measurements(cleaned).detected_pairs()
-        rows.append({
-            "submissions": submissions,
-            "identities": identities,
-            "naive_fooled": ("facebook.com", "DE") in naive,
-            "defended_fooled": ("facebook.com", "DE") in defended,
-            "real_detections_survive": EXPECTED <= defended,
-        })
-    return rows
+def sweep(detection_result):
+    return detection_result.adversary_sweep(
+        "facebook.com", "DE", ATTACK_BUDGETS,
+        detector=BinomialFilteringDetector(min_measurements=10),
+        executor="process",
+        seed=2015,
+    )
 
 
 class TestPoisoningAblation:
     def test_attack_budget_sweep(self, benchmark, detection_result):
-        rows = benchmark.pedantic(sweep, args=(detection_result.measurements,),
-                                  rounds=1, iterations=1)
+        cells = benchmark.pedantic(sweep, args=(detection_result,),
+                                   rounds=1, iterations=1)
 
         print()
         print("Ablation — poisoning attack budget vs reputation defence:")
         print(format_table(
             ["forged submissions", "Sybil identities", "naive detector fooled",
              "defended detector fooled", "real detections survive"],
-            [[r["submissions"], r["identities"], r["naive_fooled"],
-              r["defended_fooled"], r["real_detections_survive"]] for r in rows],
+            [[c.submissions, c.identities, c.naive_fooled,
+              c.defended_fooled, c.detections_survive(EXPECTED)] for c in cells],
         ))
 
         # Even a modest flood fools the undefended detector.
-        assert any(r["naive_fooled"] for r in rows)
+        assert any(c.naive_fooled for c in cells)
         # The reputation filter stops the small and medium attacks and never
         # destroys the real detections.
-        small, medium, large = rows
-        assert not small["defended_fooled"]
-        assert not medium["defended_fooled"]
-        assert all(r["real_detections_survive"] for r in rows)
+        small, medium, large = cells
+        assert not small.defended_fooled
+        assert not medium.defended_fooled
+        assert all(c.detections_survive(EXPECTED) for c in cells)
         # The paper's caveat holds too: a large enough Sybil population
         # cannot be fully prevented — record whether it slips through rather
         # than asserting either way, but it must at least cost the attacker
         # an order of magnitude more resources than the naive case.
-        assert large["submissions"] >= 10 * small["submissions"]
+        assert large.submissions >= 10 * small.submissions

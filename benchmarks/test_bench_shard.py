@@ -10,7 +10,9 @@ make the claim meaningful — asserts the wall-clock speedup.
 Results are recorded in ``benchmarks/BENCH_shard.json`` so regressions show
 up as a diff, not just a failed assertion.  (The ≥2x assertion is gated on
 ``os.cpu_count() >= NUM_SHARDS``: with fewer cores than workers the ratio
-measures the scheduler, not the subsystem.)
+measures the scheduler, not the subsystem.  On such hosts the test still
+runs, records the JSON, and pins batch/sharded equality — then *skips* the
+speedup gate explicitly so CI logs show why it didn't apply.)
 """
 
 from __future__ import annotations
@@ -21,6 +23,8 @@ import os
 import tempfile
 import time
 from pathlib import Path
+
+import pytest
 
 from repro.core.pipeline import CampaignConfig, EncoreDeployment
 from repro.population.world import World, WorldConfig
@@ -98,5 +102,11 @@ class TestShardThroughput:
         # Sharding must never change the campaign (the equivalence suite
         # pins row-level identity in depth).
         assert sharded_measurements == batch_measurements
-        if speedup_asserted:
-            assert report["speedup"] >= MIN_SPEEDUP, report
+        if not speedup_asserted:
+            pytest.skip(
+                f"speedup gate needs >= {NUM_SHARDS} cores, host has "
+                f"{cpu_count}; measured {report['speedup']}x and recorded it "
+                f"in {REPORT_PATH.name} (equality of batch vs sharded "
+                f"campaigns was still asserted)"
+            )
+        assert report["speedup"] >= MIN_SPEEDUP, report

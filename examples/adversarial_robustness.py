@@ -1,12 +1,15 @@
 """§8 extensions: poisoned submissions, defences, and adaptive priors.
 
 Simulates an attacker who floods the collection server with fabricated
-failure reports to invent censorship of facebook.com in Germany, shows that
-the naive detector is fooled, then applies the reputation filter (rate
-limiting + Sybil-aware consistency checks) and verifies that the fabricated
-detection disappears while every real detection survives.  Finally compares
-the fixed-prior detector with the adaptive per-country-prior detector the
-paper proposes as an enhancement.
+failure reports to invent censorship of facebook.com in Germany — entirely on
+the columnar store path: the forged corpus is emitted as column payloads
+(``PoisoningAttacker.forge_columns``), merged with the honest campaign store
+by zero-copy segment adoption, and judged with ``ReputationFilter.apply_store``
+without materializing a single ``Measurement`` row.  An ``AdversarySweep``
+then scales the attack budget across a grid (fanned out over worker
+processes) to show where the defence stops working, and finally the
+fixed-prior detector is compared with the adaptive per-country-prior detector
+the paper proposes as an enhancement.
 
 Run with::
 
@@ -18,7 +21,7 @@ from __future__ import annotations
 from repro import EncoreDeployment
 from repro.analysis.reports import format_table
 from repro.core.inference import AdaptiveFilteringDetector, BinomialFilteringDetector
-from repro.core.robustness import PoisoningAttacker, PoisoningCampaign, ReputationFilter
+from repro.core.robustness import AdversarySweep, PoisoningCampaign
 
 
 def describe(label: str, detected_pairs) -> None:
@@ -30,36 +33,44 @@ def main(seed: int = 13, visits: int = 10000) -> None:
     deployment = EncoreDeployment.detection_experiment(seed=seed, visits=visits)
     result = deployment.run_campaign()
     detector = BinomialFilteringDetector(min_measurements=10)
-    honest = list(result.measurements)
-    print(f"Honest campaign: {len(honest)} measurements.")
-    describe("detections", detector.detect_from_measurements(honest).detected_pairs())
+    store = result.collection.store
+    print(f"Honest campaign: {len(store)} measurements (columnar store).")
+    describe("detections", detector.detect(store).detected_pairs())
     print()
 
-    # --- The attack -------------------------------------------------------
-    attacker = PoisoningAttacker(rng=seed)
+    # --- One attack, end to end on the store path -------------------------
     campaign = PoisoningCampaign("facebook.com", "DE", fabricate_blocking=True,
                                  submissions=600, client_identities=12)
-    forged = attacker.forge_measurements(campaign)
-    poisoned = honest + forged
-    print(f"Attacker injects {len(forged)} forged failure reports "
-          f"({campaign.client_identities} Sybil identities) for facebook.com in DE.")
-    describe("naive detector", detector.detect_from_measurements(poisoned).detected_pairs())
+    sweep = AdversarySweep(detector=detector, executor="inline", seed=seed)
+    [cell] = sweep.run(store, campaign.target_domain, campaign.country_code,
+                       [(campaign.submissions, campaign.client_identities)])
+    print(f"Attacker injects {cell.forged} forged failure reports "
+          f"({campaign.client_identities} Sybil identities) for facebook.com in DE; "
+          f"poisoned store holds {cell.poisoned_rows} rows.")
+    describe("naive detector", cell.naive_pairs)
+    print(f"Reputation filter drops {cell.dropped_rate_limited + cell.dropped_low_reputation} "
+          f"submissions ({cell.dropped_rate_limited} rate-limited, "
+          f"{cell.dropped_low_reputation} low-reputation).")
+    describe("after filtering", cell.defended_pairs)
     print()
 
-    # --- The defence ------------------------------------------------------
-    reputation = ReputationFilter()
-    report = reputation.apply(poisoned)
-    print(f"Reputation filter drops {report.dropped} submissions "
-          f"({report.dropped_rate_limited} rate-limited, "
-          f"{report.dropped_low_reputation} low-reputation).")
-    describe("after filtering", detector.detect_from_measurements(report.kept).detected_pairs())
+    # --- The budget sweep (forging fanned out across workers) -------------
+    budgets = [(100, 4), (400, 8), (1600, 32), (6400, 128)]
+    cells = result.adversary_sweep("facebook.com", "DE", budgets,
+                                   detector=detector, seed=seed)
+    print("Attack-budget sweep (per-cell poisoned stores via segment adoption):")
+    print(format_table(
+        ["forged", "Sybils", "naive fooled", "defended fooled", "dropped"],
+        [[c.submissions, c.identities, c.naive_fooled, c.defended_fooled,
+          c.dropped_rate_limited + c.dropped_low_reputation] for c in cells],
+    ))
     print()
 
     # --- Adaptive per-country priors ---------------------------------------
     adaptive = AdaptiveFilteringDetector(min_measurements=10)
-    fixed_report = detector.detect_from_measurements(honest)
-    adaptive_report = adaptive.detect_from_measurements(honest)
-    priors = adaptive.country_priors(result.collection.success_counts())
+    fixed_report = detector.detect(store)
+    adaptive_report = adaptive.detect(store)
+    priors = adaptive.country_priors(store.success_counts())
     rows = [[country, f"{prior:.2f}"] for country, prior in sorted(priors.items())
             if country in ("US", "DE", "IN", "CN", "IR", "PK", "BR")]
     print("Adaptive per-country success priors (vs the fixed 0.70):")

@@ -38,7 +38,13 @@ from repro.core.inference import (
     BinomialFilteringDetector,
     FilteringDetection,
 )
-from repro.core.robustness import PoisoningAttacker, PoisoningCampaign, ReputationFilter
+from repro.core.robustness import (
+    AdversarySweep,
+    PoisoningAttacker,
+    PoisoningCampaign,
+    ReputationFilter,
+    SweepCell,
+)
 from repro.core.origin import OriginSite, snippet_overhead_bytes
 from repro.core.pipeline import CampaignConfig, CampaignResult, EncoreDeployment
 from repro.core.shard import (
@@ -79,9 +85,11 @@ __all__ = [
     "AdaptiveFilteringDetector",
     "BinomialFilteringDetector",
     "FilteringDetection",
+    "AdversarySweep",
     "PoisoningAttacker",
     "PoisoningCampaign",
     "ReputationFilter",
+    "SweepCell",
     "OriginSite",
     "snippet_overhead_bytes",
     "CampaignConfig",

@@ -20,7 +20,7 @@ counters) is implemented on top of the store's vectorized queries.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, NamedTuple
 
 import numpy as np
@@ -105,10 +105,12 @@ class ColumnarRecords:
     share one ``indices`` array (one entry per submitting visit), which is
     what lets the collection server geolocate each *visit* once instead of
     each row.  ``origin_domain`` values already have Referer stripping
-    applied (``None`` where the origin strips).
+    applied (``None`` where the origin strips).  ``measurement_id`` may be a
+    plain per-row array instead of a :class:`DictColumn` when ids are unique
+    per row (forged submissions).
     """
 
-    measurement_id: DictColumn
+    measurement_id: DictColumn | np.ndarray
     task_type: DictColumn
     target_url: DictColumn
     target_domain: DictColumn
@@ -125,6 +127,31 @@ class ColumnarRecords:
 
     def __len__(self) -> int:
         return len(self.elapsed_ms)
+
+    def append_to(self, store: MeasurementStore) -> int:
+        """Append these columns to a bare store, with zero per-row work.
+
+        No geolocation happens here — ``country_code`` is stored as given.
+        :meth:`CollectionServer.ingest_columns` resolves countries first and
+        then lands on this method; forged corpora and replay tooling append
+        straight to a store through it.
+        """
+        return store.append_columns(
+            measurement_id=self.measurement_id,
+            task_type=self.task_type,
+            target_url=self.target_url,
+            target_domain=self.target_domain,
+            outcome=self.outcome,
+            elapsed_ms=self.elapsed_ms,
+            probe_time_ms=self.probe_time_ms,
+            client_ip=self.client_ip,
+            country_code=self.country_code,
+            isp=self.isp,
+            browser_family=self.browser_family,
+            origin_domain=self.origin_domain,
+            day=self.day,
+            is_automated=self.is_automated,
+        )
 
 
 class CollectionServer:
@@ -269,22 +296,7 @@ class CollectionServer:
             ],
             columns.client_ip.indices,
         )
-        return self.store.append_columns(
-            measurement_id=columns.measurement_id,
-            task_type=columns.task_type,
-            target_url=columns.target_url,
-            target_domain=columns.target_domain,
-            outcome=columns.outcome,
-            elapsed_ms=columns.elapsed_ms,
-            probe_time_ms=columns.probe_time_ms,
-            client_ip=columns.client_ip,
-            country_code=resolved,
-            isp=columns.isp,
-            browser_family=columns.browser_family,
-            origin_domain=columns.origin_domain,
-            day=columns.day,
-            is_automated=columns.is_automated,
-        )
+        return replace(columns, country_code=resolved).append_to(self.store)
 
     def submit_batch(
         self, records: Iterable[SubmissionRecord | tuple], unreachable: int = 0

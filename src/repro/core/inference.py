@@ -27,7 +27,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.collection import Measurement
-from repro.core.store import GroupedCounts
+from repro.core.store import GroupedCounts, MeasurementStore
 from repro.core.tasks import TaskOutcome
 
 
@@ -286,10 +286,16 @@ class BinomialFilteringDetector:
     def detect(self, collection) -> DetectionReport:
         """Run the test over everything a collection server has gathered.
 
-        Prefers the store's grouped-array counts (no intermediate dict);
-        anything exposing the legacy ``success_counts()`` dict still works.
+        Accepts a bare :class:`~repro.core.store.MeasurementStore` too (the
+        adversarial sweep scores poisoned stores directly) and prefers the
+        store's grouped-array counts (no intermediate dict); anything
+        exposing the legacy ``success_counts()`` dict still works.
         """
-        store = getattr(collection, "store", None)
+        store = (
+            collection
+            if isinstance(collection, MeasurementStore)
+            else getattr(collection, "store", None)
+        )
         if store is not None:
             return self.detect_from_counts(store.success_counts())
         return self.detect_from_counts(collection.success_counts())

@@ -120,6 +120,43 @@ class CampaignResult:
         )
         return detector.detect(self.collection)
 
+    def adversary_sweep(
+        self,
+        target_domain: str,
+        country_code: str,
+        budgets,
+        *,
+        fabricate_blocking: bool = True,
+        detector: BinomialFilteringDetector | None = None,
+        reputation=None,
+        executor: str = "process",
+        num_workers: int | None = None,
+        spill_dir: str | None = None,
+        seed: int = 0,
+    ):
+        """Run a §8 poisoning attack-budget sweep against this campaign.
+
+        Each ``(submissions, identities)`` budget in ``budgets`` is forged,
+        merged with this campaign's store by zero-copy segment adoption, and
+        scored with and without reputation filtering — entirely on the
+        columnar store path (:class:`~repro.core.robustness.AdversarySweep`).
+        ``executor="process"`` fans the forging out across worker processes;
+        a persistent ``spill_dir`` makes re-runs adopt already-forged cells.
+        Returns one :class:`~repro.core.robustness.SweepCell` per budget.
+        """
+        from repro.core.robustness import AdversarySweep
+
+        sweep = AdversarySweep(
+            detector,
+            reputation,
+            fabricate_blocking=fabricate_blocking,
+            executor=executor,
+            num_workers=num_workers,
+            spill_dir=spill_dir,
+            seed=seed,
+        )
+        return sweep.run(self.collection, target_domain, country_code, budgets)
+
     def _testbed_selection(self):
         return self.collection.store.select(
             domain_suffix="encore-testbed.net",

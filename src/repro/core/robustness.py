@@ -1,4 +1,4 @@
-"""Robustness against measurement poisoning (paper §8).
+"""Robustness against measurement poisoning (paper §8), on the columnar store.
 
 "Attackers may attempt to submit poisoned measurement results to alter the
 conclusions that Encore draws about censorship.  We could try to employ
@@ -6,24 +6,64 @@ reputation systems to thwart such attacks, although it would be practically
 impossible to completely prevent such poisoning from untrusted clients."
 
 This module implements both sides of that sentence so the trade-off can be
-studied: a :class:`PoisoningAttacker` that fabricates submissions designed to
-invent (or hide) censorship in a chosen country, and a
-:class:`ReputationFilter` that applies the practical defences a collection
-server actually has — per-client submission rate limits, consistency checks
-against each client's other reports, and down-weighting of clients whose
-reports disagree with the rest of their region.
+studied at campaign scale:
+
+* :class:`PoisoningAttacker` fabricates submissions designed to invent (or
+  hide) censorship in a chosen country.  :meth:`PoisoningAttacker.forge_columns`
+  is the native path: it emits a
+  :class:`~repro.core.collection.ColumnarRecords` payload (dictionary-encoded
+  value tables + index arrays) that ingests straight into a
+  :class:`~repro.core.store.MeasurementStore` — spilled or resident — with
+  zero per-row Python work, and is pinned row-for-row identical to the
+  readable :meth:`~PoisoningAttacker.forge_measurements` row builder for a
+  fixed rng.
+* :class:`ReputationFilter` applies the practical defences a collection
+  server actually has — per-client submission rate limits and down-weighting
+  of dominant clients whose verdicts contradict their region's peers — as
+  columnar group-bys; :meth:`ReputationFilter.apply_store` runs straight on a
+  store, and its :class:`StoreReputationReport` re-runs detection over only
+  the surviving rows (:meth:`StoreReputationReport.success_counts`) without
+  materializing any of them.
+* :class:`AdversarySweep` drives attack-budget × identity grids end-to-end on
+  the store path: each grid cell's forged corpus is sealed into ``.npz``
+  segments plus a JSON manifest (the same seal/manifest/adopt machinery
+  :mod:`repro.core.shard` uses for sharded campaigns, optionally fanned out
+  across worker processes), merged with the honest store by zero-copy
+  segment adoption into a per-cell poisoned store, and scored with the
+  binomial detector before and after reputation filtering.
 """
 
 from __future__ import annotations
 
-import itertools
+import multiprocessing
+import os
+import shutil
+import tempfile
 from collections import Counter, defaultdict
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.collection import CollectionServer, Measurement
-from repro.core.store import OUTCOME_FAILURE, MeasurementStore
+from repro.core.collection import CollectionServer, ColumnarRecords, Measurement
+from repro.core.inference import BinomialFilteringDetector
+from repro.core.shard import (
+    MANIFEST_NAME,
+    StoreMerger,
+    manifest_segments_exist,
+    read_manifest,
+    segment_row_counts,
+    serialize_value_tables,
+    write_manifest,
+)
+from repro.core.store import (
+    OUTCOME_FAILURE,
+    DictColumn,
+    GroupedCounts,
+    MeasurementStore,
+)
 from repro.core.tasks import TaskOutcome, TaskType
 from repro.population.geoip import GeoIPDatabase
 from repro.web.url import URL
@@ -45,46 +85,115 @@ class PoisoningCampaign:
 
 
 class PoisoningAttacker:
-    """Fabricates measurement submissions and injects them into a collection."""
+    """Fabricates measurement submissions and injects them into a collection.
+
+    Both forge paths draw from the same attacker state (rng stream, GeoIP
+    identity counters, measurement-id counter) in the same order, so for a
+    fixed rng :meth:`forge_columns` is row-for-row identical to
+    :meth:`forge_measurements` — an equivalence the tests pin.
+    """
+
+    #: First forged measurement-id ordinal (far above any campaign's ids).
+    FIRST_FORGED_ID = 10_000_000
 
     def __init__(self, geoip: GeoIPDatabase | None = None,
                  rng: np.random.Generator | int | None = None) -> None:
         self.geoip = geoip or GeoIPDatabase()
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        self._ids = itertools.count(10_000_000)
+        self._next_id = self.FIRST_FORGED_ID
 
-    def forge_measurements(self, campaign: PoisoningCampaign) -> list[Measurement]:
-        """Build the fake measurements for ``campaign``."""
+    def _draw(self, campaign: PoisoningCampaign, rng: np.random.Generator | None):
+        """The shared per-campaign draws, consumed identically by both paths."""
+        rng = rng if rng is not None else self._rng
+        n = campaign.submissions
+        identities = self.geoip.allocate_ips(
+            campaign.country_code, max(1, campaign.client_identities)
+        )
+        first_id = self._next_id
+        self._next_id += n
+        ids = np.char.add(
+            "forged-", np.arange(first_id, first_id + n, dtype=np.int64).astype(np.str_)
+        )
+        elapsed = rng.uniform(10.0, 200.0, size=n)
+        day = rng.integers(0, 30, size=n)
         outcome = TaskOutcome.FAILURE if campaign.fabricate_blocking else TaskOutcome.SUCCESS
-        identities = [
-            self.geoip.allocate_ip(campaign.country_code, self._rng)
-            for _ in range(max(1, campaign.client_identities))
-        ]
         url = URL.parse(f"http://{campaign.target_domain}/favicon.ico")
-        forged = []
-        for index in range(campaign.submissions):
-            forged.append(
-                Measurement(
-                    measurement_id=f"forged-{next(self._ids)}",
-                    task_type=TaskType.IMAGE,
-                    target_url=url,
-                    target_domain=campaign.target_domain,
-                    outcome=outcome,
-                    elapsed_ms=float(self._rng.uniform(10.0, 200.0)),
-                    client_ip=identities[index % len(identities)],
-                    country_code=campaign.country_code,
-                    isp=f"{campaign.country_code.lower()}-attacker",
-                    browser_family="chrome",
-                    origin_domain=None,
-                    day=int(self._rng.integers(0, 30)),
-                )
+        return ids, identities, elapsed, day, outcome, url
+
+    def forge_measurements(
+        self, campaign: PoisoningCampaign, *, rng: np.random.Generator | None = None
+    ) -> list[Measurement]:
+        """The fake measurements for ``campaign``, as materialized rows.
+
+        The readable row-builder reference; :meth:`forge_columns` produces
+        the same corpus without constructing any of these objects.
+        """
+        ids, identities, elapsed, day, outcome, url = self._draw(campaign, rng)
+        k = len(identities)
+        isp = f"{campaign.country_code.lower()}-attacker"
+        return [
+            Measurement(
+                measurement_id=measurement_id,
+                task_type=TaskType.IMAGE,
+                target_url=url,
+                target_domain=campaign.target_domain,
+                outcome=outcome,
+                elapsed_ms=elapsed_ms,
+                client_ip=identities[index % k],
+                country_code=campaign.country_code,
+                isp=isp,
+                browser_family="chrome",
+                origin_domain=None,
+                day=day_of_row,
             )
-        return forged
+            for index, (measurement_id, elapsed_ms, day_of_row) in enumerate(
+                zip(ids.tolist(), elapsed.tolist(), day.tolist())
+            )
+        ]
+
+    def forge_columns(
+        self, campaign: PoisoningCampaign, *, rng: np.random.Generator | None = None
+    ) -> ColumnarRecords:
+        """The fake submissions for ``campaign`` as a columnar payload.
+
+        Everything repeated travels as a :class:`DictColumn` value table —
+        the Sybil identities are the "visits", sharing one index array
+        between ``client_ip`` and ``country_code`` exactly like the batch
+        executor's payloads — so the corpus ingests into a store (via
+        :meth:`ColumnarRecords.append_to` or
+        :meth:`CollectionServer.ingest_columns`) with zero per-row Python
+        work.
+        """
+        ids, identities, elapsed, day, outcome, url = self._draw(campaign, rng)
+        n = campaign.submissions
+        k = len(identities)
+        identity_of_row = np.arange(n, dtype=np.int64) % k
+        constant = np.zeros(n, dtype=np.int64)
+        return ColumnarRecords(
+            measurement_id=ids,
+            task_type=DictColumn((TaskType.IMAGE,), constant),
+            target_url=DictColumn((url,), constant),
+            target_domain=DictColumn((campaign.target_domain,), constant),
+            outcome=DictColumn((outcome,), constant),
+            elapsed_ms=elapsed,
+            probe_time_ms=np.full(n, np.nan),
+            client_ip=DictColumn(np.asarray(identities, dtype=np.str_), identity_of_row),
+            country_code=DictColumn([campaign.country_code] * k, identity_of_row),
+            isp=DictColumn((f"{campaign.country_code.lower()}-attacker",), constant),
+            browser_family=DictColumn(("chrome",), constant),
+            origin_domain=DictColumn((None,), constant),
+            day=day,
+            is_automated=np.zeros(n, dtype=bool),
+        )
 
     def inject(self, collection: CollectionServer, campaign: PoisoningCampaign) -> int:
-        """Append forged measurements to ``collection``; returns how many."""
-        forged = self.forge_measurements(campaign)
-        return collection.ingest_measurements(forged)
+        """Forge and ingest ``campaign``'s submissions; returns how many.
+
+        Rides the columnar path end to end: the collection server geolocates
+        the Sybil identity table (one lookup per identity, not per row) and
+        appends the columns to its store.
+        """
+        return collection.ingest_columns(self.forge_columns(campaign))
 
 
 @dataclass
@@ -124,6 +233,17 @@ class StoreReputationReport:
 
     def kept_measurements(self) -> list[Measurement]:
         return self.store.rows(self.kept_indices)
+
+    def success_counts(self, exclude_automated: bool = True) -> GroupedCounts:
+        """Per-(domain, country) totals over only the kept rows.
+
+        Feed this to ``BinomialFilteringDetector.detect_from_counts`` to
+        re-run detection on the filtered corpus — the store-path equivalent
+        of detecting over ``report.kept`` — without materializing a row.
+        """
+        return self.store.masked_success_counts(
+            self.keep_mask, exclude_automated=exclude_automated
+        )
 
 
 class ReputationFilter:
@@ -362,3 +482,256 @@ class ReputationFilter:
     def filtered_measurements(self, measurements: list[Measurement]) -> list[Measurement]:
         """Just the measurements that survive filtering."""
         return self.apply(measurements).kept
+
+
+# ----------------------------------------------------------------------
+# Attack-budget sweeps on the store path
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell's verdicts: an attack budget and what the defences saw."""
+
+    submissions: int
+    identities: int
+    #: Rows the attacker actually forged (== ``submissions``).
+    forged: int
+    #: Rows in the cell's poisoned store (honest corpus + forged).
+    poisoned_rows: int
+    #: (domain, country) pairs the undefended detector flags.
+    naive_pairs: frozenset[tuple[str, str]]
+    #: (domain, country) pairs still flagged after reputation filtering.
+    defended_pairs: frozenset[tuple[str, str]]
+    dropped_rate_limited: int
+    dropped_low_reputation: int
+    #: The detection the attacker tried to fabricate (or mask).
+    target_pair: tuple[str, str]
+
+    @property
+    def naive_fooled(self) -> bool:
+        return self.target_pair in self.naive_pairs
+
+    @property
+    def defended_fooled(self) -> bool:
+        return self.target_pair in self.defended_pairs
+
+    def detections_survive(self, expected) -> bool:
+        """Whether every expected real detection is still flagged after filtering."""
+        return set(expected) <= set(self.defended_pairs)
+
+
+def _forge_cell(payload: dict) -> str:
+    """Worker entrypoint: forge one cell's corpus, seal it, commit a manifest.
+
+    The forged columns ingest into a cell-private store that spills one or
+    more ``.npz`` segments under the cell directory; the manifest — segment
+    paths, value tables, counters — is written last via an atomic rename,
+    exactly like a campaign shard's, and only its path crosses the process
+    boundary.
+    """
+    campaign = PoisoningCampaign(
+        target_domain=payload["target_domain"],
+        country_code=payload["country_code"],
+        fabricate_blocking=payload["fabricate_blocking"],
+        submissions=payload["submissions"],
+        client_identities=payload["identities"],
+    )
+    attacker = PoisoningAttacker(rng=np.random.default_rng(payload["entropy"]))
+    cell_dir = Path(payload["cell_dir"])
+    if cell_dir.exists():
+        # No valid manifest means whatever sits here is a dead attempt's
+        # partial output; clear it rather than adopting orphaned segments.
+        shutil.rmtree(cell_dir)
+    cell_dir.mkdir(parents=True, exist_ok=True)
+    store = MeasurementStore(spill_dir=cell_dir)
+    attacker.forge_columns(campaign).append_to(store)
+    store.spill()
+    manifest = {
+        "signature": payload["signature"],
+        "shard_index": payload["cell"],
+        "blocks": [
+            {
+                "block": 0,
+                "rows": len(store),
+                "segments": [
+                    {"path": str(path), "rows": rows}
+                    for path, rows in segment_row_counts(store.segment_files, len(store))
+                ],
+            }
+        ],
+        "value_tables": serialize_value_tables(store.value_tables()),
+        "counters": {"stored": len(store)},
+    }
+    return str(write_manifest(cell_dir, manifest))
+
+
+class AdversarySweep:
+    """Attack-budget × identity grids, end-to-end on the columnar store path.
+
+    For each ``(submissions, identities)`` budget the sweep forges a
+    poisoning corpus (deterministically from ``(seed, cell index)``), seals
+    it into spilled segments plus a manifest with the same machinery shard
+    workers use, builds a per-cell poisoned store by **segment adoption** —
+    the honest store's segments are shared zero-copy, the forged segments
+    merged through a :class:`~repro.core.shard.StoreMerger` — and scores the
+    cell: what the binomial detector flags on the raw poisoned store, and
+    what it still flags after :meth:`ReputationFilter.apply_store`.  No
+    :class:`Measurement` row is ever materialized.
+
+    ``executor="process"`` fans the forging out over worker processes (one
+    per pending cell, capped at the CPU count); ``"inline"`` runs them
+    sequentially in-process — same results, used by tests and 1-core hosts.
+    With a persistent ``spill_dir``, re-running the sweep adopts cells whose
+    manifest already matches instead of re-forging them (the same
+    cache-or-recompute contract as sharded campaign resume).
+    """
+
+    def __init__(
+        self,
+        detector: BinomialFilteringDetector | None = None,
+        reputation: ReputationFilter | None = None,
+        *,
+        fabricate_blocking: bool = True,
+        executor: str = "process",
+        num_workers: int | None = None,
+        spill_dir: str | Path | None = None,
+        seed: int = 0,
+    ) -> None:
+        if executor not in ("process", "inline"):
+            raise ValueError(f"unknown sweep executor {executor!r}")
+        self.detector = detector if detector is not None else BinomialFilteringDetector()
+        self.reputation = reputation if reputation is not None else ReputationFilter()
+        self.fabricate_blocking = fabricate_blocking
+        self.executor = executor
+        self.num_workers = num_workers
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        collection: MeasurementStore | CollectionServer,
+        target_domain: str,
+        country_code: str,
+        budgets: Sequence[tuple[int, int]],
+    ) -> list[SweepCell]:
+        """Score every ``(submissions, identities)`` budget against ``collection``."""
+        store = collection.store if isinstance(collection, CollectionServer) else collection
+        budgets = [(int(submissions), int(identities)) for submissions, identities in budgets]
+        temporary = self.spill_dir is None
+        root = (
+            Path(tempfile.mkdtemp(prefix="adversary-sweep-")) if temporary else self.spill_dir
+        )
+        root.mkdir(parents=True, exist_ok=True)
+        try:
+            manifests, payloads = self._plan_cells(
+                root, target_domain, country_code, budgets
+            )
+            if payloads:
+                self._forge_pending(manifests, payloads)
+            return [
+                self._score_cell(
+                    store, manifests[index], submissions, identities,
+                    (target_domain, country_code),
+                )
+                for index, (submissions, identities) in enumerate(budgets)
+            ]
+        finally:
+            if temporary:
+                # Verdicts only leave this method — the per-cell stores (and
+                # with them the forged segments) are never needed again.
+                shutil.rmtree(root, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def _plan_cells(self, root, target_domain, country_code, budgets):
+        """Split the grid into already-forged manifests and pending payloads."""
+        manifests: dict[int, dict] = {}
+        payloads: dict[int, dict] = {}
+        for index, (submissions, identities) in enumerate(budgets):
+            signature = {
+                "kind": "adversary-sweep",
+                "target_domain": target_domain,
+                "country_code": country_code,
+                "fabricate_blocking": self.fabricate_blocking,
+                "submissions": submissions,
+                "identities": identities,
+                "seed": self.seed,
+                "cell": index,
+            }
+            cell_dir = root / f"cell-{index:03d}-s{submissions}-k{identities}"
+            manifest = read_manifest(cell_dir / MANIFEST_NAME)
+            if (
+                manifest is not None
+                and manifest.get("signature") == signature
+                and manifest_segments_exist(manifest)
+            ):
+                manifests[index] = manifest
+            else:
+                payloads[index] = {
+                    "cell": index,
+                    "cell_dir": str(cell_dir),
+                    "signature": signature,
+                    "target_domain": target_domain,
+                    "country_code": country_code,
+                    "fabricate_blocking": self.fabricate_blocking,
+                    "submissions": submissions,
+                    "identities": identities,
+                    "entropy": [self.seed, index],
+                }
+        return manifests, payloads
+
+    def _forge_pending(self, manifests: dict[int, dict], payloads: dict[int, dict]) -> None:
+        """Forge the cells with no adoptable manifest, inline or fanned out."""
+        if self.executor == "inline":
+            for index, payload in payloads.items():
+                manifests[index] = self._committed_manifest(_forge_cell(payload))
+            return
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else None)
+        workers = (
+            self.num_workers
+            if self.num_workers is not None
+            else min(len(payloads), os.cpu_count() or 1)
+        )
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = {
+                pool.submit(_forge_cell, payload): index
+                for index, payload in payloads.items()
+            }
+            for future in as_completed(futures):
+                manifests[futures[future]] = self._committed_manifest(future.result())
+
+    @staticmethod
+    def _committed_manifest(path: str) -> dict:
+        manifest = read_manifest(path)
+        if manifest is None:
+            raise RuntimeError(f"forge worker committed no readable manifest at {path}")
+        return manifest
+
+    def _score_cell(
+        self,
+        honest: MeasurementStore,
+        manifest: dict,
+        submissions: int,
+        identities: int,
+        target_pair: tuple[str, str],
+    ) -> SweepCell:
+        """Merge one cell's poisoned store and run both detection passes."""
+        poisoned = MeasurementStore()
+        poisoned.adopt_segments_from(honest)
+        StoreMerger(poisoned).merge([manifest])
+        naive = self.detector.detect(poisoned).detected_pairs()
+        verdict = self.reputation.apply_store(poisoned)
+        defended = self.detector.detect_from_counts(
+            verdict.success_counts()
+        ).detected_pairs()
+        return SweepCell(
+            submissions=submissions,
+            identities=identities,
+            forged=int(manifest["counters"]["stored"]),
+            poisoned_rows=len(poisoned),
+            naive_pairs=frozenset(naive),
+            defended_pairs=frozenset(defended),
+            dropped_rate_limited=verdict.dropped_rate_limited,
+            dropped_low_reputation=verdict.dropped_low_reputation,
+            target_pair=target_pair,
+        )

@@ -250,21 +250,17 @@ def execute_shard(
                 "rows": execution.stored,
                 "segments": [
                     {"path": str(path), "rows": rows}
-                    for path, rows in _segment_rows(new_segments, execution.stored)
+                    for path, rows in segment_row_counts(new_segments, execution.stored)
                 ],
             }
         )
-    tables = store.value_tables()
     manifest = {
         "signature": signature,
         "shard_index": assignment.shard_index,
         "num_shards": assignment.num_shards,
         "block_indices": list(assignment.block_indices),
         "blocks": blocks,
-        "value_tables": {
-            kind: ([str(url) for url in values] if kind == "url" else values)
-            for kind, values in tables.items()
-        },
+        "value_tables": serialize_value_tables(store.value_tables()),
         "counters": {
             "stored": len(store),
             "unreachable_submissions": collection.unreachable_submissions,
@@ -274,14 +270,50 @@ def execute_shard(
         "assignment_counts": ctx.assignment_counts,
         "duration_s": time.perf_counter() - started,
     }
-    manifest_path = shard_dir / MANIFEST_NAME
-    scratch = manifest_path.with_suffix(".tmp")
-    scratch.write_text(json.dumps(manifest, indent=1))
-    os.replace(scratch, manifest_path)
+    write_manifest(shard_dir, manifest)
     return manifest
 
 
-def _segment_rows(paths: Sequence[Path], total_rows: int):
+def serialize_value_tables(tables: dict[str, list]) -> dict[str, list]:
+    """A store's dictionary value tables in JSON form (URLs as strings)."""
+    return {
+        kind: ([str(url) for url in values] if kind == "url" else values)
+        for kind, values in tables.items()
+    }
+
+
+def write_manifest(shard_dir: str | Path, manifest: dict) -> Path:
+    """Atomically write ``manifest`` as ``shard_dir``'s commit marker.
+
+    The rename is what makes the manifest's *presence* trustworthy: a
+    worker killed mid-write leaves only the scratch file, which readers
+    ignore, so partial output is re-executed instead of adopted.
+    """
+    path = Path(shard_dir) / MANIFEST_NAME
+    scratch = path.with_suffix(".tmp")
+    scratch.write_text(json.dumps(manifest, indent=1))
+    os.replace(scratch, path)
+    return path
+
+
+def read_manifest(path: str | Path) -> dict | None:
+    """The manifest at ``path``, or ``None`` if missing or unparseable."""
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def manifest_segments_exist(manifest: dict) -> bool:
+    """Whether every segment file a manifest references is still on disk."""
+    for block in manifest.get("blocks", ()):
+        for segment in block["segments"]:
+            if not Path(segment["path"]).is_file():
+                return False
+    return True
+
+
+def segment_row_counts(paths: Sequence[Path], total_rows: int):
     """Pair each new segment with its row count (one segment per block in
     the normal flow; lengths are read back only in the defensive case)."""
     if not paths:
@@ -489,21 +521,15 @@ def load_manifest(
     makes a stale ``worker_spill_dir`` merely a cache miss, never silent
     corruption.
     """
-    path = shard_dir / MANIFEST_NAME
-    if not path.is_file():
-        return None
-    try:
-        manifest = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
+    manifest = read_manifest(shard_dir / MANIFEST_NAME)
+    if manifest is None:
         return None
     if manifest.get("signature") != signature:
         return None
     if manifest.get("block_indices") != list(assignment.block_indices):
         return None
-    for block in manifest.get("blocks", ()):
-        for segment in block["segments"]:
-            if not Path(segment["path"]).is_file():
-                return None
+    if not manifest_segments_exist(manifest):
+        return None
     return manifest
 
 

@@ -237,7 +237,7 @@ class _Segment:
 
     def column(self, name: str) -> np.ndarray:
         if self.columns is not None:
-            return self.columns[name]
+            return self._translated(name, self.columns[name])
         assert self.path is not None
         with np.load(self.path) as data:
             return self._translated(name, data[name])
@@ -245,7 +245,7 @@ class _Segment:
     def load_columns(self, names: Sequence[str]) -> dict[str, np.ndarray]:
         """Several columns with one file open (streamed aggregation path)."""
         if self.columns is not None:
-            return {name: self.columns[name] for name in names}
+            return {name: self._translated(name, self.columns[name]) for name in names}
         assert self.path is not None
         with np.load(self.path) as data:
             return {name: self._translated(name, data[name]) for name in names}
@@ -286,6 +286,9 @@ class MeasurementStore:
         #: campaigns) never overwrite each other's segment files.
         self._spill_subdir: Path | None = None
         self._segments: list[_Segment] = []
+        #: Stores whose segments were adopted wholesale; held strongly so
+        #: their lifetime-keyed cleanup (temp spill roots) cannot outrun ours.
+        self._adopted_sources: list["MeasurementStore"] = []
         self._pending: list[dict[str, np.ndarray]] = []
         self._pending_rows = 0
         self._length = 0
@@ -593,6 +596,68 @@ class MeasurementStore:
         self._length += length
         self._version += 1
 
+    def adopt_segments_from(self, other: "MeasurementStore") -> int:
+        """Mount every row of ``other`` into this store without copying any.
+
+        The sibling of :meth:`adopt_spilled_segment` for whole stores:
+        resident segments (and pending chunks) are shared by reference,
+        spilled segments by path, and ``other``'s dictionary codes are
+        reconciled through translation arrays applied lazily at read time —
+        composed with any remap ``other`` itself carries for segments *it*
+        adopted, so merged (sharded) stores adopt correctly too.  ``other``
+        is not mutated and both stores stay independently usable; segment
+        arrays are immutable by convention, so sharing is safe.  This is
+        what lets an adversarial sweep build one poisoned store per grid
+        cell on top of a shared honest corpus in O(segments), not O(rows).
+        Returns the number of rows adopted.
+        """
+        if other is self:
+            raise ValueError("a store cannot adopt its own segments")
+        self._seal_pending()
+        translations = {
+            kind: self.merge_value_table(kind, values)
+            for kind, values in other.value_tables().items()
+        }
+        identity = {
+            kind: _is_identity_translation(translation)
+            for kind, translation in translations.items()
+        }
+
+        def composed_remap(base: dict[str, np.ndarray] | None) -> dict[str, np.ndarray] | None:
+            remap: dict[str, np.ndarray] = {}
+            for kind, translation in translations.items():
+                own = None if base is None else base.get(kind)
+                if own is None:
+                    if not identity[kind]:
+                        remap[kind] = translation
+                elif identity[kind]:
+                    remap[kind] = own
+                else:
+                    # own's tail sentinel (-1) indexes translation's own
+                    # tail, so the composition keeps mapping -1 -> -1.
+                    remap[kind] = translation[own]
+            return remap or None
+
+        adopted = 0
+        for seg in other._segments:
+            self._segments.append(
+                _Segment(seg.length, seg.columns, seg.path, remap=composed_remap(seg.remap))
+            )
+            adopted += seg.length
+        for chunk in other._pending:
+            length = len(chunk["day"])
+            self._segments.append(_Segment(length, chunk, None, remap=composed_remap(None)))
+            adopted += length
+        # Keep the source alive for as long as this store can read its
+        # segments: cleanup hooks keyed to the source's lifetime (e.g. the
+        # sharded runner reclaiming an unnamed temp spill root via
+        # weakref.finalize) must not fire while adopted paths are still
+        # referenced here.
+        self._adopted_sources.append(other)
+        self._length += adopted
+        self._version += 1
+        return adopted
+
     # ------------------------------------------------------------------
     # Columnar access
     # ------------------------------------------------------------------
@@ -727,24 +792,73 @@ class MeasurementStore:
             successes += np.bincount(
                 key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
             )
+        return self._derive(cache_key, self._grouped_from_flat(totals, successes))
+
+    def _grouped_from_flat(self, totals: np.ndarray, successes: np.ndarray) -> GroupedCounts:
+        """Cell arrays (sorted by domain, country) from flat bincount tables."""
+        n_countries = len(self._country_values)
         cells = np.flatnonzero(totals)
         domains = np.asarray(self._domain_values, dtype=np.str_)[cells // n_countries]
         countries = np.asarray(self._country_values, dtype=np.str_)[cells % n_countries]
         order = np.lexsort((countries, domains))
-        grouped = GroupedCounts(
+        return GroupedCounts(
             domains[order],
             countries[order],
             totals[cells][order],
             successes[cells][order],
         )
-        return self._derive(cache_key, grouped)
+
+    def masked_success_counts(
+        self, mask: np.ndarray, exclude_automated: bool = True
+    ) -> GroupedCounts:
+        """:meth:`success_counts` restricted to the rows where ``mask`` holds.
+
+        What the reputation filter's store verdict uses to re-run detection
+        over only the surviving rows of a poisoned store, without ever
+        materializing them.  Inconclusive outcomes (and by default automated
+        traffic) are excluded exactly like :meth:`success_counts`; the
+        result is not cached because masks vary call to call.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != len(self):
+            raise ValueError(
+                f"mask has {len(mask)} entries for a store of {len(self)} rows"
+            )
+        if len(self) == 0 or not self._country_values:
+            empty = np.empty(0, dtype=np.int64)
+            return GroupedCounts(
+                np.empty(0, dtype=np.str_), np.empty(0, dtype=np.str_), empty, empty
+            )
+        outcome = self.column("outcome")
+        valid = mask & (outcome != OUTCOME_INCONCLUSIVE)
+        if exclude_automated:
+            valid &= ~self.column("automated")
+        n_countries = len(self._country_values)
+        minlength = len(self._domain_values) * n_countries
+        key = self.column("domain")[valid].astype(np.int64) * n_countries
+        key += self.column("country")[valid]
+        totals = np.bincount(key, minlength=minlength)
+        successes = np.bincount(
+            key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
+        )
+        return self._grouped_from_flat(totals, successes)
 
     def distinct_ips(self) -> int:
+        """Distinct client addresses, streamed segment by segment.
+
+        Each segment's ``client_ip`` column is uniqued on its own and folded
+        into one running set, so a spilled store never holds (or
+        concatenates) the full string column — the per-segment unique is the
+        only transient allocation.
+        """
         cached = self._derived("distinct_ips")
         if cached is None:
-            cached = self._derive(
-                "distinct_ips", int(np.unique(self.column("client_ip")).size)
-            )
+            unique: set[str] = set()
+            for part in self._segment_parts(("client_ip",)):
+                column = part["client_ip"]
+                if column.size:
+                    unique.update(np.unique(column).tolist())
+            cached = self._derive("distinct_ips", len(unique))
         return cached
 
     def distinct_countries(self) -> int:
@@ -832,6 +946,18 @@ class MeasurementStore:
                 pick("origin"), pick("day"), pick("automated"),
             )
         ]
+
+
+def _is_identity_translation(translation: np.ndarray) -> bool:
+    """True when a :meth:`MeasurementStore.merge_value_table` result is a no-op.
+
+    Adopting into a store whose tables already list the same values in the
+    same order (e.g. a fresh store) yields identity translations; skipping
+    them keeps reads of adopted columns copy-free.
+    """
+    return bool(
+        np.array_equal(translation[:-1], np.arange(len(translation) - 1))
+    )
 
 
 def _string_column(values) -> np.ndarray:

@@ -213,6 +213,118 @@ class TestStoreMatchesRowListSemantics:
         assert store.distinct_countries() == len({m.country_code for m in corpus})
         assert store.measurements_by_country() == Counter(m.country_code for m in corpus)
 
+    @given(corpus=corpora)
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_ips_streams_spilled_segments(self, corpus):
+        # Spill-aware path: per-segment uniques folded into one set, never
+        # concatenating the full string column across segments.
+        with tempfile.TemporaryDirectory() as tmp:
+            store = MeasurementStore(segment_rows=8, max_rows_in_memory=8, spill_dir=tmp)
+            store.append_rows(corpus)
+            store.spill()
+            assert store.distinct_ips() == len({m.client_ip for m in corpus})
+            # The count is cached until the next append invalidates it.
+            assert store.distinct_ips() == len({m.client_ip for m in corpus})
+
+    @given(corpus=corpora, exclude_automated=st.booleans(), mask_seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_masked_success_counts_equal_seed_subset(self, corpus, exclude_automated, mask_seed):
+        store = MeasurementStore(segment_rows=16)
+        store.append_rows(corpus)
+        mask = np.random.default_rng(mask_seed).random(len(corpus)) < 0.6
+        grouped = store.masked_success_counts(mask, exclude_automated=exclude_automated)
+        kept_rows = [m for m, keep in zip(corpus, mask.tolist()) if keep]
+        assert grouped.as_dict() == reference_success_counts(kept_rows, exclude_automated)
+
+    def test_masked_success_counts_rejects_misaligned_mask(self):
+        store = MeasurementStore()
+        store.append_rows(TestDerivedCaches().make_corpus(4))
+        with pytest.raises(ValueError):
+            store.masked_success_counts(np.ones(3, dtype=bool))
+
+
+class TestStoreAdoption:
+    """``adopt_segments_from``: zero-copy mounting of another store's rows."""
+
+    def make_corpus(self, n, tag):
+        base = TestDerivedCaches().make_corpus(n)
+        return [
+            Measurement(**{**m.__dict__, "measurement_id": f"{tag}-{i}"})
+            for i, m in enumerate(base)
+        ]
+
+    @pytest.mark.parametrize("spill_other", [False, True])
+    def test_adopted_rows_follow_own_rows(self, tmp_path, spill_other):
+        own = self.make_corpus(12, "own")
+        other_rows = self.make_corpus(25, "other")
+        other = MeasurementStore(segment_rows=10, spill_dir=tmp_path)
+        other.append_rows(other_rows)
+        if spill_other:
+            other.spill()
+        store = MeasurementStore()
+        store.append_rows(own)
+        assert store.adopt_segments_from(other) == len(other_rows)
+        assert len(store) == len(own) + len(other_rows)
+        assert store.rows() == own + other_rows
+        assert store.success_counts().as_dict() == reference_success_counts(own + other_rows)
+        assert store.distinct_ips() == len({m.client_ip for m in own + other_rows})
+        # The source store is untouched and stays independently usable.
+        assert other.rows() == other_rows
+
+    def test_adoption_composes_remaps_of_merged_stores(self, tmp_path):
+        # other itself adopted a spilled segment from a third store, so its
+        # codes need two hops of translation when adopted onward.
+        third_rows = self.make_corpus(10, "third")
+        third = MeasurementStore(spill_dir=tmp_path / "third")
+        third.append_rows(third_rows)
+        third.spill()
+        other = MeasurementStore()
+        other_rows = self.make_corpus(5, "other")
+        other.append_rows(other_rows)
+        remap = {
+            kind: other.merge_value_table(kind, values)
+            for kind, values in third.value_tables().items()
+        }
+        for path in third.segment_files:
+            other.adopt_spilled_segment(path, 10, remap=remap)
+        store = MeasurementStore()
+        store.append_rows(self.make_corpus(3, "own"))
+        store.adopt_segments_from(other)
+        assert store.rows()[3:] == other_rows + third_rows
+
+    def test_adopting_pending_rows_shares_chunks(self):
+        other = MeasurementStore()  # never sealed: everything stays pending
+        other_rows = self.make_corpus(7, "pending")
+        other.append_rows(other_rows)
+        store = MeasurementStore()
+        store.adopt_segments_from(other)
+        assert store.rows() == other_rows
+
+    def test_store_cannot_adopt_itself(self):
+        store = MeasurementStore()
+        with pytest.raises(ValueError):
+            store.adopt_segments_from(store)
+
+    def test_adopter_outlives_source_store_cleanup(self, tmp_path):
+        # Regression: cleanup hooks keyed to the source store's lifetime
+        # (the sharded runner reclaims unnamed temp spill roots when its
+        # store is collected) must not delete segments an adopter still
+        # reads — the adopter holds the source alive.
+        import gc
+        import weakref
+
+        rows = self.make_corpus(10, "src")
+        source = MeasurementStore(spill_dir=tmp_path)
+        source.append_rows(rows)
+        source.spill()
+        weakref.finalize(source, lambda: (tmp_path / "reaped").touch())
+        store = MeasurementStore()
+        store.adopt_segments_from(source)
+        del source
+        gc.collect()
+        assert not (tmp_path / "reaped").exists()
+        assert store.rows() == rows
+
 
 class TestDerivedCaches:
     def make_corpus(self, n=20):

@@ -6,10 +6,12 @@ import pytest
 from repro.core.collection import CollectionServer
 from repro.core.inference import AdaptiveFilteringDetector, BinomialFilteringDetector
 from repro.core.robustness import (
+    AdversarySweep,
     PoisoningAttacker,
     PoisoningCampaign,
     ReputationFilter,
 )
+from repro.core.store import MeasurementStore
 from repro.core.tasks import TaskOutcome
 from repro.population.geoip import GeoIPDatabase
 
@@ -50,6 +52,62 @@ class TestPoisoningAttacker:
         poisoned = list(detection_result.measurements) + forged
         report = BinomialFilteringDetector(min_measurements=10).detect_from_measurements(poisoned)
         assert report.detected("facebook.com", "DE")
+
+
+class TestForgeColumnsEquivalence:
+    """``forge_columns`` must be row-for-row identical to ``forge_measurements``."""
+
+    @pytest.mark.parametrize("submissions,identities", [
+        (0, 1), (1, 1), (40, 1), (50, 5), (257, 16), (400, 8),
+    ])
+    @pytest.mark.parametrize("fabricate", [True, False])
+    def test_forge_columns_matches_forge_measurements(self, submissions, identities, fabricate):
+        campaign = PoisoningCampaign(
+            "facebook.com", "DE", fabricate_blocking=fabricate,
+            submissions=submissions, client_identities=identities,
+        )
+        rows = PoisoningAttacker(rng=31).forge_measurements(campaign)
+        store = MeasurementStore()
+        assert PoisoningAttacker(rng=31).forge_columns(campaign).append_to(store) == submissions
+        assert store.rows() == rows
+
+    def test_successive_campaigns_share_attacker_state(self):
+        """Id and identity counters advance identically on both paths."""
+        first = PoisoningCampaign("facebook.com", "DE", submissions=30, client_identities=4)
+        second = PoisoningCampaign("youtube.com", "PK", fabricate_blocking=False,
+                                   submissions=20, client_identities=3)
+        row_attacker = PoisoningAttacker(rng=32)
+        rows = row_attacker.forge_measurements(first) + row_attacker.forge_measurements(second)
+        column_attacker = PoisoningAttacker(rng=32)
+        store = MeasurementStore()
+        column_attacker.forge_columns(first).append_to(store)
+        column_attacker.forge_columns(second).append_to(store)
+        assert store.rows() == rows
+        assert len({m.measurement_id for m in rows}) == 50
+
+    def test_forge_columns_ingests_into_spilled_store(self, tmp_path):
+        campaign = PoisoningCampaign("facebook.com", "DE", submissions=300, client_identities=6)
+        rows = PoisoningAttacker(rng=33).forge_measurements(campaign)
+        store = MeasurementStore(segment_rows=64, max_rows_in_memory=64, spill_dir=tmp_path)
+        PoisoningAttacker(rng=33).forge_columns(campaign).append_to(store)
+        store.spill()
+        assert store.segment_files and store.rows_in_memory == 0
+        assert store.rows() == rows
+
+    def test_inject_rides_the_columnar_path(self):
+        geoip = GeoIPDatabase()
+        collection = CollectionServer(
+            "http://collector.encore-measurement.org/submit", geoip
+        )
+        attacker = PoisoningAttacker(geoip=geoip, rng=34)
+        reference = PoisoningAttacker(rng=34).forge_measurements(
+            PoisoningCampaign("twitter.com", "FR", submissions=30, client_identities=3)
+        )
+        injected = attacker.inject(
+            collection, PoisoningCampaign("twitter.com", "FR", submissions=30, client_identities=3)
+        )
+        assert injected == 30
+        assert collection.measurements == reference
 
 
 class TestReputationFilter:
@@ -139,6 +197,119 @@ class TestReputationFilterColumnarEquivalence:
         filt = ReputationFilter()
         assert filt.apply([]).kept == []
         assert filt.apply([]).dropped == 0
+
+    def test_apply_store_on_poisoned_spilled_store(self, detection_result, tmp_path):
+        """Filtering and re-detection run on a spilled poisoned store without rows."""
+        honest = detection_result.measurements
+        campaign = PoisoningCampaign("facebook.com", "DE", submissions=400, client_identities=8)
+        reference_corpus = list(honest) + PoisoningAttacker(rng=8).forge_measurements(campaign)
+        store = MeasurementStore(max_rows_in_memory=512, spill_dir=tmp_path)
+        store.append_rows(honest)
+        PoisoningAttacker(rng=8).forge_columns(campaign).append_to(store)
+        store.spill()
+        assert store.segment_files and store.rows_in_memory == 0
+
+        filt = ReputationFilter()
+        reference = filt.apply_reference(reference_corpus)
+        verdict = filt.apply_store(store)
+        assert verdict.dropped_rate_limited == reference.dropped_rate_limited
+        assert verdict.dropped_low_reputation == reference.dropped_low_reputation
+        assert len(verdict.kept_indices) == len(reference.kept)
+        # Defended detection over the kept rows, straight from the mask.
+        detector = BinomialFilteringDetector(min_measurements=10)
+        assert detector.detect_from_counts(verdict.success_counts()).detected_pairs() == \
+            detector.detect_from_measurements(reference.kept).detected_pairs()
+
+
+class TestAdversarySweep:
+    """The store-path sweep must reproduce the row pipeline cell for cell."""
+
+    BUDGETS = [(100, 4), (400, 8)]
+    SEED = 5
+
+    def row_pipeline_cell(self, honest, submissions, identities, entropy):
+        attacker = PoisoningAttacker(rng=np.random.default_rng(entropy))
+        forged = attacker.forge_measurements(
+            PoisoningCampaign("facebook.com", "DE", submissions=submissions,
+                              client_identities=identities)
+        )
+        poisoned = list(honest) + forged
+        detector = BinomialFilteringDetector()
+        reference = ReputationFilter().apply_reference(poisoned)
+        return {
+            "naive": frozenset(detector.detect_from_measurements(poisoned).detected_pairs()),
+            "defended": frozenset(
+                detector.detect_from_measurements(reference.kept).detected_pairs()
+            ),
+            "dropped_rate_limited": reference.dropped_rate_limited,
+            "dropped_low_reputation": reference.dropped_low_reputation,
+        }
+
+    def test_sweep_matches_row_pipeline(self, detection_result):
+        cells = detection_result.adversary_sweep(
+            "facebook.com", "DE", self.BUDGETS, executor="inline", seed=self.SEED
+        )
+        honest = detection_result.measurements
+        for index, ((submissions, identities), cell) in enumerate(zip(self.BUDGETS, cells)):
+            expected = self.row_pipeline_cell(honest, submissions, identities,
+                                              [self.SEED, index])
+            assert cell.submissions == submissions
+            assert cell.identities == identities
+            assert cell.forged == submissions
+            assert cell.poisoned_rows == len(honest) + submissions
+            assert cell.naive_pairs == expected["naive"]
+            assert cell.defended_pairs == expected["defended"]
+            assert cell.dropped_rate_limited == expected["dropped_rate_limited"]
+            assert cell.dropped_low_reputation == expected["dropped_low_reputation"]
+            assert cell.target_pair == ("facebook.com", "DE")
+
+    def test_process_executor_matches_inline(self, detection_result, tmp_path):
+        inline = detection_result.adversary_sweep(
+            "facebook.com", "DE", self.BUDGETS, executor="inline", seed=6
+        )
+        fanned = detection_result.adversary_sweep(
+            "facebook.com", "DE", self.BUDGETS, executor="process", seed=6,
+            spill_dir=str(tmp_path / "sweep"),
+        )
+        assert fanned == inline
+
+    def test_sweep_resumes_from_committed_manifests(self, detection_result, tmp_path):
+        root = tmp_path / "sweep"
+        first = detection_result.adversary_sweep(
+            "facebook.com", "DE", self.BUDGETS, executor="inline", seed=7,
+            spill_dir=str(root),
+        )
+        manifests = sorted(root.glob("cell-*/manifest.json"))
+        assert len(manifests) == len(self.BUDGETS)
+        stamps = [path.stat().st_mtime_ns for path in manifests]
+        second = detection_result.adversary_sweep(
+            "facebook.com", "DE", self.BUDGETS, executor="inline", seed=7,
+            spill_dir=str(root),
+        )
+        assert second == first
+        assert [path.stat().st_mtime_ns for path in manifests] == stamps
+        # A different seed is a different signature: cells re-forge.
+        detection_result.adversary_sweep(
+            "facebook.com", "DE", self.BUDGETS, executor="inline", seed=8,
+            spill_dir=str(root),
+        )
+        assert [path.stat().st_mtime_ns for path in manifests] != stamps
+
+    def test_sweep_on_a_spilled_honest_store(self, detection_result, tmp_path):
+        """Adopting a spilled honest corpus gives identical verdicts."""
+        spilled = MeasurementStore(max_rows_in_memory=512, spill_dir=tmp_path / "honest")
+        spilled.append_rows(detection_result.measurements)
+        spilled.spill()
+        sweep = AdversarySweep(executor="inline", seed=self.SEED)
+        from_spilled = sweep.run(spilled, "facebook.com", "DE", self.BUDGETS)
+        from_resident = detection_result.adversary_sweep(
+            "facebook.com", "DE", self.BUDGETS, executor="inline", seed=self.SEED
+        )
+        assert from_spilled == from_resident
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError):
+            AdversarySweep(executor="threads")
 
 
 class TestAdaptiveFilteringDetector:
