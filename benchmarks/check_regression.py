@@ -35,6 +35,7 @@ RATIO_FIELDS = {
     "BENCH_store.json": "speedup",
     "BENCH_shard.json": "speedup",
     "BENCH_robustness.json": "speedup",
+    "BENCH_longitudinal.json": "speedup",
 }
 #: Largest tolerated relative drop of a ratio before the gate fails.
 MAX_REGRESSION = 0.25

@@ -32,16 +32,33 @@ Quick start::
     print(pakistan.count, pakistan.success_rate)
     for (domain, country), (n, ok) in store.success_counts().as_dict().items():
         print(domain, country, n, ok)
+
+Longitudinal monitoring — the paper's headline workload — runs a campaign
+as epochs over simulated days against a scripted time-varying censor policy
+and detects censorship onsets/offsets online::
+
+    from repro import LongitudinalConfig, PolicyTimeline
+
+    timeline = PolicyTimeline().onset(6, "DE", "facebook.com")
+    result = deployment.run_longitudinal(timeline, LongitudinalConfig(epochs=20))
+    for event in result.events():          # vectorized CUSUM change points
+        print(event.kind, event.domain, event.country_code, event.detection_lag)
+    print(result.timeline_report().format())
 """
 
+from repro.censor.policy import PolicyTimeline
 from repro.core import (
     BinomialFilteringDetector,
     CampaignConfig,
     CampaignResult,
+    CensorshipEvent,
     CollectionServer,
     CoordinationServer,
+    CusumChangePointDetector,
     EncoreDeployment,
     FilteringDetection,
+    LongitudinalConfig,
+    LongitudinalResult,
     Measurement,
     MeasurementStore,
     MeasurementTask,
@@ -63,11 +80,16 @@ __all__ = [
     "BinomialFilteringDetector",
     "CampaignConfig",
     "CampaignResult",
+    "CensorshipEvent",
     "CollectionServer",
     "CoordinationServer",
+    "CusumChangePointDetector",
     "EncoreDeployment",
     "FilteringDetection",
+    "LongitudinalConfig",
+    "LongitudinalResult",
     "Measurement",
+    "PolicyTimeline",
     "MeasurementStore",
     "MeasurementTask",
     "Scheduler",

@@ -9,7 +9,10 @@ from repro.analysis.stats import (
 from repro.analysis.reports import (
     SoundnessReport,
     TaskTypeSoundness,
+    TimelineReport,
+    TransitionMatch,
     build_soundness_report,
+    build_timeline_report,
     format_table,
 )
 
@@ -20,6 +23,9 @@ __all__ = [
     "summarise_distribution",
     "SoundnessReport",
     "TaskTypeSoundness",
+    "TimelineReport",
+    "TransitionMatch",
     "build_soundness_report",
+    "build_timeline_report",
     "format_table",
 ]

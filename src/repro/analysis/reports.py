@@ -2,8 +2,10 @@
 
 These helpers condense raw measurements into the summaries the paper reports:
 the per-task-type soundness numbers of §7.1 (false positives and negatives
-against the testbed's known ground truth) and simple fixed-width tables the
-benchmark harness prints so its output reads like the paper's tables.
+against the testbed's known ground truth), the longitudinal scorecard that
+grades detected censorship onsets/offsets against a scripted
+:class:`~repro.censor.policy.PolicyTimeline`, and simple fixed-width tables
+the benchmark harness prints so its output reads like the paper's tables.
 """
 
 from __future__ import annotations
@@ -13,8 +15,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.censor.policy import PolicyTimeline
 from repro.censor.testbed import CensorshipTestbed
 from repro.core.collection import Measurement
+from repro.core.inference import CensorshipEvent
 from repro.core.store import TASK_TYPES, MeasurementStore
 from repro.core.tasks import TaskOutcome, TaskType
 
@@ -139,6 +143,142 @@ def _soundness_from_store(store: MeasurementStore, testbed: CensorshipTestbed) -
         stats.false_positives = fp
         stats.false_negatives = fn
         stats.true_positives = tp
+    return report
+
+
+@dataclass(frozen=True)
+class TransitionMatch:
+    """One scripted block/unblock transition and the event that detected it."""
+
+    day: int
+    country_code: str
+    domain: str
+    kind: str
+    event: CensorshipEvent | None = None
+
+    @property
+    def detected(self) -> bool:
+        return self.event is not None
+
+    @property
+    def detection_lag(self) -> int | None:
+        """Days between the scripted change and its detection (None if missed)."""
+        return None if self.event is None else self.event.detected_day - self.day
+
+    @property
+    def change_day_error(self) -> int | None:
+        """How far the CUSUM change-point estimate landed from the scripted day."""
+        return None if self.event is None else self.event.change_day - self.day
+
+
+@dataclass
+class TimelineReport:
+    """How well the change-point detector recovered a scripted timeline.
+
+    One :class:`TransitionMatch` per effective hard-block transition of the
+    ground-truth :class:`~repro.censor.policy.PolicyTimeline`, plus the
+    detector events that matched nothing (false alarms).
+    """
+
+    matches: list[TransitionMatch] = field(default_factory=list)
+    false_events: list[CensorshipEvent] = field(default_factory=list)
+
+    @property
+    def transitions(self) -> int:
+        return len(self.matches)
+
+    @property
+    def detected_count(self) -> int:
+        return sum(1 for match in self.matches if match.detected)
+
+    @property
+    def missed_count(self) -> int:
+        return self.transitions - self.detected_count
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected_count / self.transitions if self.transitions else 0.0
+
+    @property
+    def mean_detection_lag(self) -> float:
+        """Mean days-to-detection over the transitions that were detected."""
+        lags = [match.detection_lag for match in self.matches if match.detected]
+        return sum(lags) / len(lags) if lags else 0.0
+
+    def rows(self) -> list[dict[str, object]]:
+        """One row per scripted transition, ready for table formatting."""
+        return [
+            {
+                "day": match.day,
+                "country": match.country_code,
+                "domain": match.domain,
+                "kind": match.kind,
+                "detected_day": match.event.detected_day if match.event else "-",
+                "lag": match.detection_lag if match.detected else "miss",
+                "confidence": (
+                    round(match.event.confidence, 3) if match.event else "-"
+                ),
+            }
+            for match in self.matches
+        ]
+
+    def format(self) -> str:
+        headers = ("day", "country", "domain", "kind", "detected_day", "lag", "confidence")
+        return format_table(
+            headers, [[row[h] for h in headers] for row in self.rows()]
+        )
+
+
+def build_timeline_report(
+    events: Iterable[CensorshipEvent], timeline: PolicyTimeline
+) -> TimelineReport:
+    """Match detected events against a timeline's scripted transitions.
+
+    Transitions are matched greedily in day order: each takes the earliest
+    unclaimed event of the same (country, domain, kind) detected on or
+    after its scripted day — and before the pair's *next* same-kind
+    transition, so a missed early transition cannot claim the detection of
+    a later one and corrupt the lag statistics.  Events claiming no
+    transition are reported as false alarms.
+    """
+    report = TimelineReport()
+    remaining = list(events)
+    transitions = timeline.transitions()
+
+    def claim_window_end(index: int) -> float:
+        this = transitions[index]
+        for later in transitions[index + 1:]:
+            if (
+                later.country_code == this.country_code
+                and later.domain == this.domain
+                and later.action == this.action
+            ):
+                return later.day
+        return float("inf")
+
+    for index, transition in enumerate(transitions):
+        window_end = claim_window_end(index)
+        candidates = [
+            event
+            for event in remaining
+            if event.domain == transition.domain
+            and event.country_code == transition.country_code
+            and event.kind == transition.action
+            and transition.day <= event.detected_day < window_end
+        ]
+        match = min(candidates, key=lambda e: e.detected_day, default=None)
+        if match is not None:
+            remaining.remove(match)
+        report.matches.append(
+            TransitionMatch(
+                day=transition.day,
+                country_code=transition.country_code,
+                domain=transition.domain,
+                kind=transition.action,
+                event=match,
+            )
+        )
+    report.false_events = remaining
     return report
 
 

@@ -7,7 +7,7 @@ the paper's testbed emulates (§7.1), country censor presets matching the
 filtering the paper independently confirms (§7.2), and the testbed itself.
 """
 
-from repro.censor.policy import BlacklistPolicy, BlockRule
+from repro.censor.policy import BlacklistPolicy, BlockRule, PolicyEvent, PolicyTimeline
 from repro.censor.mechanisms import Censor, FilteringMechanism
 from repro.censor.censors import (
     CountryCensorship,
@@ -20,6 +20,8 @@ from repro.censor.testbed import CensorshipTestbed, TestbedHost
 __all__ = [
     "BlacklistPolicy",
     "BlockRule",
+    "PolicyEvent",
+    "PolicyTimeline",
     "Censor",
     "FilteringMechanism",
     "CountryCensorship",

@@ -1,9 +1,18 @@
-"""Blacklist policies.
+"""Blacklist policies, including scripted time variation.
 
 A censor's policy says *what* is filtered: whole domains, URL prefixes
 (a section of a site, or a single page), or keyword matches against the URL.
 The paper assumes blacklist-driven censors that are unwilling to filter all
 Web traffic (§3.1), which is exactly what a finite blacklist expresses.
+
+Censorship is not static — the whole point of Encore's longitudinal
+collection is catching the moment a country starts (or stops) filtering a
+site.  :class:`PolicyTimeline` scripts that variation as onset / offset /
+throttle events per (country, domain) and answers "what is this country's
+posture on day *d*?"; :meth:`BlacklistPolicy.replace_domains` and
+:meth:`BlacklistPolicy.unblock_domain` are the mutation hooks the
+longitudinal engine uses to swing a live censor's blacklist between epochs
+without rebuilding the censor (see :mod:`repro.core.longitudinal`).
 """
 
 from __future__ import annotations
@@ -72,6 +81,30 @@ class BlacklistPolicy:
         return self
 
     # ------------------------------------------------------------------
+    # Time-variation hooks (used by the longitudinal engine)
+    # ------------------------------------------------------------------
+    def unblock_domain(self, domain: str) -> "BlacklistPolicy":
+        """Retract every domain rule covering ``domain`` (a censorship offset)."""
+        domain = domain.lower().strip(".")
+        self.rules[:] = [
+            rule
+            for rule in self.rules
+            if not (rule.kind == "domain" and rule.value == domain)
+        ]
+        return self
+
+    def replace_domains(self, domains: Iterable[str]) -> "BlacklistPolicy":
+        """Swap the entire rule set for domain rules over ``domains``, in place.
+
+        The hook a :class:`PolicyTimeline` is applied through: the censor
+        object (and therefore the interceptor chain) stays the same across
+        epochs while its blacklist moves, which is exactly how a real censor
+        updates its block list under a fixed enforcement apparatus.
+        """
+        self.rules[:] = [BlockRule("domain", d.lower().strip(".")) for d in domains]
+        return self
+
+    # ------------------------------------------------------------------
     # Matching
     # ------------------------------------------------------------------
     def is_empty(self) -> bool:
@@ -106,3 +139,133 @@ class BlacklistPolicy:
     def blocked_domains(self) -> list[str]:
         """Domains blocked in their entirety."""
         return [rule.value for rule in self.rules if rule.kind == "domain"]
+
+
+# ----------------------------------------------------------------------
+# Scripted time-varying censorship
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PolicyEvent:
+    """One scripted change of a censor's posture toward a domain.
+
+    ``action`` is what the censor starts doing on ``day``: ``"onset"``
+    begins hard blocking, ``"throttle"`` begins bandwidth throttling (the
+    subtle filtering of §1 that completes exchanges slowly), and
+    ``"offset"`` clears whatever was in force.
+    """
+
+    day: int
+    country_code: str
+    domain: str
+    action: str
+
+    _ACTIONS = ("onset", "offset", "throttle")
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise ValueError("event day must be non-negative")
+        if self.action not in self._ACTIONS:
+            raise ValueError(f"unknown timeline action {self.action!r}")
+        if not self.country_code or not self.domain:
+            raise ValueError("events need a country code and a domain")
+
+
+#: What each action leaves the (country, domain) pair doing.
+_ACTION_STATE = {"onset": "block", "throttle": "throttle", "offset": "clear"}
+
+
+class PolicyTimeline:
+    """A scripted schedule of per-(country, domain) censorship changes.
+
+    The ground truth of a longitudinal campaign: events are replayed in day
+    order and :meth:`state_at` answers what every country is blocking or
+    throttling on a given day.  :meth:`transitions` reduces the script to
+    the *hard-block* onsets/offsets a success-rate change-point detector can
+    be expected to find (throttling completes fetches, so it moves timings,
+    not success rates).
+    """
+
+    def __init__(self, events: Iterable[PolicyEvent] = ()) -> None:
+        self._events: list[PolicyEvent] = sorted(
+            events, key=lambda e: (e.day, e.country_code, e.domain)
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, event: PolicyEvent) -> "PolicyTimeline":
+        self._events.append(event)
+        self._events.sort(key=lambda e: (e.day, e.country_code, e.domain))
+        return self
+
+    def onset(self, day: int, country_code: str, domain: str) -> "PolicyTimeline":
+        """Script ``country_code`` starting to block ``domain`` on ``day``."""
+        return self.add(PolicyEvent(day, country_code, domain, "onset"))
+
+    def offset(self, day: int, country_code: str, domain: str) -> "PolicyTimeline":
+        """Script ``country_code`` clearing its posture on ``domain`` on ``day``."""
+        return self.add(PolicyEvent(day, country_code, domain, "offset"))
+
+    def throttle(self, day: int, country_code: str, domain: str) -> "PolicyTimeline":
+        """Script ``country_code`` starting to throttle ``domain`` on ``day``."""
+        return self.add(PolicyEvent(day, country_code, domain, "throttle"))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[PolicyEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def countries(self) -> tuple[str, ...]:
+        """Every country the timeline scripts, sorted."""
+        return tuple(sorted({e.country_code for e in self._events}))
+
+    def final_day(self) -> int:
+        """The last scripted day (0 for an empty timeline)."""
+        return max((e.day for e in self._events), default=0)
+
+    def state_at(self, day: int) -> dict[str, dict[str, str]]:
+        """Per-country posture in force on ``day``.
+
+        Returns ``{country_code: {domain: "block" | "throttle"}}`` — cleared
+        pairs are simply absent.  Events taking effect *on* ``day`` are
+        included.
+        """
+        state: dict[str, dict[str, str]] = {}
+        for event in self._events:
+            if event.day > day:
+                break
+            posture = _ACTION_STATE[event.action]
+            country = state.setdefault(event.country_code, {})
+            if posture == "clear":
+                country.pop(event.domain, None)
+            else:
+                country[event.domain] = posture
+        return {code: rules for code, rules in state.items() if rules}
+
+    def transitions(self) -> list[PolicyEvent]:
+        """The effective hard-block transitions, as onset/offset events.
+
+        A pair entering the blocked state (from clear *or* throttled) emits
+        an ``"onset"``; a pair leaving it emits an ``"offset"``.  Redundant
+        events (blocking what is already blocked, clearing what is already
+        clear) emit nothing — they change no observable behaviour.
+        """
+        state: dict[tuple[str, str], str] = {}
+        out: list[PolicyEvent] = []
+        for event in self._events:
+            key = (event.country_code, event.domain)
+            previous = state.get(key, "clear")
+            posture = _ACTION_STATE[event.action]
+            if posture == previous:
+                continue
+            if posture == "block":
+                out.append(PolicyEvent(event.day, *key, "onset"))
+            elif previous == "block":
+                out.append(PolicyEvent(event.day, *key, "offset"))
+            state[key] = posture
+        return out

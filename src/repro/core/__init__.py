@@ -32,13 +32,21 @@ from repro.core.task_generation import (
 from repro.core.scheduler import Scheduler, TaskPool
 from repro.core.coordination import CoordinationServer
 from repro.core.collection import CollectionServer, Measurement
-from repro.core.store import GroupedCounts, MeasurementStore, Selection
+from repro.core.store import DayGroupedCounts, GroupedCounts, MeasurementStore, Selection
 from repro.core.inference import (
     AdaptiveFilteringDetector,
     BinomialFilteringDetector,
+    CensorshipEvent,
+    CusumChangePointDetector,
     FilteringDetection,
 )
+from repro.core.longitudinal import (
+    LongitudinalConfig,
+    LongitudinalEngine,
+    LongitudinalResult,
+)
 from repro.core.robustness import (
+    AdaptiveReputationFilter,
     AdversarySweep,
     PoisoningAttacker,
     PoisoningCampaign,
@@ -80,11 +88,18 @@ __all__ = [
     "CollectionServer",
     "Measurement",
     "MeasurementStore",
+    "DayGroupedCounts",
     "GroupedCounts",
     "Selection",
     "AdaptiveFilteringDetector",
     "BinomialFilteringDetector",
+    "CensorshipEvent",
+    "CusumChangePointDetector",
     "FilteringDetection",
+    "LongitudinalConfig",
+    "LongitudinalEngine",
+    "LongitudinalResult",
+    "AdaptiveReputationFilter",
     "AdversarySweep",
     "PoisoningAttacker",
     "PoisoningCampaign",

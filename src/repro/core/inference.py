@@ -27,7 +27,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.collection import Measurement
-from repro.core.store import GroupedCounts, MeasurementStore
+from repro.core.store import DayGroupedCounts, GroupedCounts, MeasurementStore
 from repro.core.tasks import TaskOutcome
 
 
@@ -313,6 +313,170 @@ class BinomialFilteringDetector:
                 successes[key] = successes.get(key, 0) + 1
         counts = {key: (totals[key], successes.get(key, 0)) for key in totals}
         return self.detect_from_counts(counts)
+
+
+# ----------------------------------------------------------------------
+# Online change-point detection over day-bucketed success rates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CensorshipEvent:
+    """A detected change in a (domain, country) pair's filtering state.
+
+    ``kind`` is ``"onset"`` (the success rate collapsed — filtering began)
+    or ``"offset"`` (it recovered — filtering ended).  ``change_day`` is the
+    CUSUM change-point estimate: the day the statistic's final excursion
+    left zero.  ``detected_day`` is when the statistic crossed the decision
+    threshold, so ``detection_lag`` is how many simulated days of data the
+    detector needed before it could call the change.
+    """
+
+    domain: str
+    country_code: str
+    kind: str
+    change_day: int
+    detected_day: int
+    statistic: float
+    confidence: float
+
+    @property
+    def detection_lag(self) -> int:
+        return self.detected_day - self.change_day
+
+
+class CusumChangePointDetector:
+    """Online CUSUM over per-day filtered success rates (longitudinal §7.2).
+
+    For every (domain, country) cell of a :class:`DayGroupedCounts`, the
+    detector walks the day axis with a two-state machine.  While *clear*, it
+    accumulates the one-sided CUSUM statistic ``S ← max(0, S + (healthy_rate
+    − drift − rate_d))`` — evidence the daily success rate fell below the
+    healthy baseline — and emits an **onset** when ``S`` crosses
+    ``threshold``; while *censored*, it accumulates ``S ← max(0, S + (rate_d
+    − censored_rate − drift))`` and emits an **offset** on recovery.  Days
+    with fewer than ``min_daily_measurements`` filtered measurements carry
+    the statistic unchanged (an empty day is no evidence either way).
+
+    :meth:`detect_events` scans all cells at once, one numpy pass per day
+    column; :meth:`detect_events_reference` is the readable per-cell scalar
+    walk.  Both consume the same values in the same order, so their events
+    are identical — statistics and confidences bit-for-bit — an equivalence
+    the tests pin.
+    """
+
+    def __init__(
+        self,
+        healthy_rate: float = 0.7,
+        censored_rate: float = 0.15,
+        drift: float = 0.05,
+        threshold: float = 1.0,
+        min_daily_measurements: int = 5,
+    ) -> None:
+        if not 0.0 < censored_rate < healthy_rate < 1.0:
+            raise ValueError("need 0 < censored_rate < healthy_rate < 1")
+        if drift < 0.0:
+            raise ValueError("drift must be non-negative")
+        if threshold <= 0.0:
+            raise ValueError("threshold must be positive")
+        if min_daily_measurements < 1:
+            raise ValueError("min_daily_measurements must be positive")
+        self.healthy_rate = healthy_rate
+        self.censored_rate = censored_rate
+        self.drift = drift
+        self.threshold = threshold
+        self.min_daily_measurements = min_daily_measurements
+
+    # ------------------------------------------------------------------
+    def _confidence(self, statistic: float) -> float:
+        """Threshold overshoot mapped to [0.5, 1.0]."""
+        return min(1.0, statistic / (2.0 * self.threshold))
+
+    @staticmethod
+    def _sorted(events: list[CensorshipEvent]) -> list[CensorshipEvent]:
+        events.sort(key=lambda e: (e.detected_day, e.domain, e.country_code, e.kind))
+        return events
+
+    def detect_events(self, day_counts: DayGroupedCounts) -> list[CensorshipEvent]:
+        """Scan every (domain, country) cell's day series, vectorized.
+
+        The recursion is sequential in days but independent across cells, so
+        the scan is a short loop over day columns with all cells advanced by
+        whole-array operations; only the (rare) threshold crossings drop to
+        per-cell Python to emit events.
+        """
+        domains, countries, totals, successes = day_counts.cell_series()
+        n_cells, n_days = totals.shape
+        events: list[CensorshipEvent] = []
+        if n_cells == 0:
+            return events
+        clear_target = self.healthy_rate - self.drift
+        censored_target = self.censored_rate + self.drift
+        censored = np.zeros(n_cells, dtype=bool)
+        stat = np.zeros(n_cells, dtype=np.float64)
+        excursion = np.zeros(n_cells, dtype=np.int64)
+        for day in range(n_days):
+            n = totals[:, day]
+            active = n >= self.min_daily_measurements
+            if not active.any():
+                continue
+            rate = np.zeros(n_cells, dtype=np.float64)
+            rate[active] = successes[active, day] / n[active]
+            increment = np.where(censored, rate - censored_target, clear_target - rate)
+            new_stat = np.maximum(0.0, stat + increment)
+            started = active & (stat == 0.0) & (new_stat > 0.0)
+            excursion[started] = day
+            stat = np.where(active, new_stat, stat)
+            for cell in np.flatnonzero(active & (stat >= self.threshold)).tolist():
+                statistic = float(stat[cell])
+                events.append(
+                    CensorshipEvent(
+                        domain=str(domains[cell]),
+                        country_code=str(countries[cell]),
+                        kind="offset" if censored[cell] else "onset",
+                        change_day=int(excursion[cell]),
+                        detected_day=day,
+                        statistic=statistic,
+                        confidence=self._confidence(statistic),
+                    )
+                )
+                censored[cell] = ~censored[cell]
+                stat[cell] = 0.0
+        return self._sorted(events)
+
+    def detect_events_reference(self, day_counts: DayGroupedCounts) -> list[CensorshipEvent]:
+        """The scalar per-cell reference walk; events identical to the fast path."""
+        domains, countries, totals, successes = day_counts.cell_series()
+        events: list[CensorshipEvent] = []
+        clear_target = self.healthy_rate - self.drift
+        censored_target = self.censored_rate + self.drift
+        for cell in range(totals.shape[0]):
+            censored = False
+            stat = 0.0
+            excursion = 0
+            for day in range(totals.shape[1]):
+                n = totals[cell, day]
+                if n < self.min_daily_measurements:
+                    continue
+                rate = successes[cell, day] / n
+                increment = (rate - censored_target) if censored else (clear_target - rate)
+                new_stat = max(0.0, stat + increment)
+                if stat == 0.0 and new_stat > 0.0:
+                    excursion = day
+                stat = new_stat
+                if stat >= self.threshold:
+                    events.append(
+                        CensorshipEvent(
+                            domain=str(domains[cell]),
+                            country_code=str(countries[cell]),
+                            kind="offset" if censored else "onset",
+                            change_day=excursion,
+                            detected_day=day,
+                            statistic=float(stat),
+                            confidence=self._confidence(float(stat)),
+                        )
+                    )
+                    censored = not censored
+                    stat = 0.0
+        return self._sorted(events)
 
 
 class AdaptiveFilteringDetector(BinomialFilteringDetector):

@@ -1,0 +1,228 @@
+"""Longitudinal campaigns: time-varying censorship over simulated days.
+
+Encore's core promise is *longitudinal* measurement — continuous background
+collection that reveals when a country starts or stops filtering a site —
+and this module is the workload that cashes it in.  A longitudinal run is a
+sequence of **epochs** over simulated days:
+
+1. **Policy.**  A :class:`~repro.censor.policy.PolicyTimeline` scripts
+   onset/offset/throttle events per (country, domain).  Before each epoch
+   the engine publishes the epoch's posture into
+   ``WorldConfig.timeline_rules`` and calls
+   :meth:`World.refresh_timeline_censors`, which swings per-country managed
+   censors via the :meth:`BlacklistPolicy.replace_domains` hook.  Because
+   the posture lives in the (JSON-serializable) world config, sharded
+   workers that rebuild the world enforce the same policy, and the sharded
+   campaign signature covers it.
+2. **Collect.**  Each epoch runs one ordinary campaign over its day window
+   (``CampaignConfig.day_offset`` slides per epoch) through the block-keyed
+   planner, so an epoch is reproducible from ``(seed, epoch)`` alone and
+   can fan out across worker processes with ``mode="sharded"``.  All epochs
+   ingest into one (possibly spilled) collection store.
+3. **Aggregate.**  ``store.success_counts(by_day=True)`` reduces the whole
+   corpus to ragged (domain, country, day) cells — streamed
+   segment-by-segment, fully vectorized, nothing concatenated.
+4. **Detect.**  :class:`~repro.core.inference.CusumChangePointDetector`
+   scans every cell's daily success-rate series online and emits
+   :class:`~repro.core.inference.CensorshipEvent` onsets/offsets with their
+   detection lag; :func:`~repro.analysis.reports.build_timeline_report`
+   grades them against the scripted ground truth.
+
+Front door: :meth:`EncoreDeployment.run_longitudinal`.  Throughput of the
+aggregation + detection stage is tracked by
+``benchmarks/test_bench_longitudinal.py`` (``BENCH_longitudinal.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.censor.policy import PolicyTimeline
+from repro.core.inference import CensorshipEvent, CusumChangePointDetector
+from repro.core.store import DayGroupedCounts
+
+
+@dataclass
+class LongitudinalConfig:
+    """Parameters of one longitudinal (multi-epoch) run."""
+
+    #: How many epochs to run.  ``None`` covers the timeline: enough epochs
+    #: that the last scripted event has at least ``trailing_epochs`` of
+    #: post-event data to be detected from.
+    epochs: int | None = None
+    #: Simulated days per epoch (the policy is re-evaluated per epoch, so
+    #: this is also the granularity at which scripted events take effect).
+    days_per_epoch: int = 1
+    #: Origin-site visits simulated per epoch.
+    visits_per_epoch: int = 2000
+    #: Execution mode of each epoch's campaign: ``"batch"`` (default),
+    #: ``"serial"``, or ``"sharded"`` (fans each epoch out over worker
+    #: processes; merged results are identical to ``"batch"``).
+    mode: str = "batch"
+    #: ``mode="sharded"`` knobs, passed through to ``run_campaign``.
+    num_shards: int | None = None
+    worker_spill_dir: str | None = None
+    shard_executor: str | None = None
+    #: Epochs kept running after the last scripted event when ``epochs`` is
+    #: unset, so offsets near the end of the script remain detectable.
+    trailing_epochs: int = 5
+    #: The online change-point detector run over the day-bucketed rates.
+    detector: CusumChangePointDetector = field(default_factory=CusumChangePointDetector)
+
+    def resolved_epochs(self, timeline: PolicyTimeline) -> int:
+        if self.epochs is not None:
+            return self.epochs
+        final_epoch = timeline.final_day() // self.days_per_epoch
+        return final_epoch + 1 + self.trailing_epochs
+
+
+@dataclass(frozen=True)
+class EpochSummary:
+    """What one epoch ran: its day window, volume, and the posture in force."""
+
+    epoch: int
+    first_day: int
+    days: int
+    visits: int
+    measurements_added: int
+    #: (country, domain) pairs hard-blocked during the epoch.
+    blocked: tuple[tuple[str, str], ...]
+    #: (country, domain) pairs throttled during the epoch.
+    throttled: tuple[tuple[str, str], ...]
+
+
+@dataclass
+class LongitudinalResult:
+    """Everything a longitudinal run produced, with lazy detection."""
+
+    config: LongitudinalConfig
+    timeline: PolicyTimeline
+    collection: object  #: the deployment's CollectionServer
+    epochs: list[EpochSummary]
+
+    def __post_init__(self) -> None:
+        self._events: list[CensorshipEvent] | None = None
+        self._events_version = -1
+
+    @property
+    def detector(self) -> CusumChangePointDetector:
+        return self.config.detector
+
+    @property
+    def total_days(self) -> int:
+        return len(self.epochs) * self.config.days_per_epoch
+
+    @property
+    def measurements(self) -> int:
+        return sum(epoch.measurements_added for epoch in self.epochs)
+
+    def day_counts(self) -> DayGroupedCounts:
+        """Ragged (domain, country, day) success counts over the whole run.
+
+        Streamed straight off the (possibly spilled) store; cached there, so
+        repeated calls are free until the store grows.
+        """
+        return self.collection.store.success_counts(by_day=True)
+
+    def events(self) -> list[CensorshipEvent]:
+        """Detected censorship onsets/offsets (vectorized CUSUM, cached)."""
+        version = self.collection.store.version
+        if self._events is None or self._events_version != version:
+            self._events = self.detector.detect_events(self.day_counts())
+            self._events_version = version
+        return self._events
+
+    def timeline_report(self):
+        """Grade the detected events against the scripted ground truth."""
+        from repro.analysis.reports import build_timeline_report
+
+        return build_timeline_report(self.events(), self.timeline)
+
+
+class LongitudinalEngine:
+    """Drives one deployment through a timeline's epochs.
+
+    The engine owns the world mutations: per epoch it writes the timeline's
+    posture into ``world.config.timeline_rules``, refreshes the managed
+    censors, slides the campaign's day window, and runs one campaign.  On
+    exit — success or not — the original campaign-config day window and a
+    rule-free world are restored, so the deployment remains usable for
+    ordinary campaigns afterwards.
+    """
+
+    def __init__(self, deployment, timeline: PolicyTimeline,
+                 config: LongitudinalConfig | None = None) -> None:
+        self.deployment = deployment
+        self.timeline = timeline
+        self.config = config or LongitudinalConfig()
+        if self.config.days_per_epoch < 1:
+            raise ValueError("days_per_epoch must be positive")
+        if self.config.visits_per_epoch < 1:
+            raise ValueError("visits_per_epoch must be positive")
+        epochs = self.config.resolved_epochs(timeline)
+        if epochs < 1:
+            raise ValueError("a longitudinal run needs at least one epoch")
+        self._epochs = epochs
+
+    # ------------------------------------------------------------------
+    def run(self) -> LongitudinalResult:
+        deployment = self.deployment
+        config = self.config
+        campaign_config = deployment.config
+        world = deployment.world
+        original_window = (campaign_config.days, campaign_config.day_offset)
+        original_rules = world.config.timeline_rules
+        summaries: list[EpochSummary] = []
+        try:
+            for epoch in range(self._epochs):
+                first_day = epoch * config.days_per_epoch
+                state = self.timeline.state_at(first_day)
+                world.config.timeline_rules = state
+                world.refresh_timeline_censors()
+                campaign_config.days = config.days_per_epoch
+                campaign_config.day_offset = first_day
+                before = len(deployment.collection)
+                shard_kwargs = (
+                    {
+                        "num_shards": config.num_shards,
+                        "worker_spill_dir": config.worker_spill_dir,
+                        "shard_executor": config.shard_executor,
+                    }
+                    if config.mode == "sharded"
+                    else {}
+                )
+                deployment.run_campaign(
+                    visits=config.visits_per_epoch, mode=config.mode, **shard_kwargs
+                )
+                summaries.append(
+                    EpochSummary(
+                        epoch=epoch,
+                        first_day=first_day,
+                        days=config.days_per_epoch,
+                        visits=config.visits_per_epoch,
+                        measurements_added=len(deployment.collection) - before,
+                        blocked=self._pairs(state, "block"),
+                        throttled=self._pairs(state, "throttle"),
+                    )
+                )
+        finally:
+            campaign_config.days, campaign_config.day_offset = original_window
+            world.config.timeline_rules = original_rules
+            world.refresh_timeline_censors()
+        return LongitudinalResult(
+            config=config,
+            timeline=self.timeline,
+            collection=deployment.collection,
+            epochs=summaries,
+        )
+
+    @staticmethod
+    def _pairs(state: dict[str, dict[str, str]], posture: str) -> tuple:
+        return tuple(
+            sorted(
+                (country, domain)
+                for country, rules in state.items()
+                for domain, rule_posture in rules.items()
+                if rule_posture == posture
+            )
+        )

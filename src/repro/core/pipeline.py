@@ -41,6 +41,11 @@ class CampaignConfig:
     visits: int = 5000
     #: Length of the campaign in days (timestamps are spread uniformly).
     days: int = 30
+    #: First day of the campaign's window: visit days are drawn from
+    #: ``[day_offset, day_offset + days)``.  The longitudinal engine runs a
+    #: campaign per epoch with a sliding offset so the ``day`` column spans
+    #: the whole simulated timeline.
+    day_offset: int = 0
     #: Domains whose filtering the campaign measures.  The paper's reported
     #: deployment measured only Facebook, YouTube, and Twitter (§7.2).
     target_domains: tuple[str, ...] = ("facebook.com", "youtube.com", "twitter.com")
@@ -74,8 +79,10 @@ class CampaignConfig:
     max_rows_in_memory: int | None = None
     #: Where spilled segments go (a temporary directory if unset).
     spill_dir: str | None = None
-    #: Worker processes for ``mode="sharded"`` (``None`` → one per CPU,
-    #: capped by the number of planning blocks).
+    #: Worker processes for ``mode="sharded"``.  ``None`` resolves via
+    #: :func:`repro.core.shard.default_num_shards`: the CPUs *available* to
+    #: the process (scheduler-affinity-aware, so cgroup/NUMA pinning is
+    #: respected), capped by the number of planning blocks, always ≥ 1.
     num_shards: int | None = None
     #: Where shard workers write their spill segments + manifests.  Setting
     #: it makes an interrupted sharded campaign resumable: shards whose
@@ -319,7 +326,11 @@ class EncoreDeployment:
         client = self.world.sample_client(country_code or self.config.country_code)
         origin = self.origins[int(self._rng.integers(0, len(self.origins)))]
         browser = self.world.make_browser(client)
-        day = day if day is not None else int(self._rng.integers(0, self.config.days))
+        day = (
+            day
+            if day is not None
+            else int(self.config.day_offset + self._rng.integers(0, self.config.days))
+        )
         decision = self.coordination.deliver(client, browser)
         submissions = 0
         for task in decision.tasks:
@@ -425,6 +436,25 @@ class EncoreDeployment:
             progress=progress,
         )
         return runner.run(visits, resume_from_batch=resume_from_batch)
+
+    def run_longitudinal(self, timeline, config=None):
+        """Run an epoch-by-epoch campaign against a time-varying censor policy.
+
+        ``timeline`` is a :class:`~repro.censor.policy.PolicyTimeline`
+        scripting per-(country, domain) onset/offset/throttle events;
+        ``config`` a :class:`~repro.core.longitudinal.LongitudinalConfig`
+        (defaults cover a 30-day, one-day-per-epoch run).  Each epoch is one
+        block-keyed campaign over its day window — reproducible from
+        ``(seed, epoch)`` and shardable via ``mode="sharded"`` — ingested
+        into this deployment's collection store.  Returns a
+        :class:`~repro.core.longitudinal.LongitudinalResult` whose
+        ``events()`` runs online CUSUM change-point detection over the
+        day-bucketed success rates and whose ``timeline_report()`` grades
+        those events against the scripted ground truth.
+        """
+        from repro.core.longitudinal import LongitudinalEngine
+
+        return LongitudinalEngine(self, timeline, config).run()
 
     # ------------------------------------------------------------------
     # Convenience constructors for the paper's experiments

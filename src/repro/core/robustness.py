@@ -36,7 +36,6 @@ studied at campaign scale:
 from __future__ import annotations
 
 import multiprocessing
-import os
 import shutil
 import tempfile
 from collections import Counter, defaultdict
@@ -52,6 +51,7 @@ from repro.core.inference import BinomialFilteringDetector
 from repro.core.shard import (
     MANIFEST_NAME,
     StoreMerger,
+    available_cpu_count,
     manifest_segments_exist,
     read_manifest,
     segment_row_counts,
@@ -258,20 +258,43 @@ class ReputationFilter:
       addresses to move the aggregate.
     * **Minority down-weighting** — if a client's verdicts for a (domain,
       country) pair disagree with the verdict of the majority of *other
-      clients* in that pair and that client contributes more than
-      ``suspicious_share`` of the pair's submissions, the client's
-      submissions are dropped.  Honest regional censorship is unaffected
-      because there the majority of clients agree.
+      clients* in that pair by more than the pair's disagreement threshold
+      and that client contributes more than ``suspicious_share`` of the
+      pair's submissions, the client's submissions are dropped.  Honest
+      regional censorship is unaffected because there the majority of
+      clients agree.
+
+    The disagreement threshold is per-country via the
+    :meth:`_country_thresholds` hook — the filter-side mirror of the
+    detector's ``_cell_priors`` — which the base class pins to the constant
+    ``disagreement_threshold`` and :class:`AdaptiveReputationFilter` derives
+    from each country's background failure rate.
     """
 
     def __init__(self, max_submissions_per_client: int = 10,
-                 suspicious_share: float = 0.2) -> None:
+                 suspicious_share: float = 0.2,
+                 disagreement_threshold: float = 0.5) -> None:
         if max_submissions_per_client < 1:
             raise ValueError("max_submissions_per_client must be positive")
         if not 0.0 < suspicious_share <= 1.0:
             raise ValueError("suspicious_share must be in (0, 1]")
+        if not 0.0 < disagreement_threshold <= 1.0:
+            raise ValueError("disagreement_threshold must be in (0, 1]")
         self.max_submissions_per_client = max_submissions_per_client
         self.suspicious_share = suspicious_share
+        self.disagreement_threshold = disagreement_threshold
+
+    # ------------------------------------------------------------------
+    def _country_thresholds(
+        self, country_rows: np.ndarray, country_fails: np.ndarray
+    ) -> np.ndarray:
+        """Per-country disagreement thresholds; the adaptive subclass overrides.
+
+        ``country_rows``/``country_fails`` are the corpus's per-country
+        submission and failure tallies, in country-code order; the base
+        filter ignores them and applies one constant.
+        """
+        return np.full(len(country_rows), self.disagreement_threshold)
 
     # ------------------------------------------------------------------
     def apply(self, measurements: list[Measurement]) -> ReputationReport:
@@ -298,7 +321,10 @@ class ReputationFilter:
         )
         failed = np.asarray([m.failed for m in measurements], dtype=bool)
         pair = domain.astype(np.int64) * len(countries) + country
-        keep, dropped_rate, dropped_rep = self._columnar_verdict(pair, ip, failed)
+        keep, dropped_rate, dropped_rep = self._columnar_verdict(
+            pair, ip, failed, len(countries),
+            self._threshold_table(country, failed, len(countries)),
+        )
         return ReputationReport(
             kept=[m for m, kept in zip(measurements, keep.tolist()) if kept],
             dropped_rate_limited=dropped_rate,
@@ -321,8 +347,12 @@ class ReputationFilter:
         country = store.column("country").astype(np.int64)
         _, ip = np.unique(store.column("client_ip"), return_inverse=True)
         failed = store.column("outcome") == OUTCOME_FAILURE
-        pair = domain * (int(country.max()) + 1) + country
-        keep, dropped_rate, dropped_rep = self._columnar_verdict(pair, ip, failed)
+        n_countries = int(country.max()) + 1
+        pair = domain * n_countries + country
+        keep, dropped_rate, dropped_rep = self._columnar_verdict(
+            pair, ip, failed, n_countries,
+            self._threshold_table(country, failed, n_countries),
+        )
         return StoreReputationReport(
             store=store,
             keep_mask=keep,
@@ -330,14 +360,27 @@ class ReputationFilter:
             dropped_low_reputation=dropped_rep,
         )
 
+    def _threshold_table(
+        self, country: np.ndarray, failed: np.ndarray, n_countries: int
+    ) -> np.ndarray:
+        """Per-country-code disagreement thresholds for this corpus."""
+        rows = np.bincount(country, minlength=n_countries)
+        fails = np.bincount(country[failed], minlength=n_countries)
+        return np.asarray(
+            self._country_thresholds(rows, fails), dtype=np.float64
+        )
+
     def _columnar_verdict(
-        self, pair: np.ndarray, ip: np.ndarray, failed: np.ndarray
+        self, pair: np.ndarray, ip: np.ndarray, failed: np.ndarray,
+        n_countries: int, thresholds: np.ndarray,
     ) -> tuple[np.ndarray, int, int]:
         """(keep mask, rate-limited drops, reputation drops) for coded rows.
 
         ``pair`` encodes (domain, country) and ``ip`` the client identity as
-        integer codes; both passes of the reference walk become grouped
-        reductions over a combined ``pair * n_clients + ip`` key.
+        integer codes (``pair % n_countries`` recovers the country, which
+        selects each pair's disagreement threshold from ``thresholds``);
+        both passes of the reference walk become grouped reductions over a
+        combined ``pair * n_clients + ip`` key.
         """
         n = len(pair)
         n_ips = int(ip.max()) + 1
@@ -363,7 +406,8 @@ class ReputationFilter:
             key[survivors], return_inverse=True, return_counts=True
         )
         pair_of_triple = triple_keys // n_ips
-        _, pair_of = np.unique(pair_of_triple, return_inverse=True)
+        unique_pairs, pair_of = np.unique(pair_of_triple, return_inverse=True)
+        pair_thresholds = thresholds[unique_pairs % n_countries]
         n_pairs = pair_of.max() + 1 if len(pair_of) else 0
         clients_per_pair = np.bincount(pair_of, minlength=n_pairs)
         rows_per_pair = np.bincount(
@@ -403,7 +447,7 @@ class ReputationFilter:
             dominant
             & (clients_per_pair[pair_of] >= 2)
             & (baseline_rows[pair_of] > 0)
-            & (np.abs(own_rate - baseline_rate[pair_of]) > 0.5)
+            & (np.abs(own_rate - baseline_rate[pair_of]) > pair_thresholds[pair_of])
         )
         dropped_rows = suspicious[triple_of_row]
         keep[survivors[dropped_rows]] = False
@@ -413,10 +457,13 @@ class ReputationFilter:
     def apply_reference(self, measurements: list[Measurement]) -> ReputationReport:
         """The readable per-row reference implementation of :meth:`apply`.
 
-        Kept verbatim from the original filter: the equivalence tests pin
-        that the columnar verdict matches this walk row for row.
+        Kept verbatim from the original filter (the 0.5 constant became the
+        per-country threshold lookup when the adaptive hook landed): the
+        equivalence tests pin that the columnar verdict matches this walk
+        row for row.
         """
         report = ReputationReport()
+        thresholds = self.country_thresholds(measurements)
 
         # Pass 1: per-client rate limiting within each (domain, country) pair.
         per_client_counts: Counter = Counter()
@@ -469,7 +516,7 @@ class ReputationFilter:
                 if not is_dominant(own):
                     continue
                 own_failure_rate = sum(1 for m in own if m.failed) / len(own)
-                if abs(own_failure_rate - baseline_failure_rate) > 0.5:
+                if abs(own_failure_rate - baseline_failure_rate) > thresholds[country]:
                     suspicious_clients.add((domain, country, client_ip))
 
         for m in rate_limited:
@@ -479,9 +526,79 @@ class ReputationFilter:
                 report.kept.append(m)
         return report
 
+    def country_thresholds(self, measurements: list[Measurement]) -> dict[str, float]:
+        """The per-country disagreement thresholds this corpus would get.
+
+        The row-level view of the :meth:`_country_thresholds` hook, used by
+        the reference walk (and handy for inspecting what the adaptive
+        subclass decided); per-country values are identical to what the
+        columnar verdict applies.
+        """
+        codes = sorted({m.country_code for m in measurements})
+        if not codes:
+            return {}
+        index = {code: i for i, code in enumerate(codes)}
+        rows = np.zeros(len(codes), dtype=np.int64)
+        fails = np.zeros(len(codes), dtype=np.int64)
+        for m in measurements:
+            i = index[m.country_code]
+            rows[i] += 1
+            if m.failed:
+                fails[i] += 1
+        thresholds = np.asarray(self._country_thresholds(rows, fails), dtype=np.float64)
+        return dict(zip(codes, thresholds.tolist()))
+
     def filtered_measurements(self, measurements: list[Measurement]) -> list[Measurement]:
         """Just the measurements that survive filtering."""
         return self.apply(measurements).kept
+
+
+class AdaptiveReputationFilter(ReputationFilter):
+    """Per-country disagreement thresholds (ROADMAP follow-up to §8 defences).
+
+    The fixed filter judges a dominant client "contradictory" when its
+    failure rate strays more than 0.5 from its peers' — conservative in
+    pristine countries and trigger-happy in countries whose networks fail a
+    lot on their own (where honest heavy contributors naturally scatter).
+    Mirroring :class:`~repro.core.inference.AdaptiveFilteringDetector`'s
+    ``_cell_priors`` hook, this subclass derives each country's threshold
+    from its background failure rate: ``clamp(margin + failure_rate,
+    min_threshold, max_threshold)`` — the flakier the country's baseline,
+    the more disagreement a dominant client is allowed before being
+    dropped.  Countries with no submissions get ``min_threshold``.
+    """
+
+    def __init__(
+        self,
+        max_submissions_per_client: int = 10,
+        suspicious_share: float = 0.2,
+        min_threshold: float = 0.5,
+        max_threshold: float = 0.85,
+        margin: float = 0.45,
+    ) -> None:
+        super().__init__(
+            max_submissions_per_client=max_submissions_per_client,
+            suspicious_share=suspicious_share,
+            disagreement_threshold=min_threshold,
+        )
+        if not 0.0 < min_threshold <= max_threshold <= 1.0:
+            raise ValueError("need 0 < min_threshold <= max_threshold <= 1")
+        if not 0.0 < margin < 1.0:
+            raise ValueError("margin must be in (0, 1)")
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self.margin = margin
+
+    def _country_thresholds(
+        self, country_rows: np.ndarray, country_fails: np.ndarray
+    ) -> np.ndarray:
+        failure_rate = np.divide(
+            country_fails,
+            country_rows,
+            out=np.zeros(len(country_rows), dtype=np.float64),
+            where=country_rows > 0,
+        )
+        return np.clip(self.margin + failure_rate, self.min_threshold, self.max_threshold)
 
 
 # ----------------------------------------------------------------------
@@ -505,14 +622,39 @@ class SweepCell:
     dropped_low_reputation: int
     #: The detection the attacker tried to fabricate (or mask).
     target_pair: tuple[str, str]
+    #: The attack's direction: ``True`` floods failures to *invent* the
+    #: target detection, ``False`` floods successes to *mask* a real one.
+    fabricate_blocking: bool = True
 
     @property
     def naive_fooled(self) -> bool:
+        """Whether the undefended detector flags the fabricated target pair."""
         return self.target_pair in self.naive_pairs
 
     @property
     def defended_fooled(self) -> bool:
+        """Whether the fabricated pair survives reputation filtering."""
         return self.target_pair in self.defended_pairs
+
+    @property
+    def naive_masked(self) -> bool:
+        """Whether the undefended detector lost the (real) target detection."""
+        return self.target_pair not in self.naive_pairs
+
+    @property
+    def defended_masked(self) -> bool:
+        """Whether the target detection stays lost after reputation filtering."""
+        return self.target_pair not in self.defended_pairs
+
+    @property
+    def attack_succeeded_naive(self) -> bool:
+        """Did the attack achieve its goal against the undefended detector?"""
+        return self.naive_fooled if self.fabricate_blocking else self.naive_masked
+
+    @property
+    def attack_succeeded_defended(self) -> bool:
+        """Did the attack achieve its goal despite reputation filtering?"""
+        return self.defended_fooled if self.fabricate_blocking else self.defended_masked
 
     def detections_survive(self, expected) -> bool:
         """Whether every expected real detection is still flagged after filtering."""
@@ -576,6 +718,13 @@ class AdversarySweep:
     cell: what the binomial detector flags on the raw poisoned store, and
     what it still flags after :meth:`ReputationFilter.apply_store`.  No
     :class:`Measurement` row is ever materialized.
+
+    ``fabricate_blocking=False`` runs the *masking* direction of §8: each
+    budget floods success reports over a real detection (point
+    ``target_domain``/``country_code`` at a pair the honest campaign
+    detects), and :attr:`SweepCell.naive_masked` /
+    :attr:`SweepCell.defended_masked` answer whether the detection
+    disappeared — before and after reputation filtering.
 
     ``executor="process"`` fans the forging out over worker processes (one
     per pending cell, capped at the CPU count); ``"inline"`` runs them
@@ -690,7 +839,7 @@ class AdversarySweep:
         workers = (
             self.num_workers
             if self.num_workers is not None
-            else min(len(payloads), os.cpu_count() or 1)
+            else min(len(payloads), available_cpu_count())
         )
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
             futures = {
@@ -734,4 +883,5 @@ class AdversarySweep:
             dropped_rate_limited=verdict.dropped_rate_limited,
             dropped_low_reputation=verdict.dropped_low_reputation,
             target_pair=target_pair,
+            fabricate_blocking=self.fabricate_blocking,
         )

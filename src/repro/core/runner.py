@@ -748,6 +748,11 @@ class CampaignRunner:
         days = np.random.default_rng(
             [seed, 103, epoch, block_index]
         ).integers(0, config.days, size=count)
+        if config.day_offset:
+            # The longitudinal engine shifts each epoch's day window; the
+            # draws themselves are unchanged, so campaign content is the
+            # same campaign translated in time.
+            days = days + config.day_offset
         scoped = deployment.scheduler.scoped(
             np.random.default_rng([seed, 131, epoch, block_index])
         )

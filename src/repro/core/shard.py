@@ -61,6 +61,38 @@ from repro.web.url import URL
 MANIFEST_NAME = "manifest.json"
 CAMPAIGN_FILE_NAME = "campaign.json"
 
+#: Cap on the *default* worker count.  Past this, fan-out wins little for
+#: Encore-sized campaigns while multiplying per-worker world-build memory;
+#: an explicit ``num_shards`` is never capped.
+MAX_DEFAULT_SHARDS = 16
+
+
+def available_cpu_count() -> int:
+    """CPUs actually usable by this process, not merely present in the box.
+
+    On Linux the scheduler affinity mask reflects cgroup/NUMA/taskset
+    restrictions (a container pinned to one node of a big machine should
+    not fork one worker per physical core), so it is preferred over
+    ``os.cpu_count()``; platforms without affinity fall back.  Always ≥ 1.
+    """
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:  # pragma: no cover - platform-specific failure
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def default_num_shards(block_count: int) -> int:
+    """The worker count used when ``CampaignConfig.num_shards`` is unset.
+
+    The available-CPU count (affinity-aware), capped by the number of
+    planning blocks (extra workers would receive empty assignments) and by
+    :data:`MAX_DEFAULT_SHARDS`, never below 1.
+    """
+    return max(1, min(available_cpu_count(), MAX_DEFAULT_SHARDS, max(1, block_count)))
+
 
 # ----------------------------------------------------------------------
 # Planning
@@ -451,7 +483,7 @@ def _pool_task_ids(deployment) -> list[str]:
 
 def establish_campaign_state(
     deployment, campaign_root: Path, signature: dict,
-    requested_num_shards: int | None,
+    requested_num_shards: int | None, block_count: int = 0,
 ) -> int:
     """Pin the campaign's cross-restart state; return the shard count to use.
 
@@ -465,11 +497,12 @@ def establish_campaign_state(
       matching resume adopts those ids into the current deployment *before*
       any worker starts.
     * **The shard partition.**  With ``num_shards`` unconfigured it falls
-      back to the host's CPU count, which may differ on the resuming host;
-      reusing the recorded count keeps the old manifests adoptable instead
-      of silently re-executing the whole campaign.  An *explicitly*
-      requested count wins (the old manifests are then rejected by their
-      ``block_indices``, which is safe, just not a cache hit).
+      back to :func:`default_num_shards` (affinity-aware CPUs, capped by
+      ``block_count``), which may differ on the resuming host; reusing the
+      recorded count keeps the old manifests adoptable instead of silently
+      re-executing the whole campaign.  An *explicitly* requested count
+      wins (the old manifests are then rejected by their ``block_indices``,
+      which is safe, just not a cache hit).
     """
     path = campaign_root / CAMPAIGN_FILE_NAME
     current_ids = _pool_task_ids(deployment)
@@ -498,7 +531,7 @@ def establish_campaign_state(
     num_shards = (
         requested_num_shards
         if requested_num_shards is not None
-        else (os.cpu_count() or 1)
+        else default_num_shards(block_count)
     )
     scratch = path.with_suffix(".tmp")
     scratch.write_text(
@@ -588,8 +621,9 @@ def run_sharded(
         )
     # Pin the cross-restart state first: a resume must speak the original
     # run's measurement ids and (unless overridden) its shard partition.
+    block_count = ShardPlanner(visits, config.plan_block_visits, 1).block_count
     num_shards = establish_campaign_state(
-        deployment, campaign_root, signature, requested_num_shards
+        deployment, campaign_root, signature, requested_num_shards, block_count
     )
     planner = ShardPlanner(visits, config.plan_block_visits, num_shards)
     assignments = planner.plan()

@@ -138,6 +138,100 @@ class GroupedCounts:
         }
 
 
+class DayGroupedCounts:
+    """Per-(domain, country, day) measurement totals as parallel arrays.
+
+    The day-bucketed sibling of :class:`GroupedCounts` — what the
+    longitudinal pipeline consumes.  Cells are sorted by ``(domain,
+    country, day)`` and the arrays line up index-for-index; days with no
+    measurements for a pair simply have no cell.  ``n_days`` is the day-axis
+    extent (one past the largest day seen).  :meth:`cell_series` densifies
+    the ragged cells into per-(domain, country) day matrices for the
+    change-point detector.
+    """
+
+    __slots__ = ("domains", "countries", "days", "totals", "successes", "n_days")
+
+    def __init__(
+        self,
+        domains: np.ndarray,
+        countries: np.ndarray,
+        days: np.ndarray,
+        totals: np.ndarray,
+        successes: np.ndarray,
+        n_days: int,
+    ) -> None:
+        self.domains = domains
+        self.countries = countries
+        self.days = days
+        self.totals = totals
+        self.successes = successes
+        self.n_days = n_days
+
+    def __len__(self) -> int:
+        return len(self.totals)
+
+    @classmethod
+    def from_dict(cls, counts: dict, n_days: int | None = None) -> "DayGroupedCounts":
+        """Build sorted cell arrays from a ``{(domain, country, day): (n, s)}`` map.
+
+        ``n_days`` may widen the day axis beyond the data (trailing empty
+        days) but never truncate it — a too-small value would make
+        :meth:`cell_series` index past its matrices, so it is rejected here.
+        """
+        items = sorted(counts.items())
+        domains = np.asarray([d for (d, _, _), _ in items], dtype=np.str_)
+        countries = np.asarray([c for (_, c, _), _ in items], dtype=np.str_)
+        days = np.asarray([day for (_, _, day), _ in items], dtype=np.int64)
+        totals = np.asarray([n for _, (n, _) in items], dtype=np.int64)
+        successes = np.asarray([s for _, (_, s) in items], dtype=np.int64)
+        least = int(days.max()) + 1 if len(days) else 0
+        if n_days is None:
+            n_days = least
+        elif n_days < least:
+            raise ValueError(
+                f"n_days={n_days} cannot cover days up to {least - 1}"
+            )
+        return cls(domains, countries, days, totals, successes, n_days)
+
+    def as_dict(self) -> dict[tuple[str, str, int], tuple[int, int]]:
+        """The ``(domain, country, day) -> (n, successes)`` mapping."""
+        return {
+            (str(d), str(c), int(day)): (int(n), int(s))
+            for d, c, day, n, s in zip(
+                self.domains, self.countries, self.days, self.totals, self.successes
+            )
+        }
+
+    def cell_series(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Dense per-pair day series: ``(domains, countries, totals, successes)``.
+
+        The first two arrays name the ``C`` distinct (domain, country) pairs
+        (in sorted order); the matrices are ``(C, n_days)`` with zeros where
+        a pair has no measurements on a day — the layout the vectorized
+        CUSUM detector scans day-column by day-column.
+        """
+        if len(self) == 0:
+            empty = np.empty(0, dtype=np.str_)
+            return empty, empty, np.zeros((0, self.n_days), dtype=np.int64), np.zeros(
+                (0, self.n_days), dtype=np.int64
+            )
+        # Cells are already sorted by (domain, country, day), so pair
+        # boundaries are where either name changes.
+        new_pair = np.r_[
+            True, (self.domains[1:] != self.domains[:-1])
+            | (self.countries[1:] != self.countries[:-1])
+        ]
+        pair_of_cell = np.cumsum(new_pair) - 1
+        starts = np.flatnonzero(new_pair)
+        n_pairs = len(starts)
+        totals = np.zeros((n_pairs, self.n_days), dtype=np.int64)
+        successes = np.zeros((n_pairs, self.n_days), dtype=np.int64)
+        totals[pair_of_cell, self.days] = self.totals
+        successes[pair_of_cell, self.days] = self.successes
+        return self.domains[starts], self.countries[starts], totals, successes
+
+
 class Selection:
     """The result of :meth:`MeasurementStore.select`: a row mask over the store.
 
@@ -751,7 +845,9 @@ class MeasurementStore:
         for chunk in self._pending:
             yield {name: chunk[name] for name in names}
 
-    def success_counts(self, exclude_automated: bool = True) -> GroupedCounts:
+    def success_counts(
+        self, exclude_automated: bool = True, *, by_day: bool = False
+    ) -> "GroupedCounts | DayGroupedCounts":
         """Per-(domain, country) totals and successes by grouped reduction.
 
         Streams segment-by-segment: each segment (spilled or resident)
@@ -761,7 +857,15 @@ class MeasurementStore:
         what keeps this cheap on spilled and multi-worker merged stores.
         Inconclusive outcomes (and by default automated traffic) are
         excluded, exactly as the binomial detection test requires.
+
+        ``by_day=True`` buckets the same reduction by the ``day`` column too
+        and returns :class:`DayGroupedCounts` — the ragged (domain, country,
+        day) cells the longitudinal change-point pipeline consumes —
+        streamed with the same per-segment bincounts (the key gains a day
+        axis, grown as later segments reveal later days).
         """
+        if by_day:
+            return self._success_counts_by_day(exclude_automated)
         cache_key = ("success_counts", exclude_automated)
         cached = self._derived(cache_key)
         if cached is not None:
@@ -808,16 +912,100 @@ class MeasurementStore:
             successes[cells][order],
         )
 
+    def _success_counts_by_day(self, exclude_automated: bool) -> DayGroupedCounts:
+        """Streamed (domain, country, day) bincounts; see :meth:`success_counts`."""
+        cache_key = ("success_counts_by_day", exclude_automated)
+        cached = self._derived(cache_key)
+        if cached is not None:
+            return cached
+        n_countries = len(self._country_values)
+        if len(self) == 0 or not n_countries:
+            empty_str = np.empty(0, dtype=np.str_)
+            empty_int = np.empty(0, dtype=np.int64)
+            return self._derive(
+                cache_key,
+                DayGroupedCounts(empty_str, empty_str, empty_int, empty_int, empty_int, 0),
+            )
+        n_pairs = len(self._domain_values) * n_countries
+        n_days = 0    #: largest day seen + 1
+        capacity = 0  #: allocated day-axis width of the accumulators
+        totals = np.zeros((n_pairs, 0), dtype=np.int64)
+        successes = np.zeros((n_pairs, 0), dtype=np.int64)
+        names = ("outcome", "domain", "country", "day") + (
+            ("automated",) if exclude_automated else ()
+        )
+        for part in self._segment_parts(names):
+            outcome = part["outcome"]
+            valid = outcome != OUTCOME_INCONCLUSIVE
+            if exclude_automated:
+                valid &= ~part["automated"]
+            day = part["day"][valid]
+            if not day.size:
+                continue
+            # Later segments may reveal later days (longitudinal ingest is
+            # strictly day-ordered, so this happens per segment); grow the
+            # day axis geometrically so the copies amortize to O(1) per
+            # segment, and slice back to the logical width at the end.
+            segment_days = int(day.max()) + 1
+            if segment_days > n_days:
+                if segment_days > capacity:
+                    capacity = max(segment_days, 2 * capacity)
+                    pad = ((0, 0), (0, capacity - totals.shape[1]))
+                    totals = np.pad(totals, pad)
+                    successes = np.pad(successes, pad)
+                n_days = segment_days
+            key = part["domain"][valid].astype(np.int64) * n_countries
+            key += part["country"][valid]
+            key *= capacity
+            key += day
+            minlength = n_pairs * capacity
+            totals += np.bincount(key, minlength=minlength).reshape(n_pairs, capacity)
+            successes += np.bincount(
+                key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
+            ).reshape(n_pairs, capacity)
+        return self._derive(
+            cache_key,
+            self._day_grouped_from_flat(
+                totals[:, :n_days], successes[:, :n_days], n_days
+            ),
+        )
+
+    def _day_grouped_from_flat(
+        self, totals: np.ndarray, successes: np.ndarray, n_days: int
+    ) -> DayGroupedCounts:
+        """Cell arrays (sorted by domain, country, day) from ``(pair, day)`` tables."""
+        n_countries = len(self._country_values)
+        flat_totals = totals.ravel()
+        cells = np.flatnonzero(flat_totals)
+        if not len(cells):
+            empty_str = np.empty(0, dtype=np.str_)
+            empty_int = np.empty(0, dtype=np.int64)
+            return DayGroupedCounts(empty_str, empty_str, empty_int, empty_int, empty_int, n_days)
+        pair = cells // n_days
+        days = cells % n_days
+        domains = np.asarray(self._domain_values, dtype=np.str_)[pair // n_countries]
+        countries = np.asarray(self._country_values, dtype=np.str_)[pair % n_countries]
+        order = np.lexsort((days, countries, domains))
+        return DayGroupedCounts(
+            domains[order],
+            countries[order],
+            days[order],
+            flat_totals[cells][order],
+            successes.ravel()[cells][order],
+            n_days,
+        )
+
     def masked_success_counts(
-        self, mask: np.ndarray, exclude_automated: bool = True
-    ) -> GroupedCounts:
+        self, mask: np.ndarray, exclude_automated: bool = True, *, by_day: bool = False
+    ) -> "GroupedCounts | DayGroupedCounts":
         """:meth:`success_counts` restricted to the rows where ``mask`` holds.
 
         What the reputation filter's store verdict uses to re-run detection
         over only the surviving rows of a poisoned store, without ever
         materializing them.  Inconclusive outcomes (and by default automated
         traffic) are excluded exactly like :meth:`success_counts`; the
-        result is not cached because masks vary call to call.
+        result is not cached because masks vary call to call.  ``by_day=True``
+        buckets by the ``day`` column and returns :class:`DayGroupedCounts`.
         """
         mask = np.asarray(mask, dtype=bool)
         if len(mask) != len(self):
@@ -826,20 +1014,31 @@ class MeasurementStore:
             )
         if len(self) == 0 or not self._country_values:
             empty = np.empty(0, dtype=np.int64)
-            return GroupedCounts(
-                np.empty(0, dtype=np.str_), np.empty(0, dtype=np.str_), empty, empty
-            )
+            empty_str = np.empty(0, dtype=np.str_)
+            if by_day:
+                return DayGroupedCounts(empty_str, empty_str, empty, empty, empty, 0)
+            return GroupedCounts(empty_str, empty_str, empty, empty)
         outcome = self.column("outcome")
         valid = mask & (outcome != OUTCOME_INCONCLUSIVE)
         if exclude_automated:
             valid &= ~self.column("automated")
         n_countries = len(self._country_values)
-        minlength = len(self._domain_values) * n_countries
+        n_pairs = len(self._domain_values) * n_countries
         key = self.column("domain")[valid].astype(np.int64) * n_countries
         key += self.column("country")[valid]
-        totals = np.bincount(key, minlength=minlength)
+        if by_day:
+            day = self.column("day")[valid]
+            n_days = int(day.max()) + 1 if day.size else 0
+            key = key * n_days + day
+            minlength = n_pairs * n_days
+            totals = np.bincount(key, minlength=minlength).reshape(n_pairs, n_days)
+            successes = np.bincount(
+                key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
+            ).reshape(n_pairs, n_days)
+            return self._day_grouped_from_flat(totals, successes, n_days)
+        totals = np.bincount(key, minlength=n_pairs)
         successes = np.bincount(
-            key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
+            key[outcome[valid] == OUTCOME_SUCCESS], minlength=n_pairs
         )
         return self._grouped_from_flat(totals, successes)
 

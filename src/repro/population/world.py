@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.browser.engine import Browser
 from repro.censor.censors import CountryCensorship, build_country_censors
+from repro.censor.mechanisms import Censor, FilteringMechanism
+from repro.censor.policy import BlacklistPolicy
 from repro.datasets.herdict import TargetListEntry, build_high_value_list, online_domains
 from repro.netsim.network import Network
 from repro.population.clients import Client, ClientFactory
@@ -47,6 +49,17 @@ class WorldConfig:
     target_list_online: int = 178
     #: Extra blocked domains per country, merged into the censor presets.
     extra_censored_domains: dict[str, list[str]] = field(default_factory=dict)
+    #: Scripted censorship posture currently in force, per country:
+    #: ``{country_code: {domain: "block" | "throttle"}}``.  The longitudinal
+    #: engine swings this between epochs (and calls
+    #: :meth:`World.refresh_timeline_censors`); keeping it in the config —
+    #: JSON-serializable — means sharded workers that rebuild the world from
+    #: the pickled config enforce the same epoch policy, and the campaign
+    #: signature covers it.
+    timeline_rules: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: Mechanism (by :class:`FilteringMechanism` value) timeline *block*
+    #: rules are enforced with; throttle rules always use throttling.
+    timeline_block_mechanism: str = "http_block_page"
 
 
 class World:
@@ -82,6 +95,8 @@ class World:
         )
         self.geoip = GeoIPDatabase()
         self.clients = ClientFactory(geoip=self.geoip, rng=np.random.default_rng(self.config.seed + 3))
+        if self.config.timeline_rules:
+            self.refresh_timeline_censors()
 
         # --- Crawl-side tools ---------------------------------------------
         self.search = SearchEngine(self.universe, rng=np.random.default_rng(self.config.seed + 4))
@@ -143,6 +158,60 @@ class World:
     def add_global_interceptor(self, interceptor) -> None:
         """Attach an interceptor to every client's path (e.g. testbed censors)."""
         self.global_interceptors.append(interceptor)
+
+    #: Name suffixes identifying the censors managed by the timeline rules.
+    _TIMELINE_BLOCK_SUFFIX = "-timeline-block"
+    _TIMELINE_THROTTLE_SUFFIX = "-timeline-throttle"
+
+    def refresh_timeline_censors(self) -> None:
+        """Re-derive the per-country timeline censors from ``config.timeline_rules``.
+
+        Each country with scripted rules carries up to two managed censors
+        appended after its presets — one enforcing the hard blocks with
+        ``config.timeline_block_mechanism``, one throttling — whose
+        blacklists are swapped in place via
+        :meth:`BlacklistPolicy.replace_domains`, so the interceptor objects
+        stay stable across epochs.  Countries whose rules emptied lose their
+        managed censors.  Idempotent: calling it twice with the same config
+        changes nothing.
+        """
+        mechanism = FilteringMechanism(self.config.timeline_block_mechanism)
+        suffixes = (self._TIMELINE_BLOCK_SUFFIX, self._TIMELINE_THROTTLE_SUFFIX)
+        touched = set(self.config.timeline_rules) | {
+            code
+            for code, country in self.censors.items()
+            if any(censor.name.endswith(suffixes) for censor in country.censors)
+        }
+        for code in sorted(touched):
+            rules = self.config.timeline_rules.get(code, {})
+            blocked = sorted(d for d, posture in rules.items() if posture == "block")
+            throttled = sorted(d for d, posture in rules.items() if posture == "throttle")
+            country = self.censors.get(code)
+            if country is None:
+                if not (blocked or throttled):
+                    continue
+                country = CountryCensorship(country_code=code)
+                self.censors[code] = country
+            managed = {
+                censor.name: censor
+                for censor in country.censors
+                if censor.name.endswith(suffixes)
+            }
+            country.censors[:] = [
+                censor for censor in country.censors if censor.name not in managed
+            ]
+            for domains, suffix, enforce in (
+                (blocked, self._TIMELINE_BLOCK_SUFFIX, mechanism),
+                (throttled, self._TIMELINE_THROTTLE_SUFFIX, FilteringMechanism.THROTTLING),
+            ):
+                if not domains:
+                    continue
+                name = f"{code.lower()}{suffix}"
+                censor = managed.get(name) or Censor(
+                    name=name, policy=BlacklistPolicy(), mechanism=enforce
+                )
+                censor.policy.replace_domains(domains)
+                country.censors.append(censor)
 
     # ------------------------------------------------------------------
     # Client plumbing

@@ -130,3 +130,81 @@ class TestCensorInterception:
         assert censor.intercept_dns("any.org") is DNSAction.PASS
         assert censor.intercept_tcp("1.1.1.1", "any.org") is TCPAction.PASS
         assert censor.intercept_http(URL.parse("http://any.org/banned")) is HTTPAction.DROP
+
+
+class TestPolicyMutationHooks:
+    def test_unblock_domain_retracts_only_matching_rules(self):
+        policy = BlacklistPolicy.for_domains(["a.com", "b.com"]).block_keyword("secret")
+        policy.unblock_domain("A.com.")
+        assert not policy.blocks_host("a.com")
+        assert policy.blocks_host("b.com")
+        assert policy.blocks_url("http://c.com/secret")
+
+    def test_replace_domains_swaps_the_rule_set_in_place(self):
+        policy = BlacklistPolicy.for_domains(["a.com"])
+        same = policy.replace_domains(["b.com", "C.org"])
+        assert same is policy
+        assert not policy.blocks_host("a.com")
+        assert policy.blocks_host("b.com")
+        assert policy.blocks_host("sub.c.org")
+        assert policy.replace_domains([]).is_empty()
+
+
+class TestPolicyTimeline:
+    def make_timeline(self):
+        from repro.censor.policy import PolicyTimeline
+
+        return (
+            PolicyTimeline()
+            .onset(5, "DE", "a.com")
+            .throttle(8, "DE", "a.com")
+            .onset(10, "DE", "a.com")
+            .offset(15, "DE", "a.com")
+            .onset(3, "CN", "b.org")
+        )
+
+    def test_state_replays_events_in_day_order(self):
+        timeline = self.make_timeline()
+        assert timeline.state_at(0) == {}
+        assert timeline.state_at(5) == {"CN": {"b.org": "block"}, "DE": {"a.com": "block"}}
+        assert timeline.state_at(8)["DE"] == {"a.com": "throttle"}
+        assert timeline.state_at(12)["DE"] == {"a.com": "block"}
+        assert timeline.state_at(20) == {"CN": {"b.org": "block"}}
+
+    def test_transitions_reduce_to_hard_block_changes(self):
+        transitions = [
+            (e.day, e.country_code, e.domain, e.action)
+            for e in self.make_timeline().transitions()
+        ]
+        assert transitions == [
+            (3, "CN", "b.org", "onset"),
+            (5, "DE", "a.com", "onset"),
+            (8, "DE", "a.com", "offset"),   # block -> throttle leaves hard block
+            (10, "DE", "a.com", "onset"),
+            (15, "DE", "a.com", "offset"),
+        ]
+
+    def test_redundant_events_emit_no_transition(self):
+        from repro.censor.policy import PolicyTimeline
+
+        timeline = PolicyTimeline().onset(2, "DE", "a.com").onset(4, "DE", "a.com")
+        timeline.offset(9, "DE", "a.com").offset(11, "DE", "a.com")
+        assert [(e.day, e.action) for e in timeline.transitions()] == [
+            (2, "onset"), (9, "offset"),
+        ]
+
+    def test_introspection_helpers(self):
+        timeline = self.make_timeline()
+        assert timeline.countries() == ("CN", "DE")
+        assert timeline.final_day() == 15
+        assert len(timeline) == 5
+
+    def test_event_validation(self):
+        from repro.censor.policy import PolicyEvent
+
+        with pytest.raises(ValueError):
+            PolicyEvent(-1, "DE", "a.com", "onset")
+        with pytest.raises(ValueError):
+            PolicyEvent(0, "DE", "a.com", "resume")
+        with pytest.raises(ValueError):
+            PolicyEvent(0, "", "a.com", "onset")

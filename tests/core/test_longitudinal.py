@@ -1,0 +1,319 @@
+"""Tests for the longitudinal campaign engine and its detection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.censor.policy import PolicyTimeline
+from repro.core.inference import CusumChangePointDetector
+from repro.core.longitudinal import LongitudinalConfig, LongitudinalEngine
+from repro.core.pipeline import CampaignConfig, EncoreDeployment
+from repro.core.store import DayGroupedCounts
+from repro.population.world import World, WorldConfig
+
+
+def longitudinal_world(seed=7):
+    return World(
+        WorldConfig(seed=seed, target_list_total=30, target_list_online=24, origin_site_count=4)
+    )
+
+
+def longitudinal_deployment(world=None, seed=11, country_code="DE"):
+    """A §7.2-style deployment every visitor of which sits in one country."""
+    config = CampaignConfig(
+        visits=200,
+        include_testbed=False,
+        favicons_only=True,
+        target_domains=("facebook.com", "youtube.com", "twitter.com"),
+        seed=seed,
+        country_code=country_code,
+    )
+    return EncoreDeployment(world or longitudinal_world(), config)
+
+
+# ----------------------------------------------------------------------
+# CUSUM: vectorized ≡ scalar reference
+# ----------------------------------------------------------------------
+def random_day_counts(rng, cells=40, n_days=50, empty_fraction=0.2):
+    """A synthetic ragged (domain, country, day) table with regime shifts."""
+    counts = {}
+    for cell in range(cells):
+        # cells < 77 keeps every (domain % 7, country % 11) pair distinct.
+        domain = f"domain-{cell % 7}.org"
+        country = f"C{cell % 11:02d}"
+        change = rng.integers(0, n_days)
+        recovery = rng.integers(change, n_days + 10)
+        for day in range(n_days):
+            if rng.random() < empty_fraction:
+                continue
+            n = int(rng.integers(1, 40))
+            censored = change <= day < recovery and cell % 3 != 0
+            p = 0.08 if censored else 0.92
+            s = int(rng.binomial(n, p))
+            counts[(domain, country, day)] = (n, s)
+    return DayGroupedCounts.from_dict(counts, n_days=n_days)
+
+
+class TestCusumEquivalence:
+    """The vectorized day-column scan must match the per-cell scalar walk."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("threshold,drift,min_daily", [
+        (1.0, 0.05, 5), (0.5, 0.0, 1), (2.5, 0.15, 8),
+    ])
+    def test_events_match_reference_exactly(self, seed, threshold, drift, min_daily):
+        rng = np.random.default_rng(seed)
+        day_counts = random_day_counts(rng)
+        detector = CusumChangePointDetector(
+            threshold=threshold, drift=drift, min_daily_measurements=min_daily
+        )
+        fast = detector.detect_events(day_counts)
+        reference = detector.detect_events_reference(day_counts)
+        # Dataclass equality covers statistics and confidences bit-for-bit.
+        assert fast == reference
+        assert fast  # the synthetic shifts are large; silence would be a bug
+
+    def test_empty_counts_detect_nothing(self):
+        empty = DayGroupedCounts.from_dict({})
+        detector = CusumChangePointDetector()
+        assert detector.detect_events(empty) == []
+        assert detector.detect_events_reference(empty) == []
+
+    def test_quiet_series_stays_silent(self):
+        counts = {("a.org", "DE", day): (50, 47) for day in range(40)}
+        detector = CusumChangePointDetector()
+        assert detector.detect_events(DayGroupedCounts.from_dict(counts)) == []
+
+    def test_single_shift_reports_onset_and_recovery(self):
+        counts = {}
+        for day in range(30):
+            rate = 0.9 if day < 12 or day >= 22 else 0.05
+            counts[("a.org", "DE", day)] = (100, int(100 * rate))
+        events = CusumChangePointDetector().detect_events(
+            DayGroupedCounts.from_dict(counts)
+        )
+        kinds = [(e.kind, e.change_day) for e in events]
+        assert kinds == [("onset", 12), ("offset", 22)]
+        assert all(e.detection_lag <= 2 for e in events)
+        assert all(0.5 <= e.confidence <= 1.0 for e in events)
+
+    def test_sparse_days_carry_the_statistic(self):
+        """Days below min_daily_measurements neither add nor reset evidence."""
+        counts = {}
+        for day in range(0, 30, 3):  # two of every three days are empty
+            rate = 0.9 if day < 15 else 0.0
+            counts[("a.org", "DE", day)] = (20, int(20 * rate))
+        detector = CusumChangePointDetector(min_daily_measurements=5)
+        events = detector.detect_events(DayGroupedCounts.from_dict(counts))
+        assert [e.kind for e in events] == ["onset"]
+        assert events == detector.detect_events_reference(
+            DayGroupedCounts.from_dict(counts)
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CusumChangePointDetector(healthy_rate=0.2, censored_rate=0.5)
+        with pytest.raises(ValueError):
+            CusumChangePointDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            CusumChangePointDetector(drift=-0.1)
+        with pytest.raises(ValueError):
+            CusumChangePointDetector(min_daily_measurements=0)
+
+
+# ----------------------------------------------------------------------
+# The engine: scripted policy → detected events
+# ----------------------------------------------------------------------
+class TestLongitudinalRun:
+    ONSET_DAY = 6
+    OFFSET_DAY = 14
+    EPOCHS = 20
+    #: Generous bound: with ~60 DE measurements per domain per day the CUSUM
+    #: statistic crosses within two days of data.
+    LAG_BOUND = 3
+
+    def run_deployment(self, mode="batch", seed=11, **config_kwargs):
+        deployment = longitudinal_deployment(seed=seed)
+        timeline = (
+            PolicyTimeline()
+            .onset(self.ONSET_DAY, "DE", "facebook.com")
+            .offset(self.OFFSET_DAY, "DE", "facebook.com")
+        )
+        config = LongitudinalConfig(
+            epochs=self.EPOCHS, visits_per_epoch=200, mode=mode, **config_kwargs
+        )
+        return deployment, deployment.run_longitudinal(timeline, config)
+
+    def test_scripted_onset_detected_within_lag_bound(self):
+        deployment, result = self.run_deployment()
+        events = result.events()
+        onsets = [e for e in events if e.kind == "onset"]
+        offsets = [e for e in events if e.kind == "offset"]
+        assert [(e.domain, e.country_code) for e in onsets] == [("facebook.com", "DE")]
+        assert [(e.domain, e.country_code) for e in offsets] == [("facebook.com", "DE")]
+        assert onsets[0].change_day == self.ONSET_DAY
+        assert onsets[0].detected_day - self.ONSET_DAY <= self.LAG_BOUND
+        assert offsets[0].detected_day - self.OFFSET_DAY <= self.LAG_BOUND
+        # The vectorized scan over the *campaign's* data matches the scalar walk.
+        assert events == result.detector.detect_events_reference(result.day_counts())
+
+    def test_timeline_report_grades_the_run(self):
+        _, result = self.run_deployment()
+        report = result.timeline_report()
+        assert report.transitions == 2
+        assert report.detected_count == 2
+        assert report.missed_count == 0
+        assert report.detection_rate == 1.0
+        assert 0 <= report.mean_detection_lag <= self.LAG_BOUND
+        assert report.false_events == []
+        assert all(match.change_day_error == 0 for match in report.matches)
+        assert "facebook.com" in report.format()
+
+    def test_epoch_summaries_cover_the_timeline(self):
+        deployment, result = self.run_deployment()
+        assert len(result.epochs) == self.EPOCHS
+        assert result.total_days == self.EPOCHS
+        assert [epoch.first_day for epoch in result.epochs] == list(range(self.EPOCHS))
+        blocked_days = [
+            epoch.first_day for epoch in result.epochs
+            if ("DE", "facebook.com") in epoch.blocked
+        ]
+        assert blocked_days == list(range(self.ONSET_DAY, self.OFFSET_DAY))
+        assert result.measurements == len(deployment.collection)
+        day_column = deployment.collection.store.column("day")
+        assert int(day_column.min()) == 0
+        assert int(day_column.max()) == self.EPOCHS - 1
+
+    def test_world_and_config_restored_after_run(self):
+        deployment, _ = self.run_deployment()
+        assert deployment.config.days == 30
+        assert deployment.config.day_offset == 0
+        assert deployment.world.config.timeline_rules == {}
+        assert not deployment.world.censorship_for("DE").filters_anything
+
+    def test_sharded_epochs_match_batch(self):
+        """Each epoch fans out over the shard machinery with identical rows."""
+        _, batch = self.run_deployment(mode="batch", seed=23)
+        _, sharded = self.run_deployment(
+            mode="sharded", seed=23, num_shards=2, shard_executor="inline",
+        )
+        assert len(batch.collection.store) == len(sharded.collection.store)
+        assert batch.day_counts().as_dict() == sharded.day_counts().as_dict()
+        assert batch.events() == sharded.events()
+        sample = np.linspace(
+            0, len(batch.collection.store) - 1, num=40, dtype=np.int64
+        )
+
+        def keys(rows):
+            # Everything but the uuid4 task ids, which legitimately differ
+            # between two independently built deployments.
+            return [
+                (
+                    str(m.target_url), m.task_type, m.country_code, m.outcome,
+                    m.elapsed_ms, m.probe_time_ms, m.origin_domain, m.day,
+                    m.client_ip, m.isp, m.browser_family, m.is_automated,
+                )
+                for m in rows
+            ]
+
+        assert keys(batch.collection.store.rows(sample)) == keys(
+            sharded.collection.store.rows(sample)
+        )
+
+    def test_serial_epochs_match_batch(self):
+        _, batch = self.run_deployment(mode="batch", seed=29)
+        _, serial = self.run_deployment(mode="serial", seed=29)
+        assert batch.day_counts().as_dict() == serial.day_counts().as_dict()
+
+    def test_throttle_moves_timings_not_success_rates(self):
+        """Throttling is the subtle filtering CUSUM is not expected to flag."""
+        deployment = longitudinal_deployment(seed=31)
+        timeline = PolicyTimeline().throttle(5, "DE", "facebook.com")
+        result = deployment.run_longitudinal(
+            timeline, LongitudinalConfig(epochs=12, visits_per_epoch=200)
+        )
+        assert result.events() == []
+        assert timeline.transitions() == []
+        throttled = [e for e in result.epochs if ("DE", "facebook.com") in e.throttled]
+        assert [e.first_day for e in throttled] == list(range(5, 12))
+
+    def test_epochs_default_covers_timeline_with_trailing_slack(self):
+        timeline = PolicyTimeline().onset(9, "DE", "facebook.com")
+        config = LongitudinalConfig(trailing_epochs=4)
+        assert config.resolved_epochs(timeline) == 14
+
+    def test_validation(self):
+        deployment = longitudinal_deployment(seed=37)
+        timeline = PolicyTimeline()
+        with pytest.raises(ValueError):
+            LongitudinalEngine(deployment, timeline, LongitudinalConfig(days_per_epoch=0))
+        with pytest.raises(ValueError):
+            LongitudinalEngine(deployment, timeline, LongitudinalConfig(visits_per_epoch=0))
+        with pytest.raises(ValueError):
+            LongitudinalEngine(deployment, timeline, LongitudinalConfig(epochs=0))
+
+
+class TestTimelineReportAttribution:
+    def test_missed_transition_cannot_claim_a_later_detection(self):
+        """A missed early onset must not absorb the detection of a later one."""
+        from repro.analysis.reports import build_timeline_report
+        from repro.core.inference import CensorshipEvent
+
+        timeline = (
+            PolicyTimeline()
+            .onset(5, "DE", "facebook.com")
+            .offset(15, "DE", "facebook.com")
+            .onset(30, "DE", "facebook.com")
+        )
+        # Only the day-30 onset (and the day-15 offset) were detected.
+        events = [
+            CensorshipEvent("facebook.com", "DE", "offset", 15, 16, 1.2, 0.6),
+            CensorshipEvent("facebook.com", "DE", "onset", 30, 32, 1.4, 0.7),
+        ]
+        report = build_timeline_report(events, timeline)
+        by_day = {match.day: match for match in report.matches}
+        assert not by_day[5].detected
+        assert by_day[15].detection_lag == 1
+        assert by_day[30].detection_lag == 2
+        assert report.mean_detection_lag == 1.5
+        assert report.false_events == []
+
+
+class TestTimelineCensorPlumbing:
+    def test_rules_in_world_config_build_censors(self):
+        config = WorldConfig(
+            seed=3, target_list_total=20, target_list_online=16, origin_site_count=2,
+            timeline_rules={"DE": {"facebook.com": "block", "youtube.com": "throttle"}},
+        )
+        world = World(config)
+        censorship = world.censorship_for("DE")
+        assert censorship.filters_anything
+        assert censorship.would_filter("http://facebook.com/favicon.ico")
+        names = [censor.name for censor in censorship.censors]
+        assert names == ["de-timeline-block", "de-timeline-throttle"]
+
+    def test_refresh_is_idempotent_and_reversible(self):
+        world = longitudinal_world(seed=5)
+        world.config.timeline_rules = {"DE": {"facebook.com": "block"}}
+        world.refresh_timeline_censors()
+        first = list(world.censorship_for("DE").censors)
+        world.refresh_timeline_censors()
+        assert world.censorship_for("DE").censors == first
+        # Swinging the blacklist reuses the same censor object (stable chain).
+        world.config.timeline_rules = {"DE": {"twitter.com": "block"}}
+        world.refresh_timeline_censors()
+        assert world.censorship_for("DE").censors[0] is first[0]
+        assert world.censorship_for("DE").would_filter("http://twitter.com/")
+        assert not world.censorship_for("DE").would_filter("http://facebook.com/")
+        world.config.timeline_rules = {}
+        world.refresh_timeline_censors()
+        assert not world.censorship_for("DE").filters_anything
+
+    def test_presets_survive_timeline_rules(self):
+        world = longitudinal_world(seed=9)
+        preset = list(world.censorship_for("CN").censors)
+        world.config.timeline_rules = {"CN": {"example.org": "block"}}
+        world.refresh_timeline_censors()
+        assert world.censorship_for("CN").censors[: len(preset)] == preset
+        world.config.timeline_rules = {}
+        world.refresh_timeline_censors()
+        assert world.censorship_for("CN").censors == preset

@@ -24,7 +24,7 @@ from repro.core.inference import (
     binomial_cdf_cells,
 )
 from repro.core.pipeline import CampaignConfig, EncoreDeployment
-from repro.core.store import GroupedCounts, MeasurementStore
+from repro.core.store import DayGroupedCounts, GroupedCounts, MeasurementStore
 from repro.core.tasks import TaskOutcome, TaskType
 from repro.population.geoip import GeoIPDatabase
 from repro.population.world import World, WorldConfig
@@ -61,6 +61,22 @@ def reference_success_counts(measurements, exclude_automated=True):
         if m.outcome is TaskOutcome.INCONCLUSIVE:
             continue
         key = (m.target_domain, m.country_code)
+        totals[key] += 1
+        if m.succeeded:
+            successes[key] += 1
+    return {key: (totals[key], successes[key]) for key in totals}
+
+
+def reference_day_counts(measurements, exclude_automated=True):
+    """The row-list semantics of ``success_counts(by_day=True)``."""
+    totals = defaultdict(int)
+    successes = defaultdict(int)
+    for m in measurements:
+        if exclude_automated and m.is_automated:
+            continue
+        if m.outcome is TaskOutcome.INCONCLUSIVE:
+            continue
+        key = (m.target_domain, m.country_code, m.day)
         totals[key] += 1
         if m.succeeded:
             successes[key] += 1
@@ -241,6 +257,123 @@ class TestStoreMatchesRowListSemantics:
         store.append_rows(TestDerivedCaches().make_corpus(4))
         with pytest.raises(ValueError):
             store.masked_success_counts(np.ones(3, dtype=bool))
+
+
+class TestDayBucketedCounts:
+    """``success_counts(by_day=True)`` vs. the row-list reference, everywhere."""
+
+    @given(corpus=corpora, exclude_automated=st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_by_day_equals_reference(self, corpus, exclude_automated):
+        store = MeasurementStore(segment_rows=16)
+        store.append_rows(corpus)
+        grouped = store.success_counts(exclude_automated=exclude_automated, by_day=True)
+        assert grouped.as_dict() == reference_day_counts(corpus, exclude_automated)
+        if len(grouped):
+            assert grouped.n_days > int(grouped.days.max())
+
+    @given(corpus=corpora, exclude_automated=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_by_day_streams_spilled_segments(self, corpus, exclude_automated):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = MeasurementStore(segment_rows=8, max_rows_in_memory=8, spill_dir=tmp)
+            store.append_rows(corpus)
+            store.spill()
+            if corpus:
+                assert store.segment_files and store.rows_in_memory == 0
+            grouped = store.success_counts(
+                exclude_automated=exclude_automated, by_day=True
+            )
+            assert grouped.as_dict() == reference_day_counts(corpus, exclude_automated)
+
+    def test_by_day_on_adopted_segments(self, tmp_path):
+        """Adopted segments bucket by day through their code remaps."""
+        own = TestStoreAdoption().make_corpus(18, "own")
+        other_rows = TestStoreAdoption().make_corpus(33, "other")
+        other = MeasurementStore(segment_rows=10, spill_dir=tmp_path)
+        other.append_rows(other_rows)
+        other.spill()
+        store = MeasurementStore(segment_rows=10)
+        store.append_rows(own)
+        store.adopt_segments_from(other)
+        grouped = store.success_counts(by_day=True)
+        assert grouped.as_dict() == reference_day_counts(own + other_rows)
+        # A foreign manifest-style adoption (explicit path + remap) too.
+        mounted = MeasurementStore()
+        for path in other.segment_files:
+            with np.load(path) as data:
+                length = int(len(data["day"]))
+            remap = {
+                kind: mounted.merge_value_table(kind, values)
+                for kind, values in other.value_tables().items()
+            }
+            mounted.adopt_spilled_segment(path, length, remap=remap)
+        assert mounted.success_counts(by_day=True).as_dict() == reference_day_counts(
+            other_rows
+        )
+
+    @given(corpus=corpora, exclude_automated=st.booleans(), mask_seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_masked_by_day_equals_reference_subset(self, corpus, exclude_automated, mask_seed):
+        store = MeasurementStore(segment_rows=16)
+        store.append_rows(corpus)
+        mask = np.random.default_rng(mask_seed).random(len(corpus)) < 0.6
+        grouped = store.masked_success_counts(
+            mask, exclude_automated=exclude_automated, by_day=True
+        )
+        kept_rows = [m for m, keep in zip(corpus, mask.tolist()) if keep]
+        assert grouped.as_dict() == reference_day_counts(kept_rows, exclude_automated)
+
+    @given(corpus=corpora)
+    @settings(max_examples=30, deadline=None)
+    def test_cell_series_round_trips_the_cells(self, corpus):
+        store = MeasurementStore(segment_rows=16)
+        store.append_rows(corpus)
+        grouped = store.success_counts(by_day=True)
+        domains, countries, totals, successes = grouped.cell_series()
+        assert totals.shape == (len(domains), grouped.n_days)
+        rebuilt = {}
+        for index, (domain, country) in enumerate(zip(domains.tolist(), countries.tolist())):
+            for day in range(grouped.n_days):
+                if totals[index, day]:
+                    rebuilt[(domain, country, day)] = (
+                        int(totals[index, day]), int(successes[index, day])
+                    )
+        assert rebuilt == grouped.as_dict()
+
+    def test_from_dict_round_trip(self):
+        counts = {("a.org", "DE", 3): (10, 7), ("a.org", "DE", 0): (4, 4),
+                  ("b.org", "CN", 1): (8, 1)}
+        grouped = DayGroupedCounts.from_dict(counts)
+        assert grouped.as_dict() == counts
+        assert grouped.n_days == 4
+
+    def test_from_dict_rejects_truncating_n_days(self):
+        counts = {("a.org", "DE", 5): (3, 1)}
+        with pytest.raises(ValueError):
+            DayGroupedCounts.from_dict(counts, n_days=3)
+        # Widening beyond the data is fine (trailing empty days).
+        widened = DayGroupedCounts.from_dict(counts, n_days=10)
+        assert widened.n_days == 10
+        assert widened.cell_series()[2].shape == (1, 10)
+
+    def test_by_day_growing_day_axis_across_ordered_chunks(self):
+        """Day-ordered ingestion (the longitudinal pattern) grows the
+        accumulator's day axis geometrically without losing cells."""
+        store = MeasurementStore(segment_rows=4)
+        corpus = []
+        base = TestDerivedCaches().make_corpus(4)
+        for day in range(9):
+            chunk = [
+                Measurement(**{**m.__dict__, "day": day,
+                               "measurement_id": f"d{day}-{i}"})
+                for i, m in enumerate(base)
+            ]
+            corpus.extend(chunk)
+            store.append_rows(chunk)
+        grouped = store.success_counts(by_day=True)
+        assert grouped.as_dict() == reference_day_counts(corpus)
+        assert grouped.n_days == 9
 
 
 class TestStoreAdoption:

@@ -1,11 +1,14 @@
 """Tests for the §8 robustness extensions and the adaptive detector."""
 
+from collections import Counter
+
 import numpy as np
 import pytest
 
 from repro.core.collection import CollectionServer
 from repro.core.inference import AdaptiveFilteringDetector, BinomialFilteringDetector
 from repro.core.robustness import (
+    AdaptiveReputationFilter,
     AdversarySweep,
     PoisoningAttacker,
     PoisoningCampaign,
@@ -310,6 +313,129 @@ class TestAdversarySweep:
     def test_rejects_unknown_executor(self):
         with pytest.raises(ValueError):
             AdversarySweep(executor="threads")
+
+
+class TestMaskingSweep:
+    """``fabricate_blocking=False`` grids over a *real* detection (§8 masking)."""
+
+    #: A pair the honest detection campaign genuinely flags.
+    TARGET = ("youtube.com", "PK")
+    BUDGETS = [(50, 2), (600, 24)]
+    SEED = 9
+
+    def row_pipeline_cell(self, honest, submissions, identities, entropy):
+        attacker = PoisoningAttacker(rng=np.random.default_rng(entropy))
+        forged = attacker.forge_measurements(
+            PoisoningCampaign(*self.TARGET, fabricate_blocking=False,
+                              submissions=submissions, client_identities=identities)
+        )
+        poisoned = list(honest) + forged
+        detector = BinomialFilteringDetector()
+        reference = ReputationFilter().apply_reference(poisoned)
+        return {
+            "naive": frozenset(detector.detect_from_measurements(poisoned).detected_pairs()),
+            "defended": frozenset(
+                detector.detect_from_measurements(reference.kept).detected_pairs()
+            ),
+            "dropped_rate_limited": reference.dropped_rate_limited,
+            "dropped_low_reputation": reference.dropped_low_reputation,
+        }
+
+    def test_masking_sweep_matches_row_pipeline(self, detection_result):
+        assert self.TARGET in detection_result.detect().detected_pairs()
+        cells = detection_result.adversary_sweep(
+            *self.TARGET, self.BUDGETS, fabricate_blocking=False,
+            executor="inline", seed=self.SEED,
+        )
+        honest = detection_result.measurements
+        for index, ((submissions, identities), cell) in enumerate(zip(self.BUDGETS, cells)):
+            expected = self.row_pipeline_cell(
+                honest, submissions, identities, [self.SEED, index]
+            )
+            assert cell.fabricate_blocking is False
+            assert cell.naive_pairs == expected["naive"]
+            assert cell.defended_pairs == expected["defended"]
+            assert cell.dropped_rate_limited == expected["dropped_rate_limited"]
+            assert cell.dropped_low_reputation == expected["dropped_low_reputation"]
+            assert cell.naive_masked == (self.TARGET not in expected["naive"])
+            assert cell.defended_masked == (self.TARGET not in expected["defended"])
+            assert cell.attack_succeeded_naive == cell.naive_masked
+            assert cell.attack_succeeded_defended == cell.defended_masked
+
+    def test_masking_budget_hides_then_filter_restores(self, detection_result):
+        """A narrow success flood hides the real detection; reputation restores
+        it — but a budget spread across enough Sybil identities slips under
+        the dominance test and stays hidden, the §8 trade-off."""
+        narrow, wide = detection_result.adversary_sweep(
+            *self.TARGET, [(200, 8), (600, 24)], fabricate_blocking=False,
+            executor="inline", seed=self.SEED,
+        )
+        assert narrow.naive_masked, "the flood should hide the real detection"
+        assert not narrow.defended_masked, "filtering should restore the detection"
+        assert narrow.detections_survive([self.TARGET])
+        assert wide.naive_masked and wide.defended_masked
+
+
+class TestAdaptiveReputationFilter:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveReputationFilter(min_threshold=0.9, max_threshold=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveReputationFilter(margin=0.0)
+        with pytest.raises(ValueError):
+            ReputationFilter(disagreement_threshold=0.0)
+
+    def test_country_thresholds_track_background_failure(self, detection_result):
+        """Flakier countries get roomier disagreement thresholds."""
+        corpus = detection_result.measurements
+        filt = AdaptiveReputationFilter(margin=0.45, min_threshold=0.5, max_threshold=0.85)
+        thresholds = filt.country_thresholds(corpus)
+        fails = Counter(m.country_code for m in corpus if m.failed)
+        rows = Counter(m.country_code for m in corpus)
+        rates = {code: fails.get(code, 0) / rows[code] for code in rows}
+        flaky = max(rates, key=rates.get)
+        pristine = min(rates, key=rates.get)
+        assert thresholds[flaky] >= thresholds[pristine]
+        assert all(0.5 <= t <= 0.85 for t in thresholds.values())
+        # The fixed filter's table is flat.
+        fixed = ReputationFilter().country_thresholds(corpus)
+        assert set(fixed.values()) == {0.5}
+
+    @pytest.mark.parametrize("rng_seed", [6, 7])
+    def test_adaptive_apply_matches_reference_row_for_row(self, detection_result, rng_seed):
+        """The per-country threshold flows through both paths identically."""
+        corpus = TestReputationFilterColumnarEquivalence().poisoned_corpus(
+            detection_result, rng_seed=rng_seed
+        )
+        filt = AdaptiveReputationFilter()
+        reference = filt.apply_reference(corpus)
+        columnar = filt.apply(corpus)
+        assert columnar.kept == reference.kept
+        assert columnar.dropped_rate_limited == reference.dropped_rate_limited
+        assert columnar.dropped_low_reputation == reference.dropped_low_reputation
+
+    def test_adaptive_apply_store_matches_reference(self, detection_result):
+        corpus = TestReputationFilterColumnarEquivalence().poisoned_corpus(
+            detection_result, rng_seed=8
+        )
+        collection = CollectionServer("http://collector.encore-measurement.org/submit")
+        collection.ingest_measurements(corpus)
+        filt = AdaptiveReputationFilter()
+        reference = filt.apply_reference(collection.measurements)
+        verdict = filt.apply_store(collection)
+        assert verdict.dropped_rate_limited == reference.dropped_rate_limited
+        assert verdict.dropped_low_reputation == reference.dropped_low_reputation
+        assert len(verdict.kept_indices) == len(reference.kept)
+
+    def test_adaptive_filter_still_defeats_fabrication(self, detection_result):
+        attacker = PoisoningAttacker(rng=11)
+        forged = attacker.forge_measurements(
+            PoisoningCampaign("facebook.com", "DE", submissions=400, client_identities=8)
+        )
+        poisoned = list(detection_result.measurements) + forged
+        cleaned = AdaptiveReputationFilter().filtered_measurements(poisoned)
+        report = BinomialFilteringDetector(min_measurements=10).detect_from_measurements(cleaned)
+        assert not report.detected("facebook.com", "DE")
 
 
 class TestAdaptiveFilteringDetector:

@@ -505,3 +505,44 @@ class TestCollectionServerStoreArgument:
             "http://collector.encore-measurement.org/submit", store=store
         )
         assert server.store is store
+
+
+class TestDefaultShardCount:
+    """``num_shards=None`` resolves CPU- and topology-aware (ROADMAP item)."""
+
+    def test_default_caps_by_blocks_and_ceiling(self, monkeypatch):
+        from repro.core import shard as shard_module
+
+        monkeypatch.setattr(shard_module, "available_cpu_count", lambda: 6)
+        assert shard_module.default_num_shards(block_count=40) == 6
+        assert shard_module.default_num_shards(block_count=3) == 3
+        assert shard_module.default_num_shards(block_count=0) == 1
+        monkeypatch.setattr(shard_module, "available_cpu_count", lambda: 128)
+        assert shard_module.default_num_shards(block_count=10_000) == \
+            shard_module.MAX_DEFAULT_SHARDS
+
+    def test_available_cpu_count_prefers_affinity(self, monkeypatch):
+        from repro.core import shard as shard_module
+
+        monkeypatch.setattr(shard_module.os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2}, raising=False)
+        assert shard_module.available_cpu_count() == 3
+        monkeypatch.delattr(shard_module.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(shard_module.os, "cpu_count", lambda: None)
+        assert shard_module.available_cpu_count() == 1
+
+    def test_unset_shard_count_records_resolved_default(self, tmp_path, monkeypatch):
+        # The campaign file records the resolved default (capped by the
+        # block count), and the <4-core semantics stay what they were: on
+        # this container the default is simply 1.
+        from repro.core import shard as shard_module
+
+        monkeypatch.setattr(shard_module, "available_cpu_count", lambda: 2)
+        deployment = small_deployment("sharded", worker_spill_dir=str(tmp_path))
+        result = deployment.run_campaign(shard_executor="inline")
+        campaign_files = list(Path(tmp_path).glob("campaign-*/campaign.json"))
+        assert len(campaign_files) == 1
+        recorded = json.loads(campaign_files[0].read_text())
+        assert recorded["num_shards"] == 2
+        reference = small_deployment("batch").run_campaign()
+        assert measurement_key(result) == measurement_key(reference)
