@@ -36,6 +36,7 @@ RATIO_FIELDS = {
     "BENCH_shard.json": "speedup",
     "BENCH_robustness.json": "speedup",
     "BENCH_longitudinal.json": "speedup",
+    "BENCH_monitor.json": "speedup",
 }
 #: Largest tolerated relative drop of a ratio before the gate fails.
 MAX_REGRESSION = 0.25

@@ -14,12 +14,23 @@ and an online CUSUM change-point detector walks the daily success rates and
 emits onset/offset events with their detection lag.  The final scorecard
 grades the detector against the scripted ground truth.
 
+The second half turns the same run into an *always-on monitor*: with
+``LongitudinalConfig(checkpoint_dir=...)`` each epoch folds only its new
+rows into the day-bucketed aggregate, advances a resumable CUSUM state over
+only the new day columns, and checkpoints that state — so a killed monitor
+restarted with ``resume=True`` re-adopts the completed epochs' rows from
+their manifests, picks the scan up mid-series, and ends with events
+identical to a never-interrupted run.
+
 Run with::
 
     python examples/longitudinal_monitoring.py
 """
 
 from __future__ import annotations
+
+import tempfile
+from pathlib import Path
 
 from repro import (
     CampaignConfig,
@@ -33,9 +44,11 @@ from repro import (
 ONSET_DAY = 8
 OFFSET_DAY = 18
 EPOCHS = 26
+#: The epoch after which the always-on monitor demo gets "killed".
+KILL_AFTER = 12
 
 
-def main() -> None:
+def build_deployment() -> EncoreDeployment:
     # A compact world; every visitor pinned to Germany so the timeline's
     # target (facebook.com, DE) cell gets dense daily coverage.
     world = World(
@@ -49,9 +62,11 @@ def main() -> None:
         country_code="DE",
         seed=42,
     )
-    deployment = EncoreDeployment(world, config)
+    return EncoreDeployment(world, config)
 
-    timeline = (
+
+def build_timeline() -> PolicyTimeline:
+    return (
         PolicyTimeline()
         .onset(ONSET_DAY, "DE", "facebook.com")
         .offset(OFFSET_DAY, "DE", "facebook.com")
@@ -59,6 +74,42 @@ def main() -> None:
         # paper notes Encore struggles to see; it should emit no event.
         .throttle(ONSET_DAY, "DE", "youtube.com")
     )
+
+
+def always_on_monitor(reference_events) -> None:
+    """A killable monitor loop: checkpoint, 'crash', restart, resume."""
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "monitor"
+        print(f"\nAlways-on monitor with checkpoint_dir={checkpoint.name}/ ...")
+        print(f"  running epochs 0..{KILL_AFTER - 1}, then 'crashing'.")
+        build_deployment().run_longitudinal(
+            build_timeline(),
+            LongitudinalConfig(
+                epochs=KILL_AFTER, visits_per_epoch=250,
+                checkpoint_dir=str(checkpoint),
+            ),
+        )
+        # A fresh process: new deployment, same seeds, same checkpoint
+        # directory, full horizon.  resume=True (the default) restores the
+        # CUSUM state and re-adopts completed epochs from their manifests.
+        resumed = build_deployment().run_longitudinal(
+            build_timeline(),
+            LongitudinalConfig(
+                epochs=EPOCHS, visits_per_epoch=250,
+                checkpoint_dir=str(checkpoint), resume=True,
+            ),
+        )
+        adopted = sum(1 for epoch in resumed.epochs if epoch.resumed)
+        print(f"  restarted: {adopted} epochs adopted from manifests, "
+              f"{EPOCHS - adopted} executed fresh.")
+        print(f"  monitor state covers {resumed.monitor.days_processed} days; "
+              f"events identical to the uninterrupted run: "
+              f"{resumed.events() == reference_events}")
+
+
+def main() -> None:
+    deployment = build_deployment()
+    timeline = build_timeline()
 
     print(f"Running {EPOCHS} one-day epochs of 250 visits each (batch mode)...")
     result = deployment.run_longitudinal(
@@ -89,6 +140,8 @@ def main() -> None:
 
     print("\nScorecard against the scripted timeline:")
     print(result.timeline_report().format())
+
+    always_on_monitor(result.events())
 
 
 if __name__ == "__main__":

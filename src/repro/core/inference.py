@@ -20,14 +20,23 @@ dict is still accepted everywhere and converted on entry.
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable
 
 import numpy as np
 
 from repro.core.collection import Measurement
-from repro.core.store import DayGroupedCounts, GroupedCounts, MeasurementStore
+from repro.core.store import (
+    DayGroupedCounts,
+    DenseDayCounts,
+    GroupedCounts,
+    MeasurementStore,
+)
 from repro.core.tasks import TaskOutcome
 
 
@@ -53,12 +62,14 @@ def binomial_cdf(successes: int, trials: int, p: float) -> float:
         return 0.0
     log_p = math.log(p)
     log_q = math.log1p(-p)
+    log_fact = _log_factorials(trials)
+    log_n_fact = float(log_fact[trials])
     total = 0.0
     for k in range(successes + 1):
         log_term = (
-            math.lgamma(trials + 1)
-            - math.lgamma(k + 1)
-            - math.lgamma(trials - k + 1)
+            log_n_fact
+            - float(log_fact[k])
+            - float(log_fact[trials - k])
             + k * log_p
             + (trials - k) * log_q
         )
@@ -75,7 +86,14 @@ def _log_factorials(max_n: int) -> np.ndarray:
     global _LOG_FACTORIALS
     if len(_LOG_FACTORIALS) <= max_n:
         size = max(max_n + 1, 2 * len(_LOG_FACTORIALS))
-        _LOG_FACTORIALS = np.array([math.lgamma(i + 1.0) for i in range(size)])
+        old = _LOG_FACTORIALS
+        # Extend the cached prefix instead of rebuilding the whole table:
+        # log(i!) = log((m-1)!) + sum(log m .. log i), accumulated in
+        # extended precision so the running sum stays within ~1 ulp of
+        # math.lgamma however far the table grows.
+        increments = np.log(np.arange(len(old), size, dtype=np.longdouble))
+        extension = np.longdouble(old[-1]) + np.cumsum(increments)
+        _LOG_FACTORIALS = np.concatenate([old, extension.astype(np.float64)])
     return _LOG_FACTORIALS
 
 
@@ -343,6 +361,102 @@ class CensorshipEvent:
         return self.detected_day - self.change_day
 
 
+@dataclass
+class CusumState:
+    """Resumable state of an online CUSUM scan over day-bucketed counts.
+
+    ``days_processed`` is the scan watermark (day columns ``0 ..
+    days_processed - 1`` have been consumed); ``cells`` maps each (domain,
+    country) pair to its ``(censored, statistic, excursion_day)`` machine
+    state; ``baselines`` optionally pins a per-country healthy success rate
+    (seeded from :meth:`AdaptiveFilteringDetector.country_priors`) that
+    replaces the detector's global ``healthy_rate`` for that country's
+    cells; ``events`` accumulates everything emitted so far, in the same
+    ``(detected_day, domain, country, kind)`` order a cold full scan
+    produces.  The state round-trips through JSON bit-exactly (Python's
+    ``repr``-based float serialization is lossless), so a monitor killed
+    mid-series resumes and emits identical events to an uninterrupted run.
+    """
+
+    days_processed: int = 0
+    baselines: dict[str, float] | None = None
+    cells: dict[tuple[str, str], tuple[bool, float, int]] = field(default_factory=dict)
+    events: list[CensorshipEvent] = field(default_factory=list)
+
+    def to_payload(self) -> dict:
+        """A JSON-serializable snapshot (see :meth:`from_payload`)."""
+        return {
+            "days_processed": self.days_processed,
+            "baselines": self.baselines,
+            "cells": [
+                [domain, country, bool(censored), float(stat), int(excursion)]
+                for (domain, country), (censored, stat, excursion) in sorted(
+                    self.cells.items()
+                )
+            ],
+            "events": [
+                {
+                    "domain": e.domain,
+                    "country_code": e.country_code,
+                    "kind": e.kind,
+                    "change_day": e.change_day,
+                    "detected_day": e.detected_day,
+                    "statistic": e.statistic,
+                    "confidence": e.confidence,
+                }
+                for e in self.events
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CusumState":
+        baselines = payload.get("baselines")
+        return cls(
+            days_processed=int(payload["days_processed"]),
+            baselines=None if baselines is None else {
+                str(country): float(rate) for country, rate in baselines.items()
+            },
+            cells={
+                (str(domain), str(country)): (bool(censored), float(stat), int(excursion))
+                for domain, country, censored, stat, excursion in payload["cells"]
+            },
+            events=[CensorshipEvent(**event) for event in payload["events"]],
+        )
+
+    def save(self, path: str | Path, signature: str | None = None) -> None:
+        """Checkpoint to ``path`` atomically (scratch file + rename).
+
+        ``signature`` names what produced this state (detector tuning +
+        campaign identity); :meth:`load` refuses a checkpoint whose
+        signature does not match, so a retuned monitor never silently
+        resumes from another configuration's state.
+        """
+        path = Path(path)
+        payload = {"signature": signature, "state": self.to_payload()}
+        fd, scratch = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(scratch, path)
+        except BaseException:
+            if os.path.exists(scratch):
+                os.unlink(scratch)
+            raise
+
+    @classmethod
+    def load(cls, path: str | Path, signature: str | None = None) -> "CusumState":
+        with open(path) as handle:
+            payload = json.load(handle)
+        if signature is not None and payload.get("signature") != signature:
+            raise ValueError(
+                f"checkpoint {path} was written under signature "
+                f"{payload.get('signature')!r}, not {signature!r}"
+            )
+        return cls.from_payload(payload["state"])
+
+
 class CusumChangePointDetector:
     """Online CUSUM over per-day filtered success rates (longitudinal §7.2).
 
@@ -361,6 +475,15 @@ class CusumChangePointDetector:
     walk.  Both consume the same values in the same order, so their events
     are identical — statistics and confidences bit-for-bit — an equivalence
     the tests pin.
+
+    The scan is resumable: :meth:`initial_state` builds a
+    :class:`CusumState`, :meth:`resume` advances it over only the day
+    columns it has not seen yet, and the state checkpoints to JSON
+    (:meth:`CusumState.save` / :meth:`CusumState.load`).  Because each day's
+    update is the same float64 operation sequence either way, a scan split
+    across any number of resume calls emits events bit-identical to one
+    cold full scan — the property that lets an always-on monitor fold in
+    one epoch per wakeup and survive being killed between epochs.
     """
 
     def __init__(
@@ -395,25 +518,104 @@ class CusumChangePointDetector:
         events.sort(key=lambda e: (e.detected_day, e.domain, e.country_code, e.kind))
         return events
 
-    def detect_events(self, day_counts: DayGroupedCounts) -> list[CensorshipEvent]:
+    def config_key(self) -> tuple:
+        """Hashable identity of this detector's tuning.
+
+        What result caches and checkpoint signatures key on, so retuning a
+        detector can never be served another configuration's events.
+        """
+        return (
+            type(self).__name__,
+            self.healthy_rate,
+            self.censored_rate,
+            self.drift,
+            self.threshold,
+            self.min_daily_measurements,
+        )
+
+    def _healthy_rate_for(self, country: str, baselines: dict[str, float] | None) -> float:
+        if baselines is None:
+            return self.healthy_rate
+        return baselines.get(country, self.healthy_rate)
+
+    def seeded_baselines(
+        self, counts, detector: "AdaptiveFilteringDetector | None" = None
+    ) -> dict[str, float]:
+        """Per-country healthy baselines from the adaptive detector's priors.
+
+        Countries with unreliable networks never sustain the global
+        ``healthy_rate``; seeding each country's baseline from
+        :meth:`AdaptiveFilteringDetector.country_priors` keeps the clear-state
+        CUSUM from drifting upward on ordinary flakiness there.  Baselines
+        are floored at ``censored_rate + 2 * drift`` so the clear and
+        censored targets can never cross.
+        """
+        adaptive = detector if detector is not None else AdaptiveFilteringDetector()
+        floor = self.censored_rate + 2.0 * self.drift
+        return {
+            country: max(float(prior), floor)
+            for country, prior in adaptive.country_priors(counts).items()
+        }
+
+    def initial_state(self, baselines: dict[str, float] | None = None) -> CusumState:
+        """A fresh :class:`CusumState` (optionally with per-country baselines)."""
+        return CusumState(
+            baselines=None if baselines is None else dict(baselines)
+        )
+
+    def detect_events(
+        self,
+        day_counts: DayGroupedCounts,
+        baselines: dict[str, float] | None = None,
+    ) -> list[CensorshipEvent]:
         """Scan every (domain, country) cell's day series, vectorized.
 
-        The recursion is sequential in days but independent across cells, so
-        the scan is a short loop over day columns with all cells advanced by
-        whole-array operations; only the (rare) threshold crossings drop to
-        per-cell Python to emit events.
+        A cold full scan: equivalent to :meth:`resume` from a fresh
+        :meth:`initial_state`, which is exactly how it is implemented.
+        """
+        return self.resume(self.initial_state(baselines), day_counts)
+
+    def resume(
+        self, state: CusumState, day_counts: "DayGroupedCounts | DenseDayCounts"
+    ) -> list[CensorshipEvent]:
+        """Advance ``state`` over the day columns it has not consumed yet.
+
+        ``day_counts`` is the cumulative corpus (its day axis keeps growing
+        as epochs append) — either ragged :class:`DayGroupedCounts` or the
+        monitor loop's dense ``MeasurementStore.success_day_series()``
+        result; anything with ``n_days`` and ``cell_series()`` works, and
+        both representations yield bit-identical events.  Only columns
+        ``state.days_processed .. day_counts.n_days - 1`` are scanned, so
+        per-call cost is proportional to the *new* days, not history.  The
+        recursion is sequential in days but independent across cells: all
+        cells advance by whole-array operations per day column, and only
+        the (rare) threshold crossings drop to per-cell Python to emit
+        events.  Returns the newly emitted events (also appended to
+        ``state.events``, which stays in cold-full-scan order because
+        resumed events can only be detected on later days).
         """
         domains, countries, totals, successes = day_counts.cell_series()
         n_cells, n_days = totals.shape
+        start = state.days_processed
         events: list[CensorshipEvent] = []
-        if n_cells == 0:
+        if n_cells == 0 or start >= n_days:
+            state.days_processed = max(state.days_processed, day_counts.n_days)
             return events
-        clear_target = self.healthy_rate - self.drift
-        censored_target = self.censored_rate + self.drift
+        pairs = list(zip(domains.tolist(), countries.tolist()))
         censored = np.zeros(n_cells, dtype=bool)
         stat = np.zeros(n_cells, dtype=np.float64)
         excursion = np.zeros(n_cells, dtype=np.int64)
-        for day in range(n_days):
+        for index, pair in enumerate(pairs):
+            carried = state.cells.get(pair)
+            if carried is not None:
+                censored[index], stat[index], excursion[index] = carried
+        clear_target = np.array(
+            [self._healthy_rate_for(country, state.baselines) - self.drift
+             for country in countries.tolist()],
+            dtype=np.float64,
+        )
+        censored_target = self.censored_rate + self.drift
+        for day in range(start, n_days):
             n = totals[:, day]
             active = n >= self.min_daily_measurements
             if not active.any():
@@ -440,15 +642,28 @@ class CusumChangePointDetector:
                 )
                 censored[cell] = ~censored[cell]
                 stat[cell] = 0.0
-        return self._sorted(events)
+        for index, pair in enumerate(pairs):
+            state.cells[pair] = (
+                bool(censored[index]), float(stat[index]), int(excursion[index])
+            )
+        state.days_processed = n_days
+        self._sorted(events)
+        state.events.extend(events)
+        return events
 
-    def detect_events_reference(self, day_counts: DayGroupedCounts) -> list[CensorshipEvent]:
+    def detect_events_reference(
+        self,
+        day_counts: DayGroupedCounts,
+        baselines: dict[str, float] | None = None,
+    ) -> list[CensorshipEvent]:
         """The scalar per-cell reference walk; events identical to the fast path."""
         domains, countries, totals, successes = day_counts.cell_series()
         events: list[CensorshipEvent] = []
-        clear_target = self.healthy_rate - self.drift
         censored_target = self.censored_rate + self.drift
         for cell in range(totals.shape[0]):
+            clear_target = (
+                self._healthy_rate_for(str(countries[cell]), baselines) - self.drift
+            )
             censored = False
             stat = 0.0
             excursion = 0

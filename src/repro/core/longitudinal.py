@@ -28,17 +28,41 @@ sequence of **epochs** over simulated days:
    detection lag; :func:`~repro.analysis.reports.build_timeline_report`
    grades them against the scripted ground truth.
 
+**Always-on monitoring.**  With ``LongitudinalConfig.checkpoint_dir`` set,
+the run becomes an incremental, killable monitor loop.  Per epoch the engine
+seals the store's pending rows and folds only the *new* segments into the
+persistent day-bucketed aggregate (``MeasurementStore.success_counts`` keeps
+a fold watermark), advances a resumable
+:class:`~repro.core.inference.CusumState` over only the new day columns, and
+checkpoints that state to ``checkpoint_dir/cusum-state.json`` — so per-epoch
+cost stays flat as history grows (``benchmarks/test_bench_monitor.py``,
+``BENCH_monitor.json``).  Each epoch's campaign runs through the sharded
+path with ``worker_spill_dir=checkpoint_dir``: its manifests are keyed by
+the campaign signature (which covers the world config *including the
+epoch's timeline posture*), so a restarted monitor re-adopts completed
+epochs' rows instead of re-executing them — the same crash-resume story as
+``mode="sharded"`` — and, with ``resume=True`` (the default), restores the
+CUSUM state and picks up mid-series, emitting events bit-identical to an
+uninterrupted cold run.  ``adaptive_baselines=True`` additionally seeds
+per-country healthy baselines from
+:meth:`~repro.core.inference.AdaptiveFilteringDetector.country_priors`
+after the first epoch.
+
 Front door: :meth:`EncoreDeployment.run_longitudinal`.  Throughput of the
 aggregation + detection stage is tracked by
-``benchmarks/test_bench_longitudinal.py`` (``BENCH_longitudinal.json``).
+``benchmarks/test_bench_longitudinal.py`` (``BENCH_longitudinal.json``);
+flatness of the incremental monitor loop by
+``benchmarks/test_bench_monitor.py`` (``BENCH_monitor.json``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 from repro.censor.policy import PolicyTimeline
-from repro.core.inference import CensorshipEvent, CusumChangePointDetector
+from repro.core.inference import CensorshipEvent, CusumChangePointDetector, CusumState
 from repro.core.store import DayGroupedCounts
 
 
@@ -68,10 +92,26 @@ class LongitudinalConfig:
     trailing_epochs: int = 5
     #: The online change-point detector run over the day-bucketed rates.
     detector: CusumChangePointDetector = field(default_factory=CusumChangePointDetector)
+    #: Directory for the always-on monitor's resumable state: per-epoch
+    #: shard manifests (epoch-level crash resume) plus the CUSUM state
+    #: checkpoint.  ``None`` (the default) runs the engine statelessly.
+    checkpoint_dir: str | None = None
+    #: With a ``checkpoint_dir``, whether to restore a previous run's
+    #: checkpoint (``False`` starts over, ignoring — not deleting — any
+    #: existing state).
+    resume: bool = True
+    #: Seed per-country healthy baselines for the CUSUM from
+    #: ``AdaptiveFilteringDetector.country_priors`` after the first epoch.
+    adaptive_baselines: bool = False
 
     def resolved_epochs(self, timeline: PolicyTimeline) -> int:
         if self.epochs is not None:
             return self.epochs
+        if len(timeline) == 0:
+            raise ValueError(
+                "cannot infer an epoch count from an event-free timeline; "
+                "pass epochs=N explicitly"
+            )
         final_epoch = timeline.final_day() // self.days_per_epoch
         return final_epoch + 1 + self.trailing_epochs
 
@@ -89,6 +129,9 @@ class EpochSummary:
     blocked: tuple[tuple[str, str], ...]
     #: (country, domain) pairs throttled during the epoch.
     throttled: tuple[tuple[str, str], ...]
+    #: Whether the epoch's rows were adopted from surviving checkpoint
+    #: manifests instead of re-executed (epoch-level crash resume).
+    resumed: bool = False
 
 
 @dataclass
@@ -99,10 +142,20 @@ class LongitudinalResult:
     timeline: PolicyTimeline
     collection: object  #: the deployment's CollectionServer
     epochs: list[EpochSummary]
+    #: The incremental CUSUM state a checkpointed run maintained (``None``
+    #: for stateless runs); its ``events`` are the run's events.
+    monitor: CusumState | None = None
 
     def __post_init__(self) -> None:
         self._events: list[CensorshipEvent] | None = None
-        self._events_version = -1
+        self._events_key: tuple | None = None
+        # The store version + detector tuning the monitor state was built
+        # under; if either moves, events() falls back to a full scan.
+        self._monitor_key = (
+            (self.collection.store.version, self.config.detector.config_key())
+            if self.monitor is not None
+            else None
+        )
 
     @property
     def detector(self) -> CusumChangePointDetector:
@@ -125,11 +178,22 @@ class LongitudinalResult:
         return self.collection.store.success_counts(by_day=True)
 
     def events(self) -> list[CensorshipEvent]:
-        """Detected censorship onsets/offsets (vectorized CUSUM, cached)."""
-        version = self.collection.store.version
-        if self._events is None or self._events_version != version:
-            self._events = self.detector.detect_events(self.day_counts())
-            self._events_version = version
+        """Detected censorship onsets/offsets (vectorized CUSUM, cached).
+
+        The cache is keyed on the store version *and* the detector's tuning:
+        swapping or retuning ``config.detector`` between calls recomputes
+        instead of silently returning the previous detector's events.  A
+        checkpointed run's events come straight off its incremental
+        :class:`CusumState` (bit-identical to the full scan) for as long as
+        that key holds.
+        """
+        key = (self.collection.store.version, self.detector.config_key())
+        if self.monitor is not None and key == self._monitor_key:
+            return list(self.monitor.events)
+        if self._events is None or self._events_key != key:
+            baselines = self.monitor.baselines if self.monitor is not None else None
+            self._events = self.detector.detect_events(self.day_counts(), baselines)
+            self._events_key = key
         return self._events
 
     def timeline_report(self):
@@ -148,7 +212,17 @@ class LongitudinalEngine:
     exit — success or not — the original campaign-config day window and a
     rule-free world are restored, so the deployment remains usable for
     ordinary campaigns afterwards.
+
+    With ``config.checkpoint_dir`` set the engine is an always-on monitor:
+    each epoch's campaign runs through the sharded path with the checkpoint
+    directory as its spill root (so completed epochs resume from their
+    manifests after a crash), and after each epoch the store's new rows are
+    sealed, folded incrementally into the day-bucketed aggregate, scanned by
+    a resumable CUSUM state, and the state is checkpointed atomically.
     """
+
+    #: Checkpoint file the resumable CUSUM state lives in.
+    STATE_FILE = "cusum-state.json"
 
     def __init__(self, deployment, timeline: PolicyTimeline,
                  config: LongitudinalConfig | None = None) -> None:
@@ -163,15 +237,79 @@ class LongitudinalEngine:
         if epochs < 1:
             raise ValueError("a longitudinal run needs at least one epoch")
         self._epochs = epochs
+        # Computed before any world mutation, so an interrupted run and its
+        # resume (which both start from the pristine config) agree on it.
+        self._monitor_signature = json.dumps(
+            {
+                "detector": list(self.config.detector.config_key()),
+                "world": asdict(deployment.world.config),
+                # Deliberately NOT the epoch count: a monitor's horizon may
+                # be extended across restarts; per-day content must match.
+                "timeline": [asdict(event) for event in timeline.events],
+                "days_per_epoch": self.config.days_per_epoch,
+                "visits_per_epoch": self.config.visits_per_epoch,
+                "adaptive_baselines": self.config.adaptive_baselines,
+            },
+            sort_keys=True,
+            default=str,
+        )
 
     # ------------------------------------------------------------------
+    def _restore_monitor(self, checkpoint_dir: Path) -> CusumState:
+        """The previous run's checkpointed CUSUM state, or a fresh one."""
+        state_path = checkpoint_dir / self.STATE_FILE
+        if self.config.resume and state_path.is_file():
+            return CusumState.load(state_path, self._monitor_signature)
+        return self.config.detector.initial_state()
+
+    def _run_epoch_campaign(self, checkpoint_dir: Path | None) -> bool:
+        """Run one epoch's campaign; True when it resumed from manifests."""
+        config = self.config
+        if checkpoint_dir is None:
+            shard_kwargs = (
+                {
+                    "num_shards": config.num_shards,
+                    "worker_spill_dir": config.worker_spill_dir,
+                    "shard_executor": config.shard_executor,
+                }
+                if config.mode == "sharded"
+                else {}
+            )
+            self.deployment.run_campaign(
+                visits=config.visits_per_epoch, mode=config.mode, **shard_kwargs
+            )
+            return False
+        # Checkpointed epochs always go through the sharded path: its
+        # signature-keyed manifests under checkpoint_dir are what make a
+        # completed epoch resumable, and the merged rows are bit-identical
+        # to mode="batch".  Non-sharded configs run one inline shard.
+        sharded = config.mode == "sharded"
+        resumed_shards: list[bool] = []
+        self.deployment.run_campaign(
+            visits=config.visits_per_epoch,
+            mode="sharded",
+            num_shards=config.num_shards if sharded else 1,
+            worker_spill_dir=str(checkpoint_dir),
+            shard_executor=config.shard_executor if sharded else "inline",
+            progress=lambda shard: resumed_shards.append(shard.resumed),
+        )
+        return bool(resumed_shards) and all(resumed_shards)
+
     def run(self) -> LongitudinalResult:
         deployment = self.deployment
         config = self.config
         campaign_config = deployment.config
         world = deployment.world
+        store = deployment.collection.store
         original_window = (campaign_config.days, campaign_config.day_offset)
         original_rules = world.config.timeline_rules
+        checkpoint_dir = (
+            Path(config.checkpoint_dir) if config.checkpoint_dir is not None else None
+        )
+        monitor: CusumState | None = None
+        if checkpoint_dir is not None:
+            checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            monitor = self._restore_monitor(checkpoint_dir)
         summaries: list[EpochSummary] = []
         try:
             for epoch in range(self._epochs):
@@ -182,18 +320,7 @@ class LongitudinalEngine:
                 campaign_config.days = config.days_per_epoch
                 campaign_config.day_offset = first_day
                 before = len(deployment.collection)
-                shard_kwargs = (
-                    {
-                        "num_shards": config.num_shards,
-                        "worker_spill_dir": config.worker_spill_dir,
-                        "shard_executor": config.shard_executor,
-                    }
-                    if config.mode == "sharded"
-                    else {}
-                )
-                deployment.run_campaign(
-                    visits=config.visits_per_epoch, mode=config.mode, **shard_kwargs
-                )
+                resumed = self._run_epoch_campaign(checkpoint_dir)
                 summaries.append(
                     EpochSummary(
                         epoch=epoch,
@@ -203,8 +330,29 @@ class LongitudinalEngine:
                         measurements_added=len(deployment.collection) - before,
                         blocked=self._pairs(state, "block"),
                         throttled=self._pairs(state, "throttle"),
+                        resumed=resumed,
                     )
                 )
+                if monitor is not None:
+                    # Seal so the epoch's rows join the store's persistent
+                    # fold state (sealed segments fold exactly once); the
+                    # CUSUM then advances over only the new day columns.
+                    store.seal_pending()
+                    if (
+                        config.adaptive_baselines
+                        and monitor.baselines is None
+                        and monitor.days_processed == 0
+                    ):
+                        monitor.baselines = config.detector.seeded_baselines(
+                            store.success_counts()
+                        )
+                    # Dense matrices straight off the fold accumulator:
+                    # same events as the ragged day_counts(), without the
+                    # O(history) cell materialization per epoch.
+                    config.detector.resume(monitor, store.success_day_series())
+                    monitor.save(
+                        checkpoint_dir / self.STATE_FILE, self._monitor_signature
+                    )
         finally:
             campaign_config.days, campaign_config.day_offset = original_window
             world.config.timeline_rules = original_rules
@@ -214,6 +362,7 @@ class LongitudinalEngine:
             timeline=self.timeline,
             collection=deployment.collection,
             epochs=summaries,
+            monitor=monitor,
         )
 
     @staticmethod

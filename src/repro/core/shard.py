@@ -314,18 +314,28 @@ def serialize_value_tables(tables: dict[str, list]) -> dict[str, list]:
     }
 
 
+def write_json_atomic(path: str | Path, payload: dict) -> Path:
+    """Write ``payload`` as JSON via scratch file + rename.
+
+    The rename is what makes the file's *presence* trustworthy as a commit
+    marker: a process killed mid-write leaves only the ``.tmp`` scratch,
+    which readers ignore.  Shard manifests, campaign files, and the
+    longitudinal monitor's resume markers all go through here.
+    """
+    path = Path(path)
+    scratch = path.with_suffix(".tmp")
+    scratch.write_text(json.dumps(payload, indent=1))
+    os.replace(scratch, path)
+    return path
+
+
 def write_manifest(shard_dir: str | Path, manifest: dict) -> Path:
     """Atomically write ``manifest`` as ``shard_dir``'s commit marker.
 
-    The rename is what makes the manifest's *presence* trustworthy: a
-    worker killed mid-write leaves only the scratch file, which readers
-    ignore, so partial output is re-executed instead of adopted.
+    A worker killed mid-write leaves no manifest, so partial output is
+    re-executed instead of adopted.
     """
-    path = Path(shard_dir) / MANIFEST_NAME
-    scratch = path.with_suffix(".tmp")
-    scratch.write_text(json.dumps(manifest, indent=1))
-    os.replace(scratch, path)
-    return path
+    return write_json_atomic(Path(shard_dir) / MANIFEST_NAME, manifest)
 
 
 def read_manifest(path: str | Path) -> dict | None:
@@ -533,14 +543,10 @@ def establish_campaign_state(
         if requested_num_shards is not None
         else default_num_shards(block_count)
     )
-    scratch = path.with_suffix(".tmp")
-    scratch.write_text(
-        json.dumps(
-            {"signature": signature, "task_ids": current_ids, "num_shards": num_shards},
-            indent=1,
-        )
+    write_json_atomic(
+        path,
+        {"signature": signature, "task_ids": current_ids, "num_shards": num_shards},
     )
-    os.replace(scratch, path)
     return num_shards
 
 

@@ -232,6 +232,43 @@ class DayGroupedCounts:
         return self.domains[starts], self.countries[starts], totals, successes
 
 
+class DenseDayCounts:
+    """Per-pair day matrices served straight off the incremental fold state.
+
+    Duck-type compatible with the slice of :class:`DayGroupedCounts` the
+    CUSUM change-point scan consumes (``n_days`` plus :meth:`cell_series`),
+    but built without the ragged (domain, country, day) materialization —
+    no per-cell string arrays, no lexsort over every cell of history — so
+    an always-on monitor's per-epoch aggregation cost tracks the *new*
+    rows, not the length of history.  Pairs carry the same members and the
+    same sorted (domain, country) order as ``DayGroupedCounts.cell_series``
+    on the same corpus, which keeps the two paths' events bit-identical.
+    """
+
+    __slots__ = ("domains", "countries", "totals", "successes", "n_days")
+
+    def __init__(
+        self,
+        domains: np.ndarray,
+        countries: np.ndarray,
+        totals: np.ndarray,
+        successes: np.ndarray,
+        n_days: int,
+    ) -> None:
+        self.domains = domains
+        self.countries = countries
+        self.totals = totals
+        self.successes = successes
+        self.n_days = n_days
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def cell_series(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Already dense: ``(domains, countries, totals, successes)``."""
+        return self.domains, self.countries, self.totals, self.successes
+
+
 class Selection:
     """The result of :meth:`MeasurementStore.select`: a row mask over the store.
 
@@ -351,6 +388,87 @@ class _Segment:
         self.columns = None
 
 
+class _IncrementalGroupCounts:
+    """Persistent fold state behind :meth:`MeasurementStore.success_counts`.
+
+    Holds the running ``(domain, country[, day])`` bincount accumulator plus
+    a watermark of how many *sealed* segments have been folded into it.
+    Sealed segments are immutable, so each is folded exactly once over the
+    store's lifetime; pending (still-mutable) chunks are only ever folded
+    into a per-call copy.  The code axes match the store's value tables and
+    are padded when the tables grow (codes are stable once assigned, so old
+    folds stay valid); the day axis grows geometrically like the old
+    full-scan path did.
+    """
+
+    __slots__ = ("by_day", "segments_folded", "n_days", "capacity", "totals", "successes")
+
+    def __init__(self, by_day: bool) -> None:
+        self.by_day = by_day
+        self.segments_folded = 0
+        self.n_days = 0    #: largest day seen + 1
+        self.capacity = 0  #: allocated day-axis width of the accumulators
+        shape = (0, 0, 0) if by_day else (0, 0)
+        self.totals = np.zeros(shape, dtype=np.int64)
+        self.successes = np.zeros(shape, dtype=np.int64)
+
+    def snapshot(self) -> "_IncrementalGroupCounts":
+        """A deep copy pending chunks can be folded into without corrupting us."""
+        copy = _IncrementalGroupCounts(self.by_day)
+        copy.n_days = self.n_days
+        copy.capacity = self.capacity
+        copy.totals = self.totals.copy()
+        copy.successes = self.successes.copy()
+        return copy
+
+    def grow_codes(self, n_domains: int, n_countries: int) -> None:
+        """Pad the code axes out to the store's current value-table sizes."""
+        have = self.totals.shape
+        if have[0] == n_domains and have[1] == n_countries:
+            return
+        pad = ((0, n_domains - have[0]), (0, n_countries - have[1]))
+        if self.by_day:
+            pad = pad + ((0, 0),)
+        self.totals = np.pad(self.totals, pad)
+        self.successes = np.pad(self.successes, pad)
+
+    def fold(self, part: dict[str, np.ndarray], exclude_automated: bool) -> None:
+        """Accumulate one segment's (or pending chunk's) columns."""
+        outcome = part["outcome"]
+        valid = outcome != OUTCOME_INCONCLUSIVE
+        if exclude_automated:
+            valid &= ~part["automated"]
+        domain = part["domain"][valid].astype(np.int64)
+        if not domain.size:
+            return
+        n_domains, n_countries = self.totals.shape[:2]
+        key = domain * n_countries + part["country"][valid]
+        if self.by_day:
+            day = part["day"][valid].astype(np.int64)
+            # Later segments may reveal later days (longitudinal ingest is
+            # strictly day-ordered, so this happens per segment); grow the
+            # day axis geometrically so the copies amortize to O(1) per
+            # segment.
+            segment_days = int(day.max()) + 1
+            if segment_days > self.n_days:
+                if segment_days > self.capacity:
+                    capacity = max(segment_days, 2 * self.capacity)
+                    pad = ((0, 0), (0, 0), (0, capacity - self.capacity))
+                    self.totals = np.pad(self.totals, pad)
+                    self.successes = np.pad(self.successes, pad)
+                    self.capacity = capacity
+                self.n_days = segment_days
+            key = key * self.capacity + day
+            shape = (n_domains, n_countries, self.capacity)
+        else:
+            shape = (n_domains, n_countries)
+        minlength = int(np.prod(shape))
+        self.totals += np.bincount(key, minlength=minlength).reshape(shape)
+        self.successes += np.bincount(
+            key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
+        ).reshape(shape)
+
+
 class MeasurementStore:
     """Struct-of-arrays storage for measurements, with optional disk spill.
 
@@ -407,6 +525,10 @@ class MeasurementStore:
         self._column_cache_version = -1
         self._derived_cache: dict[object, object] = {}
         self._derived_cache_version = -1
+        # Incremental aggregation state: unlike ``_derived_cache`` (whole
+        # results, discarded on every append) these survive version bumps
+        # and track how far into the sealed-segment list they have folded.
+        self._count_states: dict[tuple, _IncrementalGroupCounts] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -614,6 +736,19 @@ class MeasurementStore:
                 )
         self._spill_count += 1
         return self._spill_subdir / f"segment-{self._spill_count:05d}.npz"
+
+    def seal_pending(self) -> None:
+        """Seal the pending row buffer into an immutable segment now.
+
+        Sealed segments are folded into the persistent aggregates behind
+        :meth:`success_counts` exactly once; pending rows are re-folded on
+        every call (they are still mutable).  Callers that aggregate after
+        every small append — the longitudinal monitor after each epoch —
+        seal first so per-call work stays proportional to the new rows, not
+        to however many epochs fit under ``segment_rows``.
+        """
+        self._seal_pending()
+        self._maybe_spill()
 
     def spill(self) -> int:
         """Seal pending rows and spill every resident segment; returns spilled count."""
@@ -850,53 +985,121 @@ class MeasurementStore:
     ) -> "GroupedCounts | DayGroupedCounts":
         """Per-(domain, country) totals and successes by grouped reduction.
 
-        Streams segment-by-segment: each segment (spilled or resident)
-        contributes two ``bincount`` passes over a combined ``domain *
-        n_countries + country`` key, accumulated into one pair of cell
-        arrays — no column is ever concatenated across segments, which is
-        what keeps this cheap on spilled and multi-worker merged stores.
-        Inconclusive outcomes (and by default automated traffic) are
-        excluded, exactly as the binomial detection test requires.
+        Incremental: each *sealed* segment (spilled or resident) is folded
+        into a persistent bincount accumulator exactly once over the store's
+        lifetime — a call after an append only touches the segments (and
+        pending rows) that arrived since the last call, never the whole
+        corpus, which is what gives an always-on monitor flat per-epoch
+        aggregation cost.  Each segment contributes two ``bincount`` passes
+        over a combined ``domain * n_countries + country`` key; no column is
+        ever concatenated across segments, so spilled and multi-worker
+        merged stores stay cheap too.  Inconclusive outcomes (and by default
+        automated traffic) are excluded, exactly as the binomial detection
+        test requires.
 
         ``by_day=True`` buckets the same reduction by the ``day`` column too
         and returns :class:`DayGroupedCounts` — the ragged (domain, country,
-        day) cells the longitudinal change-point pipeline consumes —
-        streamed with the same per-segment bincounts (the key gains a day
-        axis, grown as later segments reveal later days).
+        day) cells the longitudinal change-point pipeline consumes — with
+        the same fold-once accumulator (the key gains a day axis, grown as
+        later segments reveal later days).
         """
-        if by_day:
-            return self._success_counts_by_day(exclude_automated)
-        cache_key = ("success_counts", exclude_automated)
+        cache_key = ("success_counts", exclude_automated, by_day)
         cached = self._derived(cache_key)
         if cached is not None:
             return cached
-        if len(self) == 0 or not self._country_values:
-            empty = GroupedCounts(
-                np.empty(0, dtype=np.str_),
-                np.empty(0, dtype=np.str_),
-                np.empty(0, dtype=np.int64),
-                np.empty(0, dtype=np.int64),
-            )
-            return self._derive(cache_key, empty)
         n_countries = len(self._country_values)
-        minlength = len(self._domain_values) * n_countries
-        totals = np.zeros(minlength, dtype=np.int64)
-        successes = np.zeros(minlength, dtype=np.int64)
-        names = ("outcome", "domain", "country") + (
-            ("automated",) if exclude_automated else ()
-        )
-        for part in self._segment_parts(names):
-            outcome = part["outcome"]
-            valid = outcome != OUTCOME_INCONCLUSIVE
-            if exclude_automated:
-                valid &= ~part["automated"]
-            key = part["domain"][valid].astype(np.int64) * n_countries
-            key += part["country"][valid]
-            totals += np.bincount(key, minlength=minlength)
-            successes += np.bincount(
-                key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
+        empty_str = np.empty(0, dtype=np.str_)
+        empty_int = np.empty(0, dtype=np.int64)
+        if len(self) == 0 or not n_countries:
+            if by_day:
+                empty = DayGroupedCounts(
+                    empty_str, empty_str, empty_int, empty_int, empty_int, 0
+                )
+            else:
+                empty = GroupedCounts(empty_str, empty_str, empty_int, empty_int)
+            return self._derive(cache_key, empty)
+        n_domains = len(self._domain_values)
+        totals_view = self._advanced_count_state(exclude_automated, by_day)
+        if by_day:
+            n_days = totals_view.n_days
+            flat_totals = totals_view.totals.reshape(
+                n_domains * n_countries, totals_view.capacity
+            )[:, :n_days]
+            flat_successes = totals_view.successes.reshape(
+                n_domains * n_countries, totals_view.capacity
+            )[:, :n_days]
+            result = self._day_grouped_from_flat(flat_totals, flat_successes, n_days)
+        else:
+            result = self._grouped_from_flat(
+                totals_view.totals.reshape(-1), totals_view.successes.reshape(-1)
             )
-        return self._derive(cache_key, self._grouped_from_flat(totals, successes))
+        return self._derive(cache_key, result)
+
+    def _advanced_count_state(
+        self, exclude_automated: bool, by_day: bool
+    ) -> _IncrementalGroupCounts:
+        """The fold-once accumulator, advanced over all unfolded rows.
+
+        Sealed segments past the watermark are folded into the persistent
+        state exactly once; pending chunks (not immutable yet — the next
+        seal rebinds them into a segment) only ever touch a snapshot copy,
+        which is what gets returned in that case.
+        """
+        cache_key = ("success_counts", exclude_automated, by_day)
+        state = self._count_states.get(cache_key)
+        if state is None:
+            state = self._count_states[cache_key] = _IncrementalGroupCounts(by_day)
+        state.grow_codes(len(self._domain_values), len(self._country_values))
+        names = ("outcome", "domain", "country") + (
+            ("day",) if by_day else ()
+        ) + (("automated",) if exclude_automated else ())
+        for seg in self._segments[state.segments_folded:]:
+            state.fold(seg.load_columns(names), exclude_automated)
+        state.segments_folded = len(self._segments)
+        totals_view = state
+        if self._pending:
+            totals_view = state.snapshot()
+            for chunk in self._pending:
+                totals_view.fold(
+                    {name: chunk[name] for name in names}, exclude_automated
+                )
+        return totals_view
+
+    def success_day_series(self, exclude_automated: bool = True) -> DenseDayCounts:
+        """Dense (pair, day) success matrices for the always-on monitor loop.
+
+        Rides the same fold-once accumulator (and watermark) as
+        ``success_counts(by_day=True)``, but skips the ragged (domain,
+        country, day) cell materialization — no per-cell string arrays, no
+        lexsort over all of history — so per-epoch cost stays flat as the
+        day axis grows (``benchmarks/test_bench_monitor.py``).  Pairs carry
+        the same members and the same sorted (domain, country) order as
+        ``DayGroupedCounts.cell_series`` on the same corpus, so feeding
+        either representation to the CUSUM scan yields bit-identical
+        events.  The matrices are fancy-indexed copies, never views of the
+        live accumulator, so later folds cannot mutate a served result.
+        """
+        n_countries = len(self._country_values)
+        if len(self) == 0 or not n_countries:
+            empty_str = np.empty(0, dtype=np.str_)
+            empty_2d = np.zeros((0, 0), dtype=np.int64)
+            return DenseDayCounts(empty_str, empty_str, empty_2d, empty_2d.copy(), 0)
+        view = self._advanced_count_state(exclude_automated, by_day=True)
+        n_days = view.n_days
+        n_pairs_total = len(self._domain_values) * n_countries
+        totals = view.totals.reshape(n_pairs_total, view.capacity)[:, :n_days]
+        successes = view.successes.reshape(n_pairs_total, view.capacity)[:, :n_days]
+        pairs = np.flatnonzero(totals.any(axis=1))
+        domains = np.asarray(self._domain_values, dtype=np.str_)[pairs // n_countries]
+        countries = np.asarray(self._country_values, dtype=np.str_)[pairs % n_countries]
+        order = np.lexsort((countries, domains))
+        return DenseDayCounts(
+            domains[order],
+            countries[order],
+            totals[pairs[order]],
+            successes[pairs[order]],
+            n_days,
+        )
 
     def _grouped_from_flat(self, totals: np.ndarray, successes: np.ndarray) -> GroupedCounts:
         """Cell arrays (sorted by domain, country) from flat bincount tables."""
@@ -910,64 +1113,6 @@ class MeasurementStore:
             countries[order],
             totals[cells][order],
             successes[cells][order],
-        )
-
-    def _success_counts_by_day(self, exclude_automated: bool) -> DayGroupedCounts:
-        """Streamed (domain, country, day) bincounts; see :meth:`success_counts`."""
-        cache_key = ("success_counts_by_day", exclude_automated)
-        cached = self._derived(cache_key)
-        if cached is not None:
-            return cached
-        n_countries = len(self._country_values)
-        if len(self) == 0 or not n_countries:
-            empty_str = np.empty(0, dtype=np.str_)
-            empty_int = np.empty(0, dtype=np.int64)
-            return self._derive(
-                cache_key,
-                DayGroupedCounts(empty_str, empty_str, empty_int, empty_int, empty_int, 0),
-            )
-        n_pairs = len(self._domain_values) * n_countries
-        n_days = 0    #: largest day seen + 1
-        capacity = 0  #: allocated day-axis width of the accumulators
-        totals = np.zeros((n_pairs, 0), dtype=np.int64)
-        successes = np.zeros((n_pairs, 0), dtype=np.int64)
-        names = ("outcome", "domain", "country", "day") + (
-            ("automated",) if exclude_automated else ()
-        )
-        for part in self._segment_parts(names):
-            outcome = part["outcome"]
-            valid = outcome != OUTCOME_INCONCLUSIVE
-            if exclude_automated:
-                valid &= ~part["automated"]
-            day = part["day"][valid]
-            if not day.size:
-                continue
-            # Later segments may reveal later days (longitudinal ingest is
-            # strictly day-ordered, so this happens per segment); grow the
-            # day axis geometrically so the copies amortize to O(1) per
-            # segment, and slice back to the logical width at the end.
-            segment_days = int(day.max()) + 1
-            if segment_days > n_days:
-                if segment_days > capacity:
-                    capacity = max(segment_days, 2 * capacity)
-                    pad = ((0, 0), (0, capacity - totals.shape[1]))
-                    totals = np.pad(totals, pad)
-                    successes = np.pad(successes, pad)
-                n_days = segment_days
-            key = part["domain"][valid].astype(np.int64) * n_countries
-            key += part["country"][valid]
-            key *= capacity
-            key += day
-            minlength = n_pairs * capacity
-            totals += np.bincount(key, minlength=minlength).reshape(n_pairs, capacity)
-            successes += np.bincount(
-                key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
-            ).reshape(n_pairs, capacity)
-        return self._derive(
-            cache_key,
-            self._day_grouped_from_flat(
-                totals[:, :n_days], successes[:, :n_days], n_days
-            ),
         )
 
     def _day_grouped_from_flat(

@@ -8,6 +8,7 @@ from repro.core.collection import CollectionServer
 from repro.core.inference import (
     BinomialFilteringDetector,
     binomial_cdf,
+    binomial_cdf_cells,
 )
 from repro.core.tasks import MeasurementTask, TaskOutcome, TaskResult, TaskType
 from repro.netsim.latency import LinkQuality
@@ -118,6 +119,38 @@ class TestBinomialCdf:
             binomial_cdf(1, -1, 0.5)
         with pytest.raises(ValueError):
             binomial_cdf(1, 10, 1.5)
+
+
+class TestLogFactorialTable:
+    """The cumsum-extended log-factorial cache, pinned against math.lgamma."""
+
+    def test_extension_preserves_prefix_and_tracks_lgamma(self, monkeypatch):
+        import math
+
+        from repro.core import inference
+
+        # Start from a fresh one-entry table so the test exercises growth
+        # regardless of what earlier tests already expanded the cache to.
+        monkeypatch.setattr(inference, "_LOG_FACTORIALS", np.zeros(1))
+        first = inference._log_factorials(100).copy()
+        # Growing must *extend* the cached prefix, never rebuild it.
+        grown = inference._log_factorials(5000)
+        assert np.array_equal(grown[: len(first)], first)
+        assert len(grown) > 5000
+        expected = np.array([math.lgamma(i + 1.0) for i in range(0, len(grown), 97)])
+        got = grown[::97]
+        # Within a few ulp of lgamma everywhere (the extension accumulates
+        # in extended precision, so error does not grow with table length).
+        assert np.all(np.abs(got - expected) <= 4 * np.spacing(np.abs(expected)))
+
+    def test_scalar_and_vector_paths_share_the_table(self):
+        trials = np.array([500, 1200])
+        successes = np.array([300, 700])
+        cells = binomial_cdf_cells(successes, trials, 0.7)
+        for s, n, cell in zip(successes, trials, cells):
+            assert binomial_cdf(int(s), int(n), 0.7) == pytest.approx(
+                float(cell), rel=1e-12, abs=1e-300
+            )
 
 
 class TestBinomialFilteringDetector:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.censor.policy import PolicyTimeline
-from repro.core.inference import CusumChangePointDetector
+from repro.core.inference import CusumChangePointDetector, CusumState
 from repro.core.longitudinal import LongitudinalConfig, LongitudinalEngine
 from repro.core.pipeline import CampaignConfig, EncoreDeployment
 from repro.core.store import DayGroupedCounts
@@ -121,6 +121,81 @@ class TestCusumEquivalence:
 
 
 # ----------------------------------------------------------------------
+# Resumable CUSUM state: split scans ≡ cold scans, checkpoints round-trip
+# ----------------------------------------------------------------------
+def truncated_day_counts(full, boundary):
+    """The first ``boundary`` days of a DayGroupedCounts, as its own table."""
+    kept = {k: v for k, v in full.as_dict().items() if k[2] < boundary}
+    return DayGroupedCounts.from_dict(kept, n_days=boundary)
+
+
+class TestCusumResume:
+    @pytest.mark.parametrize("seed,boundaries", [
+        (0, [17]),            # one mid-series split
+        (1, [5, 23, 37]),     # several uneven increments
+        (2, [0, 50]),         # empty first call, then everything
+        (3, [10, 10, 30]),    # a no-new-days resume in the middle
+    ])
+    def test_split_scans_match_cold_scan_exactly(self, seed, boundaries):
+        rng = np.random.default_rng(seed)
+        full = random_day_counts(rng)
+        detector = CusumChangePointDetector()
+        cold = detector.detect_events(full)
+        assert cold  # the synthetic shifts are large; silence would be a bug
+        state = detector.initial_state()
+        emitted = []
+        for boundary in [*boundaries, full.n_days]:
+            emitted.extend(detector.resume(state, truncated_day_counts(full, boundary)))
+        assert emitted == cold
+        assert state.events == cold
+        assert state.days_processed == full.n_days
+        # A further resume over the same data is a no-op.
+        assert detector.resume(state, full) == []
+        assert state.events == cold
+
+    def test_checkpoint_roundtrip_mid_series(self, tmp_path):
+        rng = np.random.default_rng(5)
+        full = random_day_counts(rng)
+        detector = CusumChangePointDetector()
+        cold = detector.detect_events(full)
+        state = detector.initial_state()
+        first = detector.resume(state, truncated_day_counts(full, 25))
+        path = tmp_path / "state.json"
+        state.save(path, signature="monitor-sig")
+        restored = CusumState.load(path, signature="monitor-sig")
+        assert restored.days_processed == 25
+        assert restored.events == first
+        assert restored.cells == state.cells
+        second = detector.resume(restored, full)
+        assert first + second == cold
+        assert restored.events == cold
+
+    def test_checkpoint_signature_mismatch_is_rejected(self, tmp_path):
+        state = CusumChangePointDetector().initial_state()
+        path = tmp_path / "state.json"
+        state.save(path, signature="monitor-sig")
+        with pytest.raises(ValueError, match="signature"):
+            CusumState.load(path, signature="a-different-monitor")
+        # Loading without a signature skips the check.
+        assert CusumState.load(path).days_processed == 0
+
+    def test_baselines_survive_the_checkpoint(self, tmp_path):
+        detector = CusumChangePointDetector()
+        baselines = {"C00": 0.85, "C01": 0.95}
+        state = detector.initial_state(baselines)
+        rng = np.random.default_rng(9)
+        full = random_day_counts(rng)
+        events = detector.resume(state, truncated_day_counts(full, 20))
+        path = tmp_path / "state.json"
+        state.save(path)
+        restored = CusumState.load(path)
+        assert restored.baselines == baselines
+        # The continuation is identical whichever copy carries on.
+        assert detector.resume(restored, full) == detector.resume(state, full)
+        assert restored.events == state.events == events + restored.events[len(events):]
+
+
+# ----------------------------------------------------------------------
 # The engine: scripted policy → detected events
 # ----------------------------------------------------------------------
 class TestLongitudinalRun:
@@ -138,9 +213,9 @@ class TestLongitudinalRun:
             .onset(self.ONSET_DAY, "DE", "facebook.com")
             .offset(self.OFFSET_DAY, "DE", "facebook.com")
         )
-        config = LongitudinalConfig(
-            epochs=self.EPOCHS, visits_per_epoch=200, mode=mode, **config_kwargs
-        )
+        kwargs = {"epochs": self.EPOCHS, "visits_per_epoch": 200, "mode": mode}
+        kwargs.update(config_kwargs)
+        config = LongitudinalConfig(**kwargs)
         return deployment, deployment.run_longitudinal(timeline, config)
 
     def test_scripted_onset_detected_within_lag_bound(self):
@@ -241,6 +316,35 @@ class TestLongitudinalRun:
         config = LongitudinalConfig(trailing_epochs=4)
         assert config.resolved_epochs(timeline) == 14
 
+    def test_empty_timeline_requires_explicit_epochs(self):
+        """Regression: an event-free timeline used to silently schedule
+        ``1 + trailing_epochs`` epochs instead of failing loudly."""
+        empty = PolicyTimeline()
+        with pytest.raises(ValueError, match="event-free timeline"):
+            LongitudinalConfig().resolved_epochs(empty)
+        deployment = longitudinal_deployment(seed=53)
+        with pytest.raises(ValueError, match="event-free timeline"):
+            LongitudinalEngine(deployment, empty, LongitudinalConfig())
+        # An explicit epoch count still works on an empty timeline.
+        assert LongitudinalConfig(epochs=7).resolved_epochs(empty) == 7
+        result = deployment.run_longitudinal(
+            empty, LongitudinalConfig(epochs=2, visits_per_epoch=50)
+        )
+        assert len(result.epochs) == 2
+        assert result.events() == []
+
+    def test_events_cache_keyed_on_detector_tuning(self):
+        """Regression: the events cache used to key on store version alone,
+        so retuning ``config.detector`` returned the stale previous list."""
+        _, result = self.run_deployment(seed=47)
+        default_detector = result.config.detector
+        default_events = result.events()
+        assert default_events
+        result.config.detector = CusumChangePointDetector(threshold=10_000.0)
+        assert result.events() == []
+        result.config.detector = default_detector
+        assert result.events() == default_events
+
     def test_validation(self):
         deployment = longitudinal_deployment(seed=37)
         timeline = PolicyTimeline()
@@ -250,6 +354,81 @@ class TestLongitudinalRun:
             LongitudinalEngine(deployment, timeline, LongitudinalConfig(visits_per_epoch=0))
         with pytest.raises(ValueError):
             LongitudinalEngine(deployment, timeline, LongitudinalConfig(epochs=0))
+
+
+class TestCheckpointedMonitor:
+    """The always-on monitor loop: epoch resume + CUSUM checkpointing."""
+
+    ONSET_DAY = TestLongitudinalRun.ONSET_DAY
+    OFFSET_DAY = TestLongitudinalRun.OFFSET_DAY
+    EPOCHS = TestLongitudinalRun.EPOCHS
+    run_deployment = TestLongitudinalRun.run_deployment
+    KILL_AFTER = 9
+
+    def test_monitor_matches_stateless_run(self, tmp_path):
+        _, stateless = self.run_deployment(seed=41)
+        _, monitored = self.run_deployment(
+            seed=41, checkpoint_dir=str(tmp_path / "monitor")
+        )
+        assert monitored.monitor is not None
+        assert monitored.monitor.days_processed == self.EPOCHS
+        # The incremental per-epoch scan accumulated exactly the cold
+        # full-scan events, and events() serves them straight off the state.
+        assert monitored.events() == stateless.events()
+        assert monitored.day_counts().as_dict() == stateless.day_counts().as_dict()
+        assert not any(epoch.resumed for epoch in monitored.epochs)
+        assert (tmp_path / "monitor" / LongitudinalEngine.STATE_FILE).is_file()
+
+    def test_killed_monitor_resumes_to_identical_events(self, tmp_path):
+        checkpoint = tmp_path / "monitor"
+        _, reference = self.run_deployment(
+            seed=41, checkpoint_dir=str(tmp_path / "reference")
+        )
+        # A monitor killed after KILL_AFTER epochs (a shorter horizon stands
+        # in for the kill: the checkpoint on disk is what a crash leaves).
+        _, killed = self.run_deployment(
+            seed=41, epochs=self.KILL_AFTER, checkpoint_dir=str(checkpoint)
+        )
+        assert killed.monitor.days_processed == self.KILL_AFTER
+        # A fresh process: new deployment (same world/campaign seeds), full
+        # horizon, same checkpoint directory.
+        _, resumed = self.run_deployment(seed=41, checkpoint_dir=str(checkpoint))
+        assert [e.resumed for e in resumed.epochs[: self.KILL_AFTER]] == (
+            [True] * self.KILL_AFTER
+        )
+        assert not any(e.resumed for e in resumed.epochs[self.KILL_AFTER:])
+        assert resumed.events() == reference.events()
+        assert resumed.day_counts().as_dict() == reference.day_counts().as_dict()
+        assert resumed.monitor.days_processed == self.EPOCHS
+        # The completed epochs' events came from the checkpoint verbatim.
+        assert resumed.monitor.events[: len(killed.monitor.events)] == (
+            killed.monitor.events
+        )
+
+    def test_resume_false_starts_over(self, tmp_path):
+        checkpoint = tmp_path / "monitor"
+        _, first = self.run_deployment(
+            seed=41, epochs=self.KILL_AFTER, checkpoint_dir=str(checkpoint)
+        )
+        _, restarted = self.run_deployment(
+            seed=41, checkpoint_dir=str(checkpoint), resume=False
+        )
+        # The CUSUM state starts fresh; the epoch campaigns still adopt the
+        # completed epochs' rows from their manifests (that is cheap replay,
+        # not stale state: the fold + scan cover those rows again).
+        assert restarted.monitor.days_processed == self.EPOCHS
+        _, stateless = self.run_deployment(seed=41)
+        assert restarted.events() == stateless.events()
+
+    def test_adaptive_baselines_seed_and_persist(self, tmp_path):
+        _, result = self.run_deployment(
+            seed=43, checkpoint_dir=str(tmp_path), adaptive_baselines=True
+        )
+        baselines = result.monitor.baselines
+        assert baselines
+        assert all(0.0 < rate <= 1.0 for rate in baselines.values())
+        restored = CusumState.load(tmp_path / LongitudinalEngine.STATE_FILE)
+        assert restored.baselines == baselines
 
 
 class TestTimelineReportAttribution:

@@ -312,6 +312,90 @@ class TestDayBucketedCounts:
             other_rows
         )
 
+    @given(
+        corpus=corpora,
+        exclude_automated=st.booleans(),
+        segment_rows=st.integers(min_value=1, max_value=16),
+        by_day=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_fold_matches_cold_scan(
+        self, corpus, exclude_automated, segment_rows, by_day
+    ):
+        """Interleaved append/seal/query folds bit-identical to one cold pass.
+
+        The incremental path folds each sealed segment exactly once and
+        re-folds pending rows per call; querying between appends (on a
+        spilled store, so segments stream back off disk) must leave the
+        final answer identical to a fresh store's single full scan.
+        """
+        with tempfile.TemporaryDirectory() as tmp:
+            store = MeasurementStore(
+                segment_rows=segment_rows, max_rows_in_memory=segment_rows, spill_dir=tmp
+            )
+            step = max(1, len(corpus) // 5)
+            for start in range(0, len(corpus), step):
+                store.append_rows(corpus[start:start + step])
+                store.success_counts(exclude_automated, by_day=by_day)
+                if start % (2 * step) == 0:
+                    store.seal_pending()
+                    store.success_counts(exclude_automated, by_day=by_day)
+            cold = MeasurementStore()
+            cold.append_rows(corpus)
+            incremental = store.success_counts(exclude_automated, by_day=by_day)
+            reference = cold.success_counts(exclude_automated, by_day=by_day)
+            assert incremental.as_dict() == reference.as_dict()
+            if by_day:
+                assert incremental.n_days == reference.n_days
+                assert incremental.as_dict() == reference_day_counts(
+                    corpus, exclude_automated
+                )
+                # The dense monitor-loop accessor rides the same accumulator
+                # and must present the exact same cells in the same order as
+                # the ragged representation densified.
+                dense = store.success_day_series(exclude_automated)
+                ragged = reference.cell_series()
+                assert dense.n_days == reference.n_days
+                for mine, theirs in zip(dense.cell_series(), ragged):
+                    assert np.array_equal(mine, theirs)
+            # After any cache-missing query, the fold watermark covers every
+            # sealed segment exactly once.
+            if corpus:
+                store.append_rows(corpus[:1])
+                store.success_counts(exclude_automated, by_day=by_day)
+                state = store._count_states[
+                    ("success_counts", exclude_automated, by_day)
+                ]
+                assert state.segments_folded == len(store._segments)
+
+    @given(corpus=corpora, split=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_fold_across_adoption(self, corpus, split):
+        """Adopting a store mid-stream keeps the incremental fold exact.
+
+        Queries before the merge prime the fold state; the adopted segments
+        (pre-merge pending chunks included, read through their code remaps)
+        must then fold in once, and later appends on top of the merged store
+        must keep agreeing with the row-list reference.
+        """
+        split = min(split, len(corpus))
+        own, other_rows = corpus[:split], corpus[split:]
+        other = MeasurementStore(segment_rows=7)
+        other.append_rows(other_rows)
+        store = MeasurementStore(segment_rows=5)
+        store.append_rows(own)
+        store.success_counts(by_day=True)  # prime the fold state pre-merge
+        store.success_counts()
+        store.adopt_segments_from(other)
+        assert store.success_counts(by_day=True).as_dict() == reference_day_counts(
+            corpus
+        )
+        assert store.success_counts().as_dict() == reference_success_counts(corpus)
+        store.append_rows(own)  # keep growing after the merge
+        assert store.success_counts(by_day=True).as_dict() == reference_day_counts(
+            corpus + own
+        )
+
     @given(corpus=corpora, exclude_automated=st.booleans(), mask_seed=st.integers(0, 2**16))
     @settings(max_examples=40, deadline=None)
     def test_masked_by_day_equals_reference_subset(self, corpus, exclude_automated, mask_seed):
