@@ -22,6 +22,9 @@ from repro.population.world import World, WorldConfig
 
 VISITS = 25_000
 MIN_SPEEDUP = 5.0
+# repro-lint: disable=bench-hygiene -- deliberate smoke benchmark: conftest
+# lists this module in SMOKE_MODULES so the ~seconds-scale 5x runner check
+# runs on every push; its key IS registered in check_regression.py.
 REPORT_PATH = Path(__file__).parent / "BENCH_runner.json"
 
 

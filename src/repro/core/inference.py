@@ -22,8 +22,6 @@ from __future__ import annotations
 
 import json
 import math
-import os
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
@@ -424,26 +422,18 @@ class CusumState:
         )
 
     def save(self, path: str | Path, signature: str | None = None) -> None:
-        """Checkpoint to ``path`` atomically (scratch file + rename).
+        """Checkpoint to ``path`` atomically via ``shard.write_json_atomic``.
 
         ``signature`` names what produced this state (detector tuning +
         campaign identity); :meth:`load` refuses a checkpoint whose
         signature does not match, so a retuned monitor never silently
         resumes from another configuration's state.
         """
-        path = Path(path)
-        payload = {"signature": signature, "state": self.to_payload()}
-        fd, scratch = tempfile.mkstemp(
-            prefix=path.name + ".", suffix=".tmp", dir=path.parent
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(scratch, path)
-        except BaseException:
-            if os.path.exists(scratch):
-                os.unlink(scratch)
-            raise
+        # Local import: shard pulls in the whole runner/netsim stack, which
+        # this leaf module should not load just to be importable.
+        from repro.core.shard import write_json_atomic
+
+        write_json_atomic(path, {"signature": signature, "state": self.to_payload()})
 
     @classmethod
     def load(cls, path: str | Path, signature: str | None = None) -> "CusumState":

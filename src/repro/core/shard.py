@@ -315,18 +315,48 @@ def serialize_value_tables(tables: dict[str, list]) -> dict[str, list]:
 
 
 def write_json_atomic(path: str | Path, payload: dict) -> Path:
-    """Write ``payload`` as JSON via scratch file + rename.
+    """Write ``payload`` as JSON via scratch file + fsync + rename.
 
     The rename is what makes the file's *presence* trustworthy as a commit
     marker: a process killed mid-write leaves only the ``.tmp`` scratch,
-    which readers ignore.  Shard manifests, campaign files, and the
-    longitudinal monitor's resume markers all go through here.
+    which readers ignore (and which the next write reclaims).  The scratch
+    is fsynced before the rename — and the directory entry after it — so
+    the committed file survives power loss, not just process death.  Shard
+    manifests, campaign files, and the longitudinal monitor's resume
+    markers all go through here; repro-lint's ``atomic-json-write`` rule
+    keeps it that way.
     """
     path = Path(path)
     scratch = path.with_suffix(".tmp")
-    scratch.write_text(json.dumps(payload, indent=1))
-    os.replace(scratch, path)
+    encoded = json.dumps(payload, indent=1)
+    try:
+        with open(scratch, "w") as handle:
+            handle.write(encoded)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, path)
+    except BaseException:
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
     return path
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a rename's directory entry; best-effort off POSIX."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic/readonly platforms
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)
 
 
 def write_manifest(shard_dir: str | Path, manifest: dict) -> Path:

@@ -1,0 +1,31 @@
+"""Development tooling: the ``repro-lint`` invariant checker.
+
+Every result this reproduction reports rests on three hand-maintained
+contracts:
+
+* **Determinism** — all randomness derives from configured seeds (and, in
+  the block-planning modules, from the ``[seed, tag, epoch, block_index]``
+  idiom), so sharded campaigns stay row-for-row identical to batch runs.
+* **Atomic checkpoints** — every ``.json`` manifest/checkpoint is written
+  via :func:`repro.core.shard.write_json_atomic`, so a file's *presence* is
+  a trustworthy commit marker across crashes.
+* **Equivalence pinning** — every vectorized hot path keeps a scalar
+  ``*_reference`` twin that at least one test compares it against.
+
+``python -m repro.devtools.lint src benchmarks`` enforces these (plus
+ordering, pickling, and benchmark-hygiene invariants) mechanically with a
+dependency-free AST pass; see ``docs/invariants.md`` for the rule catalog
+and the suppression syntax.
+"""
+
+from repro.devtools.engine import Finding, LintContext, SourceFile, run_lint
+from repro.devtools.rules import RULES, all_rule_ids
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "RULES",
+    "SourceFile",
+    "all_rule_ids",
+    "run_lint",
+]

@@ -1,0 +1,368 @@
+"""The repro-lint engine: file scanning, suppressions, and rule dispatch.
+
+The engine is deliberately dependency-free (``ast`` + ``re`` only) so the
+linter can run first in CI, before any toolchain install beyond Python
+itself.  It parses every ``.py`` file under the requested roots once,
+attaches per-line suppressions, and hands each file to every registered
+rule; cross-file facts (which names the test suite touches, which BENCH
+keys the regression gate registers) live on the shared
+:class:`LintContext` and are computed lazily, once per run.
+
+Suppression syntax (one line, trailing or standalone)::
+
+    risky_call()  # repro-lint: disable=rule-id -- why this is exempt
+    # repro-lint: disable=rule-a,rule-b -- why the next line is exempt
+    risky_call()
+
+A standalone suppression comment applies to the next non-comment line; a
+trailing one applies to its own line.  The justification after ``--`` is
+mandatory, unknown rule ids are rejected, and a suppression that matches
+no finding is itself reported (``unused-suppression``) so stale exemptions
+cannot linger after the code they excused is gone.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: Meta rule ids emitted by the engine itself (not by registry rules).
+PARSE_ERROR = "parse-error"
+BAD_SUPPRESSION = "bad-suppression"
+UNUSED_SUPPRESSION = "unused-suppression"
+META_RULE_IDS = (PARSE_ERROR, BAD_SUPPRESSION, UNUSED_SUPPRESSION)
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_\-, ]+?)"
+    r"\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: where it is and why it matters."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_payload(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# repro-lint: disable=...`` comment."""
+
+    line: int            # line the comment sits on
+    target_line: int     # line whose findings it suppresses
+    rules: tuple[str, ...]
+    justification: str | None
+    used_rules: set[str] = field(default_factory=set)
+
+
+class SourceFile:
+    """One parsed file plus its suppressions, as rules see it."""
+
+    def __init__(self, path: Path, relpath: str, text: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.parse_failure: str | None = None
+        try:
+            self.tree: ast.Module | None = ast.parse(text)
+        except SyntaxError as error:
+            self.tree = None
+            self.parse_failure = f"line {error.lineno}: {error.msg}"
+        self.suppressions = _parse_suppressions(text, self.lines)
+        self._by_target: dict[int, list[Suppression]] = {}
+        for suppression in self.suppressions:
+            self._by_target.setdefault(suppression.target_line, []).append(suppression)
+
+    @property
+    def name(self) -> str:
+        return self.path.name
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Whether a finding of ``rule`` at ``line`` is suppressed (marks use)."""
+        hit = False
+        for suppression in self._by_target.get(line, ()):
+            if rule in suppression.rules:
+                suppression.used_rules.add(rule)
+                hit = True
+        return hit
+
+
+def _parse_suppressions(text: str, lines: Sequence[str]) -> list[Suppression]:
+    """Suppressions from real COMMENT tokens (strings never match)."""
+    suppressions = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions  # unparseable files already get a parse-error
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            continue
+        index, column = token.start
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        standalone = lines[index - 1][:column].strip() == ""
+        target = _next_code_line(lines, index) if standalone else index
+        suppressions.append(
+            Suppression(
+                line=index,
+                target_line=target,
+                rules=rules,
+                justification=match.group("why"),
+            )
+        )
+    return suppressions
+
+
+def _next_code_line(lines: Sequence[str], comment_line: int) -> int:
+    """The first line after ``comment_line`` that holds code (1-indexed)."""
+    for index in range(comment_line, len(lines)):
+        stripped = lines[index].strip()
+        if stripped and not stripped.startswith("#"):
+            return index + 1
+    return comment_line
+
+
+class LintContext:
+    """Cross-file facts shared by every rule during one run."""
+
+    def __init__(self, root: Path, files: Sequence[SourceFile]) -> None:
+        self.root = root
+        self.files = list(files)
+        self.by_relpath = {f.relpath: f for f in self.files}
+        self._test_names: set[str] | None = None
+        self._smoke_modules: set[str] | None = None
+        self._bench_keys: set[str] | None = None
+
+    # ------------------------------------------------------------------
+    def _benchmark_file(self, name: str) -> SourceFile | None:
+        """``benchmarks/<name>`` from the scanned set, else read off disk."""
+        scanned = self.by_relpath.get(f"benchmarks/{name}")
+        if scanned is not None:
+            return scanned
+        path = self.root / "benchmarks" / name
+        if not path.is_file():
+            return None
+        return SourceFile(path, f"benchmarks/{name}", path.read_text())
+
+    def test_referenced_names(self) -> set[str]:
+        """Every identifier and attribute name the test suite mentions.
+
+        The reference-pairing rule checks ``*_reference`` definitions
+        against this set: a name absent here is a scalar reference no test
+        ever pins the vectorized path to.
+        """
+        if self._test_names is None:
+            names: set[str] = set()
+            tests_dir = self.root / "tests"
+            if tests_dir.is_dir():
+                for path in sorted(tests_dir.rglob("*.py")):
+                    try:
+                        tree = ast.parse(path.read_text())
+                    except (OSError, SyntaxError):
+                        continue
+                    for node in ast.walk(tree):
+                        if isinstance(node, ast.Name):
+                            names.add(node.id)
+                        elif isinstance(node, ast.Attribute):
+                            names.add(node.attr)
+            self._test_names = names
+        return self._test_names
+
+    def smoke_modules(self) -> set[str] | None:
+        """``SMOKE_MODULES`` from ``benchmarks/conftest.py``, or ``None``.
+
+        ``None`` means there is no conftest auto-marking at all, so every
+        BENCH-writing module needs an explicit ``pytest.mark.slow``.
+        """
+        if self._smoke_modules is None:
+            conftest = self._benchmark_file("conftest.py")
+            if conftest is None or conftest.tree is None:
+                self._smoke_modules = None
+            else:
+                self._smoke_modules = _string_collection(
+                    conftest.tree, "SMOKE_MODULES"
+                )
+        return self._smoke_modules
+
+    def registered_bench_keys(self) -> set[str]:
+        """The ``RATIO_FIELDS`` keys of ``benchmarks/check_regression.py``."""
+        if self._bench_keys is None:
+            gate = self._benchmark_file("check_regression.py")
+            keys: set[str] = set()
+            if gate is not None and gate.tree is not None:
+                for node in ast.walk(gate.tree):
+                    value = _assigned_value(node, "RATIO_FIELDS")
+                    if isinstance(value, ast.Dict):
+                        for key in value.keys:
+                            if isinstance(key, ast.Constant) and isinstance(
+                                key.value, str
+                            ):
+                                keys.add(key.value)
+            self._bench_keys = keys
+        return self._bench_keys
+
+
+def _assigned_value(node: ast.AST, name: str) -> ast.AST | None:
+    """The value assigned to ``name``, covering plain and annotated forms."""
+    if isinstance(node, ast.Assign):
+        if any(isinstance(t, ast.Name) and t.id == name for t in node.targets):
+            return node.value
+    elif isinstance(node, ast.AnnAssign):
+        if isinstance(node.target, ast.Name) and node.target.id == name:
+            return node.value
+    return None
+
+
+def _string_collection(tree: ast.Module, name: str) -> set[str] | None:
+    """The string elements of a module-level tuple/list/set named ``name``."""
+    for node in tree.body:
+        value = _assigned_value(node, name)
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            return {
+                element.value
+                for element in value.elts
+                if isinstance(element, ast.Constant) and isinstance(element.value, str)
+            }
+    return None
+
+
+# ----------------------------------------------------------------------
+# File collection and the run itself
+# ----------------------------------------------------------------------
+def iter_python_files(root: Path, targets: Sequence[str | Path]) -> list[Path]:
+    """Every ``.py`` file under the targets, sorted, hidden dirs skipped."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"lint target does not exist: {target}")
+        for candidate in candidates:
+            parts = candidate.relative_to(path.parent if path.is_file() else path).parts
+            if any(p.startswith(".") or p == "__pycache__" for p in parts[:-1]):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                ordered.append(candidate)
+    return ordered
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_files(root: Path, targets: Sequence[str | Path]) -> list[SourceFile]:
+    return [
+        SourceFile(path, _relpath(path, root), path.read_text())
+        for path in iter_python_files(root, targets)
+    ]
+
+
+def run_lint(
+    root: str | Path,
+    targets: Sequence[str | Path],
+    rules: Iterable | None = None,
+) -> tuple[list[Finding], LintContext]:
+    """Lint every file under ``targets``; return (findings, context).
+
+    Findings come back sorted by (path, line, rule) so output — and the
+    ``--json`` artifact CI uploads — is stable across runs and platforms.
+    """
+    from repro.devtools.rules import RULES, all_rule_ids
+
+    active = list(RULES if rules is None else rules)
+    known_ids = all_rule_ids(active)
+    root = Path(root)
+    files = load_files(root, targets)
+    ctx = LintContext(root, files)
+    findings: list[Finding] = []
+    for file in files:
+        if file.parse_failure is not None:
+            findings.append(
+                Finding(PARSE_ERROR, file.relpath, 1, file.parse_failure)
+            )
+            continue
+        for rule in active:
+            if not rule.applies(file):
+                continue
+            for finding in rule.check(file, ctx):
+                if not file.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+        findings.extend(_suppression_findings(file, known_ids))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, ctx
+
+
+def _suppression_findings(file: SourceFile, known_ids: set[str]) -> list[Finding]:
+    """Malformed and unused suppressions, reported after the rules ran."""
+    findings = []
+    for suppression in file.suppressions:
+        unknown = [rule for rule in suppression.rules if rule not in known_ids]
+        if unknown:
+            findings.append(
+                Finding(
+                    BAD_SUPPRESSION,
+                    file.relpath,
+                    suppression.line,
+                    f"suppression names unknown rule(s) {', '.join(unknown)}",
+                )
+            )
+            continue
+        if not suppression.justification:
+            findings.append(
+                Finding(
+                    BAD_SUPPRESSION,
+                    file.relpath,
+                    suppression.line,
+                    "suppression carries no justification "
+                    "(write `# repro-lint: disable=<rule> -- <why>`)",
+                )
+            )
+            continue
+        stale = [r for r in suppression.rules if r not in suppression.used_rules]
+        if stale:
+            findings.append(
+                Finding(
+                    UNUSED_SUPPRESSION,
+                    file.relpath,
+                    suppression.line,
+                    f"suppression for {', '.join(stale)} matches no finding; "
+                    "remove it so exemptions track the code they excuse",
+                )
+            )
+    return findings

@@ -1,0 +1,99 @@
+"""repro-lint CLI: ``python -m repro.devtools.lint [paths...]``.
+
+Exit codes: 0 — clean; 1 — findings; 2 — usage error (bad target, bad
+flag).  Human output is one ``path:line: [rule] message`` per finding (the
+format editors and CI annotations both understand); ``--json`` emits a
+machine-readable report instead, which the scheduled CI lane uploads as an
+artifact next to the BENCH results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.devtools.engine import run_lint
+from repro.devtools.rules import RULES
+
+DEFAULT_TARGETS = ("src", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=list(DEFAULT_TARGETS),
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="repository root that relative targets, tests/, and "
+        "benchmarks/ resolve against (default: the working directory)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id}: {rule.summary}")
+        return 0
+    try:
+        findings, ctx = run_lint(args.root, args.targets)
+    except FileNotFoundError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "clean": not findings,
+                    "files_scanned": len(ctx.files),
+                    "rules": sorted(rule.id for rule in RULES),
+                    "findings": [finding.to_payload() for finding in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            plural = "s" if len(findings) != 1 else ""
+            print(
+                f"repro-lint: {len(findings)} finding{plural} "
+                f"in {len(ctx.files)} files"
+            )
+        else:
+            print(
+                f"repro-lint: clean ({len(ctx.files)} files, "
+                f"{len(RULES)} rules)"
+            )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # downstream consumer (e.g. `| head`) hung up
+        raise SystemExit(0)

@@ -25,6 +25,7 @@ from repro.core.shard import (
     campaign_signature,
     execute_shard,
     load_manifest,
+    write_json_atomic,
 )
 from repro.core.store import MeasurementStore
 from repro.core.tasks import TaskOutcome, TaskType
@@ -546,3 +547,72 @@ class TestDefaultShardCount:
         assert recorded["num_shards"] == 2
         reference = small_deployment("batch").run_campaign()
         assert measurement_key(result) == measurement_key(reference)
+
+
+class TestWriteJsonAtomic:
+    """Durability contract: a committed .json is whole or absent, never partial."""
+
+    def test_round_trip_and_no_scratch_left_behind(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        payload = {"blocks": [1, 2, 3], "rate": 0.25}
+        returned = write_json_atomic(path, payload)
+        assert returned == path
+        assert json.loads(path.read_text()) == payload
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_scratch_is_fsynced_before_the_rename(self, tmp_path, monkeypatch):
+        from repro.core import shard as shard_module
+
+        events = []
+        real_fsync, real_replace = shard_module.os.fsync, shard_module.os.replace
+        monkeypatch.setattr(
+            shard_module.os, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))
+        )
+        monkeypatch.setattr(
+            shard_module.os,
+            "replace",
+            lambda src, dst: (events.append("replace"), real_replace(src, dst)),
+        )
+        write_json_atomic(tmp_path / "manifest.json", {"ok": True})
+        # File fsync strictly precedes the commit rename; the directory
+        # entry is flushed after it.
+        assert events[0] == "fsync"
+        assert "replace" in events
+        assert events.index("fsync") < events.index("replace")
+
+    def test_failed_commit_leaves_no_partial_json(self, tmp_path, monkeypatch):
+        from repro.core import shard as shard_module
+
+        path = tmp_path / "manifest.json"
+
+        def explode(src, dst):
+            raise OSError("injected rename failure")
+
+        monkeypatch.setattr(shard_module.os, "replace", explode)
+        with pytest.raises(OSError, match="injected"):
+            write_json_atomic(path, {"rows": 7})
+        assert not path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_commit_preserves_the_previous_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.core import shard as shard_module
+
+        path = tmp_path / "manifest.json"
+        write_json_atomic(path, {"epoch": 1})
+
+        def explode(src, dst):
+            raise OSError("injected rename failure")
+
+        monkeypatch.setattr(shard_module.os, "replace", explode)
+        with pytest.raises(OSError, match="injected"):
+            write_json_atomic(path, {"epoch": 2})
+        assert json.loads(path.read_text()) == {"epoch": 1}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_unserializable_payload_touches_nothing(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        with pytest.raises(TypeError):
+            write_json_atomic(path, {"store": object()})
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,8 @@
+"""Keep pytest out of the lint fixture corpus.
+
+``fixtures/`` holds two miniature repositories (one violating every
+repro-lint rule, one clean) whose files deliberately look like tests and
+benchmarks; they exist to be *parsed* by the linter, never collected.
+"""
+
+collect_ignore = ["fixtures"]

@@ -1,0 +1,3 @@
+"""Fixture regression gate with the widget benchmark registered."""
+
+RATIO_FIELDS = {"BENCH_widget.json": "speedup"}

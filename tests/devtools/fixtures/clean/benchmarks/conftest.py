@@ -1,0 +1,3 @@
+"""Fixture conftest: no smoke exemptions, every bench module auto-slow."""
+
+SMOKE_MODULES: tuple[str, ...] = ()

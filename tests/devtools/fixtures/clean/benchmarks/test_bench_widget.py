@@ -1,0 +1,10 @@
+"""Fixture benchmark: auto-slow via conftest, key registered in the gate."""
+
+import json
+from pathlib import Path
+
+REPORT_PATH = Path(__file__).parent / "BENCH_widget.json"
+
+
+def test_widget_speedup() -> None:
+    REPORT_PATH.write_text(json.dumps({"speedup": 2.0}))

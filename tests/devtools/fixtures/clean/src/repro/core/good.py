@@ -1,0 +1,41 @@
+"""Fixture: one clean counterpart per repro-lint rule."""
+
+from pathlib import Path
+
+import numpy as np
+
+
+def seeded_sample(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.random())
+
+
+def total_reference(values: list[int]) -> int:
+    total = 0
+    for value in values:
+        total += value
+    return total
+
+
+def ordered(values: list[str], spill_dir: Path) -> list[str]:
+    rows = [value for value in sorted(set(values))]
+    for path in sorted(spill_dir.glob("*.npz")):
+        rows.append(path.name)
+    return rows
+
+
+def checkpoint(path: Path, payload: dict) -> None:
+    from repro.core.shard import write_json_atomic
+
+    write_json_atomic(path, payload)
+
+
+def double(item: int) -> int:
+    return item * 2
+
+
+def fan_out(items: list[int]) -> None:
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor() as pool:
+        pool.map(double, items)

@@ -1,0 +1,8 @@
+"""Fixture: block-planning module using the derived-seed list idiom."""
+
+import numpy as np
+
+
+def plan_block(seed: int, epoch: int, block_index: int) -> np.ndarray:
+    rng = np.random.default_rng([seed, 11, epoch, block_index])
+    return rng.random(4)

@@ -1,0 +1,7 @@
+"""Fixture test pinning the scalar reference (reference-pairing contract)."""
+
+
+def test_total_reference() -> None:
+    from repro.core.good import total_reference
+
+    assert total_reference([1, 2]) == 3

@@ -1,0 +1,3 @@
+"""Fixture regression gate that registers no benchmark keys."""
+
+RATIO_FIELDS: dict[str, str] = {}

@@ -1,0 +1,3 @@
+"""Fixture conftest: the widget module is exempt from auto-slow marking."""
+
+SMOKE_MODULES = ("test_bench_widget.py",)

@@ -1,0 +1,10 @@
+"""Fixture benchmark: writes a BENCH file, unmarked and unregistered."""
+
+import json
+from pathlib import Path
+
+REPORT_PATH = Path(__file__).parent / "BENCH_widget.json"
+
+
+def test_widget_speedup() -> None:
+    REPORT_PATH.write_text(json.dumps({"speedup": 2.0}))

@@ -1,0 +1,10 @@
+"""Fixture: .json writes that bypass shard.write_json_atomic."""
+
+import json
+from pathlib import Path
+
+
+def checkpoint(payload: dict, directory: Path) -> None:
+    with open(directory / "state.json", "w") as handle:
+        json.dump(payload, handle)
+    (directory / "index.json").write_text(json.dumps(payload))

@@ -1,0 +1,20 @@
+"""Fixture: hash-order and filesystem-order leaks."""
+
+import os
+from pathlib import Path
+
+
+def leaky(values: list[str]) -> list[str]:
+    rows = []
+    for value in {"a", "b", "c"}:
+        rows.append(value)
+    for distinct in set(values):
+        rows.append(distinct)
+    return rows
+
+
+def segments(spill_dir: Path) -> list[str]:
+    names = [path.name for path in spill_dir.glob("*.npz")]
+    for entry in os.listdir(spill_dir):
+        names.append(entry)
+    return names

@@ -1,0 +1,22 @@
+"""Fixture: unpicklable work shipped to process pools."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Process
+
+
+def fan_out(items: list[int]) -> None:
+    def helper(item: int) -> int:
+        return item * 2
+
+    with ProcessPoolExecutor() as pool:
+        pool.submit(lambda: 1)
+        pool.map(helper, items)
+    Process(target=helper).start()
+
+
+class Sweeper:
+    def run(self, executor: ProcessPoolExecutor) -> None:
+        executor.submit(self.step)
+
+    def step(self) -> None:
+        return None

@@ -1,0 +1,8 @@
+"""Fixture: a scalar reference no test ever pins."""
+
+
+def orphan_reference(values: list[int]) -> int:
+    total = 0
+    for value in values:
+        total += value
+    return total

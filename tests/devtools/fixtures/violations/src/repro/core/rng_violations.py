@@ -1,0 +1,24 @@
+"""Fixture: every flavor of rng-discipline violation."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def unseeded_generator() -> np.random.Generator:
+    return np.random.default_rng()
+
+
+def global_stream_draw() -> float:
+    return float(np.random.uniform())
+
+
+def stdlib_draw() -> float:
+    return random.random()
+
+
+def stamped() -> tuple[float, str]:
+    started = time.time()
+    return started, datetime.now().isoformat()

@@ -1,0 +1,8 @@
+"""Fixture: a block-planning module whose seed is not block-derived."""
+
+import numpy as np
+
+
+def plan_block(seed: int, epoch: int, block_index: int) -> np.ndarray:
+    rng = np.random.default_rng(seed + block_index)
+    return rng.random(4)

@@ -1,0 +1,84 @@
+"""The repro-lint rule catalog against the fixture corpora.
+
+``fixtures/violations`` is a miniature repository breaking every rule at
+known lines; ``fixtures/clean`` does the same work correctly.  Pinning the
+exact (rule, path, line) set keeps both false negatives *and* false
+positives from creeping into the rules.
+"""
+
+from pathlib import Path
+
+from repro.devtools import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(name: str):
+    findings, _ = run_lint(FIXTURES / name, ["src", "benchmarks"])
+    return findings
+
+
+class TestViolationsCorpus:
+    EXPECTED = {
+        ("bench-hygiene", "benchmarks/test_bench_widget.py", 6),
+        ("atomic-json-write", "src/repro/core/json_violations.py", 8),
+        ("atomic-json-write", "src/repro/core/json_violations.py", 9),
+        ("atomic-json-write", "src/repro/core/json_violations.py", 10),
+        ("ordered-iteration", "src/repro/core/order_violations.py", 9),
+        ("ordered-iteration", "src/repro/core/order_violations.py", 11),
+        ("ordered-iteration", "src/repro/core/order_violations.py", 17),
+        ("ordered-iteration", "src/repro/core/order_violations.py", 18),
+        ("worker-pickle-safety", "src/repro/core/pool_violations.py", 12),
+        ("worker-pickle-safety", "src/repro/core/pool_violations.py", 13),
+        ("worker-pickle-safety", "src/repro/core/pool_violations.py", 14),
+        ("worker-pickle-safety", "src/repro/core/pool_violations.py", 19),
+        ("reference-pairing", "src/repro/core/reference_violations.py", 4),
+        ("rng-discipline", "src/repro/core/rng_violations.py", 3),
+        ("rng-discipline", "src/repro/core/rng_violations.py", 11),
+        ("rng-discipline", "src/repro/core/rng_violations.py", 15),
+        ("rng-discipline", "src/repro/core/rng_violations.py", 23),
+        ("rng-discipline", "src/repro/core/rng_violations.py", 24),
+        ("rng-discipline", "src/repro/core/runner.py", 7),
+    }
+
+    def test_every_rule_fires_at_the_expected_lines(self):
+        findings = lint_fixture("violations")
+        observed = {(f.rule, f.path, f.line) for f in findings}
+        assert observed == self.EXPECTED
+
+    def test_widget_bench_draws_both_hygiene_findings(self):
+        # Unregistered key + missing slow marker anchor at the same line.
+        findings = lint_fixture("violations")
+        hygiene = [f for f in findings if f.rule == "bench-hygiene"]
+        assert len(hygiene) == 2
+        assert any("RATIO_FIELDS" in f.message for f in hygiene)
+        assert any("slow marker" in f.message for f in hygiene)
+
+    def test_findings_render_as_path_line_rule(self):
+        finding = lint_fixture("violations")[0]
+        rendered = finding.render()
+        assert rendered.startswith(f"{finding.path}:{finding.line}: [{finding.rule}]")
+        assert finding.to_payload() == {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+
+
+class TestCleanCorpus:
+    def test_clean_corpus_has_no_findings(self):
+        assert lint_fixture("clean") == []
+
+    def test_dropping_the_reference_test_breaks_the_pairing(self, tmp_path):
+        # The clean corpus minus its tests/ directory: total_reference loses
+        # its pinning test and the pairing rule must notice.
+        import shutil
+
+        stripped = tmp_path / "corpus"
+        shutil.copytree(FIXTURES / "clean", stripped)
+        shutil.rmtree(stripped / "tests")
+        findings, _ = run_lint(stripped, ["src", "benchmarks"])
+        assert [(f.rule, f.path) for f in findings] == [
+            ("reference-pairing", "src/repro/core/good.py")
+        ]

@@ -1,0 +1,127 @@
+"""Suppression syntax: justified exemptions, and nothing quieter than that."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import run_lint
+
+
+def corpus(tmp_path: Path, source: str, relpath: str = "src/repro/core/mod.py"):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return tmp_path
+
+
+def lint(root: Path):
+    findings, _ = run_lint(root, ["src"])
+    return findings
+
+
+VIOLATION = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+class TestSuppressionSyntax:
+    def test_trailing_suppression_silences_its_own_line(self, tmp_path):
+        root = corpus(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng()"
+            "  # repro-lint: disable=rng-discipline -- fixture justification\n",
+        )
+        assert lint(root) == []
+
+    def test_standalone_suppression_covers_the_next_code_line(self, tmp_path):
+        root = corpus(
+            tmp_path,
+            "import numpy as np\n"
+            "# repro-lint: disable=rng-discipline -- fixture justification\n"
+            "rng = np.random.default_rng()\n",
+        )
+        assert lint(root) == []
+
+    def test_suppression_lists_multiple_rules(self, tmp_path):
+        root = corpus(
+            tmp_path,
+            "import json\n"
+            "import numpy as np\n"
+            "# repro-lint: disable=rng-discipline,atomic-json-write -- fixture\n"
+            "json.dump(np.random.default_rng(), open('x.json', 'w'))\n",
+        )
+        assert lint(root) == []
+
+    def test_unrelated_rule_does_not_suppress(self, tmp_path):
+        root = corpus(
+            tmp_path,
+            "import numpy as np\n"
+            "# repro-lint: disable=ordered-iteration -- wrong rule entirely\n"
+            "rng = np.random.default_rng()\n",
+        )
+        rules = sorted(f.rule for f in lint(root))
+        assert rules == ["rng-discipline", "unused-suppression"]
+
+    def test_suppression_text_inside_strings_is_ignored(self, tmp_path):
+        root = corpus(
+            tmp_path,
+            'DOC = "# repro-lint: disable=rng-discipline -- not a comment"\n'
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n",
+        )
+        assert [f.rule for f in lint(root)] == ["rng-discipline"]
+
+
+class TestSuppressionHygiene:
+    def test_justification_is_mandatory(self, tmp_path):
+        root = corpus(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro-lint: disable=rng-discipline\n",
+        )
+        findings = lint(root)
+        assert [f.rule for f in findings] == ["bad-suppression"]
+        assert "justification" in findings[0].message
+        assert findings[0].line == 2
+
+    def test_unknown_rule_ids_are_rejected(self, tmp_path):
+        root = corpus(
+            tmp_path,
+            "x = 1  # repro-lint: disable=no-such-rule -- because\n",
+        )
+        findings = lint(root)
+        assert [f.rule for f in findings] == ["bad-suppression"]
+        assert "no-such-rule" in findings[0].message
+
+    def test_unused_suppressions_are_reported(self, tmp_path):
+        root = corpus(
+            tmp_path,
+            "x = 1  # repro-lint: disable=rng-discipline -- nothing here anymore\n",
+        )
+        findings = lint(root)
+        assert [f.rule for f in findings] == ["unused-suppression"]
+        assert "rng-discipline" in findings[0].message
+
+    def test_suppressions_cannot_hide_their_own_hygiene_findings(self, tmp_path):
+        root = corpus(
+            tmp_path,
+            "x = 1  # repro-lint: disable=bad-suppression\n",
+        )
+        assert [f.rule for f in lint(root)] == ["bad-suppression"]
+
+
+class TestEngineEdges:
+    def test_syntax_errors_surface_as_parse_error(self, tmp_path):
+        root = corpus(tmp_path, "def broken(:\n")
+        findings = lint(root)
+        assert [f.rule for f in findings] == ["parse-error"]
+
+    def test_missing_target_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_lint(tmp_path, ["no-such-dir"])
+
+    def test_findings_are_sorted_and_stable(self, tmp_path):
+        root = corpus(tmp_path, VIOLATION + "import random\n")
+        first = [f.render() for f in lint(root)]
+        second = [f.render() for f in lint(root)]
+        assert first == second
+        assert first == sorted(first)
