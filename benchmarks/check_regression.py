@@ -41,6 +41,22 @@ RATIO_FIELDS = {
 #: Largest tolerated relative drop of a ratio before the gate fails.
 MAX_REGRESSION = 0.25
 MIN_CPUS = 4
+#: Relative peak-RSS growth (vs. the baseline's recorded telemetry) that
+#: draws a warning.  Memory is trended warn-only: RSS depends on the
+#: allocator, interpreter build, and test ordering, so growth is a prompt
+#: to investigate, never a CI failure.
+MEMORY_CEILING = 0.50
+
+
+def peak_rss_kb(report: dict | None) -> float | None:
+    """The ``telemetry.peak_rss_kb`` a benchmark report carries, if any."""
+    if not isinstance(report, dict):
+        return None
+    telemetry = report.get("telemetry")
+    if not isinstance(telemetry, dict):
+        return None
+    value = telemetry.get("peak_rss_kb")
+    return float(value) if isinstance(value, (int, float)) and value > 0 else None
 
 
 def committed_baseline(name: str) -> dict | None:
@@ -79,6 +95,11 @@ def main(argv: list[str] | None = None) -> int:
         "--max-regression", type=float, default=MAX_REGRESSION,
         help="largest tolerated relative ratio drop (default 0.25)",
     )
+    parser.add_argument(
+        "--memory-ceiling", type=float, default=MEMORY_CEILING,
+        help="relative peak-RSS growth that draws a warning — warn-only, "
+             "never fails the gate (default 0.5)",
+    )
     args = parser.parse_args(argv)
 
     cpus = os.cpu_count() or 1
@@ -112,6 +133,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name}: {field} {old:.2f} -> {new:.2f} (floor {floor:.2f}) {verdict}")
         if new < floor:
             failures.append(name)
+
+        old_rss = peak_rss_kb(baseline)
+        new_rss = peak_rss_kb(fresh)
+        if old_rss is not None and new_rss is not None:
+            ceiling = old_rss * (1.0 + args.memory_ceiling)
+            if new_rss > ceiling:
+                print(
+                    f"{name}: WARN peak RSS {old_rss:.0f}kB -> {new_rss:.0f}kB "
+                    f"(ceiling {ceiling:.0f}kB) — memory growth is warn-only, "
+                    "not a gate failure"
+                )
+            else:
+                print(f"{name}: peak RSS {old_rss:.0f}kB -> {new_rss:.0f}kB ok")
 
     if failures:
         print(f"FAIL: ratio regressions >25% in: {', '.join(failures)}")

@@ -9,11 +9,13 @@ produces each table or figure.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.obs.metrics import get_registry
 from repro.core.pipeline import CampaignConfig, EncoreDeployment
 from repro.core.targets import TargetList
 from repro.core.task_generation import TaskGenerationLimits, TaskGenerationPipeline
@@ -100,3 +102,37 @@ def scale_result(scale_deployment: EncoreDeployment):
 @pytest.fixture(scope="session")
 def bench_rng() -> np.random.Generator:
     return np.random.default_rng(777)
+
+
+@pytest.fixture()
+def bench_report_writer():
+    """Write a ``BENCH_*.json``, folding in MetricsRegistry telemetry.
+
+    Every benchmark report gains a ``telemetry`` section recording the
+    process's peak RSS and the rows-per-second achieved by the timed run,
+    so the scheduled regression lane can trend memory alongside the
+    speedup ratios (``check_regression.py`` warns — never fails — on
+    memory growth).  Reading the registry here is sanctioned: benchmarks
+    sit outside ``src/repro/``, where the telemetry-hygiene rule bans
+    read-backs.
+    """
+    registry = get_registry()
+    rows_before = registry.counter("store.rows_ingested").value
+
+    def write(path: Path, report: dict, *, rows: int | None = None,
+              seconds: float | None = None) -> dict:
+        registry.update_peak_rss()
+        snapshot = registry.snapshot()
+        if rows is None:
+            rows = snapshot["counters"].get("store.rows_ingested", 0) - rows_before
+        telemetry = {
+            "peak_rss_kb": snapshot["gauges"].get("process.peak_rss_kb", 0.0),
+            "rows": int(rows),
+        }
+        if seconds and seconds > 0:
+            telemetry["rows_per_sec"] = round(rows / seconds, 1)
+        report["telemetry"] = telemetry
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        return report
+
+    return write

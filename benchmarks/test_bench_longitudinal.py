@@ -18,7 +18,6 @@ equivalence checks have run.
 from __future__ import annotations
 
 import gc
-import json
 import os
 import time
 from pathlib import Path
@@ -126,7 +125,9 @@ def run_row_path(rows):
 
 
 class TestLongitudinalThroughput:
-    def test_day_bucketed_aggregation_and_cusum_at_least_5x_faster(self):
+    def test_day_bucketed_aggregation_and_cusum_at_least_5x_faster(
+        self, bench_report_writer
+    ):
         # Fresh stores per columnar run: success_counts caches per store,
         # and a cache hit would benchmark the cache, not the reduction.
         stores = [build_store(np.random.default_rng(2015)) for _ in range(3)]
@@ -155,7 +156,9 @@ class TestLongitudinalThroughput:
             "columnar_rows_per_second": round(ROWS / columnar["total"], 1),
             "speedup": round(row["total"] / columnar["total"], 2),
         }
-        REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        bench_report_writer(
+            REPORT_PATH, report, rows=ROWS, seconds=columnar["total"]
+        )
 
         print()
         print("Longitudinal pipeline throughput (day bucketing + CUSUM, ~100k rows):")

@@ -27,7 +27,6 @@ checks have run.
 from __future__ import annotations
 
 import gc
-import json
 import os
 import time
 from pathlib import Path
@@ -114,7 +113,9 @@ def run_full_rescan():
 
 
 class TestMonitorIncrementality:
-    def test_per_epoch_cost_flat_and_5x_cheaper_than_full_rescan(self):
+    def test_per_epoch_cost_flat_and_5x_cheaper_than_full_rescan(
+        self, bench_report_writer
+    ):
         # The incremental monitor loop: per epoch, seal + watermark fold +
         # dense day-series off the accumulator + resumable CUSUM over only
         # the new day columns.  Generating and appending the epoch's rows
@@ -163,7 +164,12 @@ class TestMonitorIncrementality:
             "incremental_epoch_seconds": round(late, 5),
             "speedup": round(full["seconds"] / late, 2),
         }
-        REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        bench_report_writer(
+            REPORT_PATH,
+            report,
+            rows=EPOCHS * ROWS_PER_EPOCH,
+            seconds=sum(epoch_seconds),
+        )
 
         print()
         print("Always-on monitor loop (100 epochs, per-epoch incremental cost):")

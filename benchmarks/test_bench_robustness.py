@@ -18,7 +18,6 @@ show up as a diff, not just a failed assertion.
 from __future__ import annotations
 
 import gc
-import json
 import time
 from pathlib import Path
 
@@ -81,7 +80,9 @@ def run_columnar_path():
 
 
 class TestRobustnessThroughput:
-    def test_columnar_forge_and_filter_is_at_least_5x_faster_at_100k(self):
+    def test_columnar_forge_and_filter_is_at_least_5x_faster_at_100k(
+        self, bench_report_writer
+    ):
         # Best-of-N on both sides, columnar runs first: the row path leaves
         # 100k dataclasses behind, and the resulting allocator pressure
         # measurably slows the short columnar runs if they go second.
@@ -111,7 +112,9 @@ class TestRobustnessThroughput:
             "kept": columnar["kept"],
             "dropped_rate_limited": columnar["dropped_rate_limited"],
         }
-        REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        bench_report_writer(
+            REPORT_PATH, report, rows=FORGED_ROWS, seconds=columnar["total"]
+        )
 
         print()
         print("Robustness pipeline throughput (forge + ingest + filter, ~100k forged rows):")

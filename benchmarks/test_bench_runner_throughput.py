@@ -13,7 +13,6 @@ up as a diff, not just a failed assertion.
 from __future__ import annotations
 
 import gc
-import json
 import time
 from pathlib import Path
 
@@ -48,7 +47,7 @@ def timed_campaign(mode: str) -> tuple[float, int]:
 
 
 class TestRunnerThroughput:
-    def test_batched_runner_is_at_least_5x_faster(self):
+    def test_batched_runner_is_at_least_5x_faster(self, bench_report_writer):
         serial_s, serial_measurements = timed_campaign("serial")
         # Best of three for the short batched runs, so scheduler noise on the
         # host doesn't flake the ratio.
@@ -66,7 +65,9 @@ class TestRunnerThroughput:
             "serial_measurements": serial_measurements,
             "batch_measurements": batch_measurements,
         }
-        REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        bench_report_writer(
+            REPORT_PATH, report, rows=batch_measurements, seconds=batch_s
+        )
 
         print()
         print("Campaign runner throughput (25k-visit §7 scale configuration):")

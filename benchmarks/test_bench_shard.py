@@ -18,7 +18,6 @@ speedup gate explicitly so CI logs show why it didn't apply.)
 from __future__ import annotations
 
 import gc
-import json
 import os
 import tempfile
 import time
@@ -68,7 +67,7 @@ def timed_sharded() -> tuple[float, int]:
 
 
 class TestShardThroughput:
-    def test_sharded_campaign_speedup(self):
+    def test_sharded_campaign_speedup(self, bench_report_writer):
         cpu_count = os.cpu_count() or 1
         batch_runs = [timed_batch() for _ in range(2)]
         batch_s = min(elapsed for elapsed, _ in batch_runs)
@@ -92,7 +91,9 @@ class TestShardThroughput:
             "batch_measurements": batch_measurements,
             "sharded_measurements": sharded_measurements,
         }
-        REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        bench_report_writer(
+            REPORT_PATH, report, rows=sharded_measurements, seconds=sharded_s
+        )
 
         print()
         print(f"Sharded campaign throughput (50k-visit §7 scale, {NUM_SHARDS} workers):")

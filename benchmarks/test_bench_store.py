@@ -21,7 +21,6 @@ a small smoke case checks equivalence on every run.
 from __future__ import annotations
 
 import gc
-import json
 import time
 from collections import defaultdict
 from pathlib import Path
@@ -264,7 +263,7 @@ class TestStoreThroughput:
         assert_paths_agree(seed, store, corpus["rows"], seed.pop("collection"))
 
     @pytest.mark.slow
-    def test_store_is_at_least_5x_faster_at_100k(self):
+    def test_store_is_at_least_5x_faster_at_100k(self, bench_report_writer):
         corpus = make_corpus(VISITS_FULL)
         # Best-of-N on both sides, with every store repetition taken before
         # the first seed run: the seed pipeline leaves hundreds of thousands
@@ -294,7 +293,9 @@ class TestStoreThroughput:
             "speedup": round(seed["total"] / store["total"], 2),
             "detected_pairs": len(store["detected"]),
         }
-        REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        bench_report_writer(
+            REPORT_PATH, report, rows=corpus["rows"], seconds=store["total"]
+        )
 
         print()
         print("MeasurementStore throughput (ingest + success_counts + detect, ~100k rows):")

@@ -36,6 +36,7 @@ from repro.core.store import (
     MeasurementStore,
 )
 from repro.core.tasks import TaskOutcome
+from repro.obs.metrics import get_registry
 
 
 def binomial_cdf(successes: int, trials: int, p: float) -> float:
@@ -591,6 +592,7 @@ class CusumChangePointDetector:
         if n_cells == 0 or start >= n_days:
             state.days_processed = max(state.days_processed, day_counts.n_days)
             return events
+        get_registry().counter("cusum.cells_scanned").add(n_cells * (n_days - start))
         pairs = list(zip(domains.tolist(), countries.tolist()))
         censored = np.zeros(n_cells, dtype=bool)
         stat = np.zeros(n_cells, dtype=np.float64)

@@ -64,6 +64,8 @@ from pathlib import Path
 from repro.censor.policy import PolicyTimeline
 from repro.core.inference import CensorshipEvent, CusumChangePointDetector, CusumState
 from repro.core.store import DayGroupedCounts
+from repro.obs.metrics import get_registry
+from repro.obs.trace import NULL_TRACER, TRACE_FILENAME, Tracer
 
 
 @dataclass
@@ -103,6 +105,16 @@ class LongitudinalConfig:
     #: Seed per-country healthy baselines for the CUSUM from
     #: ``AdaptiveFilteringDetector.country_priors`` after the first epoch.
     adaptive_baselines: bool = False
+    #: Telemetry (strictly write-only: rows/events are bit-identical with
+    #: tracing on or off).  A directory to write the run's merged span
+    #: stream into (``trace.jsonl``), or ``None`` for the zero-overhead
+    #: no-op tracer.  Runtime-only: neither field enters the monitor
+    #: signature, so traced and untraced runs resume each other's
+    #: checkpoints.
+    trace_dir: str | None = None
+    #: An explicit tracer instance (overrides ``trace_dir``); the caller
+    #: owns its lifetime and close().
+    tracer: object | None = None
 
     def resolved_epochs(self, timeline: PolicyTimeline) -> int:
         if self.epochs is not None:
@@ -262,7 +274,16 @@ class LongitudinalEngine:
             return CusumState.load(state_path, self._monitor_signature)
         return self.config.detector.initial_state()
 
-    def _run_epoch_campaign(self, checkpoint_dir: Path | None) -> bool:
+    def _resolve_tracer(self) -> tuple:
+        """The run's tracer plus whether this engine owns its lifetime."""
+        config = self.config
+        if config.tracer is not None:
+            return config.tracer, False
+        if config.trace_dir is not None:
+            return Tracer(Path(config.trace_dir) / TRACE_FILENAME), True
+        return NULL_TRACER, False
+
+    def _run_epoch_campaign(self, checkpoint_dir: Path | None, tracer) -> bool:
         """Run one epoch's campaign; True when it resumed from manifests."""
         config = self.config
         if checkpoint_dir is None:
@@ -276,7 +297,10 @@ class LongitudinalEngine:
                 else {}
             )
             self.deployment.run_campaign(
-                visits=config.visits_per_epoch, mode=config.mode, **shard_kwargs
+                visits=config.visits_per_epoch,
+                mode=config.mode,
+                tracer=tracer if tracer is not NULL_TRACER else None,
+                **shard_kwargs,
             )
             return False
         # Checkpointed epochs always go through the sharded path: its
@@ -292,6 +316,7 @@ class LongitudinalEngine:
             worker_spill_dir=str(checkpoint_dir),
             shard_executor=config.shard_executor if sharded else "inline",
             progress=lambda shard: resumed_shards.append(shard.resumed),
+            tracer=tracer if tracer is not NULL_TRACER else None,
         )
         return bool(resumed_shards) and all(resumed_shards)
 
@@ -311,52 +336,77 @@ class LongitudinalEngine:
             checkpoint_dir.mkdir(parents=True, exist_ok=True)
             monitor = self._restore_monitor(checkpoint_dir)
         summaries: list[EpochSummary] = []
+        tracer, owns_tracer = self._resolve_tracer()
         try:
-            for epoch in range(self._epochs):
-                first_day = epoch * config.days_per_epoch
-                state = self.timeline.state_at(first_day)
-                world.config.timeline_rules = state
-                world.refresh_timeline_censors()
-                campaign_config.days = config.days_per_epoch
-                campaign_config.day_offset = first_day
-                before = len(deployment.collection)
-                resumed = self._run_epoch_campaign(checkpoint_dir)
-                summaries.append(
-                    EpochSummary(
-                        epoch=epoch,
-                        first_day=first_day,
-                        days=config.days_per_epoch,
-                        visits=config.visits_per_epoch,
-                        measurements_added=len(deployment.collection) - before,
-                        blocked=self._pairs(state, "block"),
-                        throttled=self._pairs(state, "throttle"),
-                        resumed=resumed,
-                    )
-                )
-                if monitor is not None:
-                    # Seal so the epoch's rows join the store's persistent
-                    # fold state (sealed segments fold exactly once); the
-                    # CUSUM then advances over only the new day columns.
-                    store.seal_pending()
-                    if (
-                        config.adaptive_baselines
-                        and monitor.baselines is None
-                        and monitor.days_processed == 0
-                    ):
-                        monitor.baselines = config.detector.seeded_baselines(
-                            store.success_counts()
+            with tracer.span(
+                "longitudinal",
+                epochs=self._epochs,
+                days_per_epoch=config.days_per_epoch,
+                visits_per_epoch=config.visits_per_epoch,
+            ):
+                for epoch in range(self._epochs):
+                    first_day = epoch * config.days_per_epoch
+                    state = self.timeline.state_at(first_day)
+                    world.config.timeline_rules = state
+                    world.refresh_timeline_censors()
+                    campaign_config.days = config.days_per_epoch
+                    campaign_config.day_offset = first_day
+                    before = len(deployment.collection)
+                    with tracer.span("epoch", epoch=epoch, first_day=first_day):
+                        resumed = self._run_epoch_campaign(checkpoint_dir, tracer)
+                        registry = get_registry()
+                        registry.counter("longitudinal.epochs_run").add(1)
+                        if resumed:
+                            registry.counter("longitudinal.epochs_resumed").add(1)
+                        summaries.append(
+                            EpochSummary(
+                                epoch=epoch,
+                                first_day=first_day,
+                                days=config.days_per_epoch,
+                                visits=config.visits_per_epoch,
+                                measurements_added=(
+                                    len(deployment.collection) - before
+                                ),
+                                blocked=self._pairs(state, "block"),
+                                throttled=self._pairs(state, "throttle"),
+                                resumed=resumed,
+                            )
                         )
-                    # Dense matrices straight off the fold accumulator:
-                    # same events as the ragged day_counts(), without the
-                    # O(history) cell materialization per epoch.
-                    config.detector.resume(monitor, store.success_day_series())
-                    monitor.save(
-                        checkpoint_dir / self.STATE_FILE, self._monitor_signature
-                    )
+                        if monitor is not None:
+                            # Seal so the epoch's rows join the store's
+                            # persistent fold state (sealed segments fold
+                            # exactly once); the CUSUM then advances over
+                            # only the new day columns.
+                            with tracer.span("seal", epoch=epoch):
+                                store.seal_pending()
+                            if (
+                                config.adaptive_baselines
+                                and monitor.baselines is None
+                                and monitor.days_processed == 0
+                            ):
+                                monitor.baselines = config.detector.seeded_baselines(
+                                    store.success_counts()
+                                )
+                            # Dense matrices straight off the fold
+                            # accumulator: same events as the ragged
+                            # day_counts(), without the O(history) cell
+                            # materialization per epoch.
+                            with tracer.span("detect", epoch=epoch):
+                                config.detector.resume(
+                                    monitor, store.success_day_series()
+                                )
+                            with tracer.span("checkpoint", epoch=epoch):
+                                monitor.save(
+                                    checkpoint_dir / self.STATE_FILE,
+                                    self._monitor_signature,
+                                )
         finally:
             campaign_config.days, campaign_config.day_offset = original_window
             world.config.timeline_rules = original_rules
             world.refresh_timeline_censors()
+            tracer.record_metrics(scope="campaign")
+            if owns_tracer:
+                tracer.close()
         return LongitudinalResult(
             config=config,
             timeline=self.timeline,

@@ -357,6 +357,7 @@ class EncoreDeployment:
         num_shards: int | None = None,
         worker_spill_dir: str | None = None,
         shard_executor: str | None = None,
+        tracer=None,
     ) -> CampaignResult:
         """Simulate a full campaign of origin-site visits.
 
@@ -397,6 +398,7 @@ class EncoreDeployment:
                 worker_spill_dir=worker_spill_dir,
                 shard_executor=shard_executor,
                 progress=progress,
+                tracer=tracer,
             )
         if num_shards is not None or worker_spill_dir is not None or shard_executor is not None:
             raise ValueError(
@@ -404,10 +406,15 @@ class EncoreDeployment:
                 "to mode='sharded'"
             )
         if mode == "legacy":
-            if progress is not None or resume_from_batch or batch_size is not None:
+            if (
+                progress is not None
+                or resume_from_batch
+                or batch_size is not None
+                or tracer is not None
+            ):
                 raise ValueError(
                     "mode='legacy' runs visit-by-visit and supports none of "
-                    "progress, batch_size, or resume_from_batch"
+                    "progress, batch_size, resume_from_batch, or tracer"
                 )
             # Count the campaign even though the legacy loop draws from the
             # deployment/world RNGs directly: it advances shared state (GeoIP
@@ -434,7 +441,13 @@ class EncoreDeployment:
             mode=mode,
             batch_size=batch_size if batch_size is not None else self.config.batch_size,
             progress=progress,
+            tracer=tracer,
         )
+        if tracer is not None:
+            # The sharded path opens its own campaign root span; give the
+            # in-process modes the same shape so summaries line up.
+            with tracer.span("campaign", visits=visits, shards=0):
+                return runner.run(visits, resume_from_batch=resume_from_batch)
         return runner.run(visits, resume_from_batch=resume_from_batch)
 
     def run_longitudinal(self, timeline, config=None):

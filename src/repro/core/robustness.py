@@ -65,6 +65,8 @@ from repro.core.store import (
     MeasurementStore,
 )
 from repro.core.tasks import TaskOutcome, TaskType
+from repro.obs.metrics import get_registry
+from repro.obs.trace import NULL_TRACER
 from repro.population.geoip import GeoIPDatabase
 from repro.web.url import URL
 
@@ -744,6 +746,7 @@ class AdversarySweep:
         num_workers: int | None = None,
         spill_dir: str | Path | None = None,
         seed: int = 0,
+        tracer=None,
     ) -> None:
         if executor not in ("process", "inline"):
             raise ValueError(f"unknown sweep executor {executor!r}")
@@ -754,6 +757,7 @@ class AdversarySweep:
         self.num_workers = num_workers
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self.seed = seed
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     def run(
@@ -772,18 +776,32 @@ class AdversarySweep:
         )
         root.mkdir(parents=True, exist_ok=True)
         try:
-            manifests, payloads = self._plan_cells(
-                root, target_domain, country_code, budgets
-            )
-            if payloads:
-                self._forge_pending(manifests, payloads)
-            return [
-                self._score_cell(
-                    store, manifests[index], submissions, identities,
-                    (target_domain, country_code),
+            with self.tracer.span(
+                "sweep", cells=len(budgets), target=target_domain
+            ):
+                manifests, payloads = self._plan_cells(
+                    root, target_domain, country_code, budgets
                 )
-                for index, (submissions, identities) in enumerate(budgets)
-            ]
+                if payloads:
+                    with self.tracer.span("forge", cells=len(payloads)):
+                        self._forge_pending(manifests, payloads)
+                    get_registry().counter("sweep.cells_forged").add(len(payloads))
+                cells = []
+                for index, (submissions, identities) in enumerate(budgets):
+                    with self.tracer.span(
+                        "score",
+                        cell=index,
+                        submissions=submissions,
+                        identities=identities,
+                        resumed=index not in payloads,
+                    ):
+                        cells.append(
+                            self._score_cell(
+                                store, manifests[index], submissions, identities,
+                                (target_domain, country_code),
+                            )
+                        )
+                return cells
         finally:
             if temporary:
                 # Verdicts only leave this method — the per-cell stores (and
@@ -832,7 +850,8 @@ class AdversarySweep:
         """Forge the cells with no adoptable manifest, inline or fanned out."""
         if self.executor == "inline":
             for index, payload in payloads.items():
-                manifests[index] = self._committed_manifest(_forge_cell(payload))
+                with self.tracer.span("forge.cell", cell=index):
+                    manifests[index] = self._committed_manifest(_forge_cell(payload))
             return
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else None)

@@ -52,7 +52,6 @@ parameter sweeps stay cheap enough to explore.
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from itertools import repeat
@@ -64,6 +63,9 @@ from repro.browser.engine import CACHED_RENDER_MAX_MS, CACHED_RENDER_MIN_MS
 from repro.core.collection import ColumnarRecords, SubmissionRecord
 from repro.core.scheduler import ScheduleDecision
 from repro.core.store import DictColumn
+from repro.obs.clock import monotonic
+from repro.obs.metrics import get_registry
+from repro.obs.trace import NULL_TRACER, progress_listener
 from repro.core.tasks import (
     CACHED_PROBE_THRESHOLD_MS,
     MeasurementTask,
@@ -591,6 +593,7 @@ class CampaignRunner:
         mode: str = "batch",
         batch_size: int | None = None,
         progress: Callable[[BatchProgress], None] | None = None,
+        tracer=None,
     ) -> None:
         if mode not in self.MODES:
             raise ValueError(f"unknown campaign mode {mode!r}")
@@ -600,6 +603,7 @@ class CampaignRunner:
         self.mode = mode
         self.batch_size = batch_size or self.DEFAULT_BATCH_SIZE
         self.progress = progress
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: (campaign key, plan) of the most recently planned block — adjacent
         #: batches share boundary blocks.  Keyed on (epoch, visits) too, so a
         #: runner reused for a second campaign never serves a stale plan.
@@ -651,33 +655,47 @@ class CampaignRunner:
             )
             for block_index in range(skipped_blocks):
                 self._plan_block(ctx, block_index)
+            get_registry().counter("runner.blocks_replayed").add(skipped_blocks)
 
         batch_count = (visits + self.batch_size - 1) // self.batch_size
         executions = 0
-        started = time.perf_counter()
-        for batch_index in range(resume_from_batch, batch_count):
-            start = batch_index * self.batch_size
-            end = min(start + self.batch_size, visits)
-            stored_in_batch = 0
-            for plan in self.plan_parts(ctx, start, end):
-                outcome = self.execute_plan(ctx, plan)
-                stored_in_batch += self._ingest(deployment.collection, outcome)
-                deployment.coordination.note_batch_deliveries(
-                    outcome.deliveries_attempted, outcome.deliveries_failed
-                )
-            executions += stored_in_batch
-            if self.progress is not None:
-                self.progress(
-                    BatchProgress(
-                        batch_index=batch_index,
-                        batch_count=batch_count,
-                        visits_completed=end,
-                        visits_total=visits,
-                        measurements_added=stored_in_batch,
-                        measurements_total=len(deployment.collection),
-                        duration_s=time.perf_counter() - started,
+        started = monotonic()
+        # Progress and telemetry share one code path: the runner emits
+        # "batch" events on the tracer's stream and the legacy callback
+        # rides them as a listener (NullTracer still dispatches listeners).
+        listener = None
+        if self.progress is not None:
+            listener = progress_listener(self.progress, "batch", BatchProgress)
+            self.tracer.add_listener(listener)
+        try:
+            for batch_index in range(resume_from_batch, batch_count):
+                start = batch_index * self.batch_size
+                end = min(start + self.batch_size, visits)
+                stored_in_batch = 0
+                for plan in self.plan_parts(ctx, start, end):
+                    with self.tracer.span("execute", batch=batch_index):
+                        outcome = self.execute_plan(ctx, plan)
+                    with self.tracer.span("ingest", batch=batch_index):
+                        stored_in_batch += self._ingest(
+                            deployment.collection, outcome
+                        )
+                    deployment.coordination.note_batch_deliveries(
+                        outcome.deliveries_attempted, outcome.deliveries_failed
                     )
+                executions += stored_in_batch
+                self.tracer.event(
+                    "batch",
+                    batch_index=batch_index,
+                    batch_count=batch_count,
+                    visits_completed=end,
+                    visits_total=visits,
+                    measurements_added=stored_in_batch,
+                    measurements_total=len(deployment.collection),
+                    duration_s=monotonic() - started,
                 )
+        finally:
+            if listener is not None:
+                self.tracer.remove_listener(listener)
         deployment.scheduler.absorb_counts(ctx.assignment_counts)
         return CampaignResult(
             config=config,
@@ -730,6 +748,14 @@ class CampaignRunner:
         cached = self._block_cache
         if cached is not None and cached[0] == cache_key:
             return cached[1]
+        with self.tracer.span("plan", block=block_index):
+            block = self._plan_block_fresh(ctx, block_index)
+        get_registry().counter("runner.blocks_planned").add(1)
+        self._block_cache = (cache_key, block)
+        return block
+
+    def _plan_block_fresh(self, ctx: PlanContext, block_index: int) -> _BlockPlan:
+        """The uncached planning work of :meth:`_plan_block`."""
         deployment = self.deployment
         config = deployment.config
         seed, epoch = config.seed, ctx.epoch
@@ -786,7 +812,6 @@ class CampaignRunner:
                 np.asarray(program.visit, dtype=np.int64), np.arange(count + 1)
             ),
         )
-        self._block_cache = (cache_key, block)
         return block
 
     def _slice_block(self, ctx: PlanContext, block: _BlockPlan, lo: int, hi: int) -> BatchPlan:
@@ -880,8 +905,10 @@ class CampaignRunner:
         """
         block = self._plan_block(ctx, block_index)
         plan = self._slice_block(ctx, block, block.start, block.start + block.count)
-        outcome = self.execute_plan(ctx, plan)
-        stored = self._ingest(collection, outcome)
+        with self.tracer.span("execute", block=block_index):
+            outcome = self.execute_plan(ctx, plan)
+        with self.tracer.span("ingest", block=block_index):
+            stored = self._ingest(collection, outcome)
         return BlockExecution(
             block_index=block_index,
             visits=block.count,
@@ -1641,7 +1668,7 @@ class CampaignSweep:
                         visits=visits if visits is not None else self.base_config.visits,
                     )
                     interceptors_before = list(self.world.global_interceptors)
-                    started = time.perf_counter()
+                    started = monotonic()
                     try:
                         deployment = EncoreDeployment(self.world, config)
                         result = deployment.run_campaign(mode=self.mode)
@@ -1658,7 +1685,7 @@ class CampaignSweep:
                             countries=result.collection.distinct_countries(),
                             unreachable_submissions=result.collection.unreachable_submissions,
                             detected_pairs=frozenset(report.detected_pairs()),
-                            duration_s=time.perf_counter() - started,
+                            duration_s=monotonic() - started,
                         )
                     )
         return records

@@ -42,7 +42,6 @@ import json
 import os
 import shutil
 import tempfile
-import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -56,6 +55,8 @@ import numpy as np
 from repro.core.collection import CollectionServer
 from repro.core.runner import CampaignRunner
 from repro.core.store import MeasurementStore
+from repro.obs.clock import monotonic
+from repro.obs.trace import NULL_TRACER, TRACE_FILENAME, Tracer, progress_listener
 from repro.web.url import URL
 
 MANIFEST_NAME = "manifest.json"
@@ -238,6 +239,7 @@ def execute_shard(
     shard_dir: str | Path,
     signature: dict,
     visit_base: int = 0,
+    trace: bool = False,
 ) -> dict:
     """Run one shard's blocks and seal the results under ``shard_dir``.
 
@@ -248,6 +250,10 @@ def execute_shard(
     written last via an atomic rename (and returned): its presence is the
     shard's commit marker, and a worker killed mid-shard leaves no manifest
     and is simply re-executed on resume.
+
+    With ``trace`` on, the shard writes its own span stream next to its
+    segments; ``run_sharded`` absorbs it into the campaign trace after the
+    manifest commits (or salvages it, aborted, after a kill).
     """
     shard_dir = Path(shard_dir)
     if shard_dir.exists():
@@ -256,36 +262,45 @@ def execute_shard(
         # rather than letting orphaned segments pile up across retries.
         shutil.rmtree(shard_dir)
     shard_dir.mkdir(parents=True, exist_ok=True)
+    tracer = Tracer(shard_dir / TRACE_FILENAME) if trace else NULL_TRACER
     store = MeasurementStore(spill_dir=shard_dir)
     collection = CollectionServer(
         deployment.collection.submit_url,
         geoip=deployment.world.geoip,
         store=store,
     )
-    runner = CampaignRunner(deployment, mode="batch")
+    runner = CampaignRunner(deployment, mode="batch", tracer=tracer)
     ctx = runner.plan_context(visits, epoch, visit_base)
-    started = time.perf_counter()
+    started = monotonic()
     blocks = []
     deliveries_attempted = 0
     deliveries_failed = 0
-    for block_index in assignment.block_indices:
-        segments_before = len(store.segment_files)
-        execution = runner.execute_block(ctx, block_index, collection)
-        store.spill()
-        new_segments = store.segment_files[segments_before:]
-        deliveries_attempted += execution.deliveries_attempted
-        deliveries_failed += execution.deliveries_failed
-        blocks.append(
-            {
-                "block": block_index,
-                "visits": execution.visits,
-                "rows": execution.stored,
-                "segments": [
-                    {"path": str(path), "rows": rows}
-                    for path, rows in segment_row_counts(new_segments, execution.stored)
-                ],
-            }
-        )
+    with tracer.span(
+        "shard.execute",
+        shard=assignment.shard_index,
+        blocks=len(assignment.block_indices),
+    ):
+        for block_index in assignment.block_indices:
+            segments_before = len(store.segment_files)
+            execution = runner.execute_block(ctx, block_index, collection)
+            with tracer.span("seal", block=block_index):
+                store.spill()
+            new_segments = store.segment_files[segments_before:]
+            deliveries_attempted += execution.deliveries_attempted
+            deliveries_failed += execution.deliveries_failed
+            blocks.append(
+                {
+                    "block": block_index,
+                    "visits": execution.visits,
+                    "rows": execution.stored,
+                    "segments": [
+                        {"path": str(path), "rows": rows}
+                        for path, rows in segment_row_counts(
+                            new_segments, execution.stored
+                        )
+                    ],
+                }
+            )
     manifest = {
         "signature": signature,
         "shard_index": assignment.shard_index,
@@ -300,9 +315,12 @@ def execute_shard(
             "deliveries_failed": deliveries_failed,
         },
         "assignment_counts": ctx.assignment_counts,
-        "duration_s": time.perf_counter() - started,
+        "duration_s": monotonic() - started,
     }
-    write_manifest(shard_dir, manifest)
+    with tracer.span("manifest", shard=assignment.shard_index):
+        write_manifest(shard_dir, manifest)
+    tracer.record_metrics(scope=f"shard-{assignment.shard_index:03d}")
+    tracer.close()
     return manifest
 
 
@@ -457,6 +475,7 @@ def shard_worker(payload: dict) -> str:
         payload["shard_dir"],
         payload["signature"],
         payload["visit_base"],
+        trace=payload.get("trace", False),
     )
     # Only the path crosses the process boundary; the parent re-reads the
     # committed manifest (never measurement rows) off disk.
@@ -612,6 +631,7 @@ def run_sharded(
     worker_spill_dir: str | Path | None = None,
     shard_executor: str | None = None,
     progress: Callable[[ShardProgress], None] | None = None,
+    tracer=None,
 ):
     """Run one campaign across worker processes; return a ``CampaignResult``.
 
@@ -631,6 +651,7 @@ def run_sharded(
     """
     from repro.core.pipeline import CampaignResult  # local: avoids a cycle
 
+    tracer = tracer if tracer is not None else NULL_TRACER
     config = deployment.config
     visits = visits if visits is not None else config.visits
     executor_kind = shard_executor or config.shard_executor
@@ -664,92 +685,144 @@ def run_sharded(
     planner = ShardPlanner(visits, config.plan_block_visits, num_shards)
     assignments = planner.plan()
 
-    started = time.perf_counter()
-    manifests: dict[int, dict] = {}
-    resumed: set[int] = set()
-    pending: list[ShardAssignment] = []
-    for assignment in assignments:
-        manifest = load_manifest(
-            campaign_root / assignment.directory_name, signature, assignment
-        )
-        if manifest is not None:
-            manifests[assignment.shard_index] = manifest
-            resumed.add(assignment.shard_index)
-        else:
-            pending.append(assignment)
-
-    completed: list[int] = []
-
-    def note_progress(shard_index: int) -> None:
-        completed.append(shard_index)
-        if progress is None:
-            return
-        done = [manifests[i] for i in completed]
-        progress(
-            ShardProgress(
-                shard_index=shard_index,
-                shard_count=len(assignments),
-                shards_completed=len(completed),
-                blocks_completed=sum(len(m["blocks"]) for m in done),
-                blocks_total=planner.block_count,
-                visits_completed=sum(
-                    block["visits"] for m in done for block in m["blocks"]
-                ),
-                visits_total=visits,
-                measurements_added=manifests[shard_index]["counters"]["stored"],
-                measurements_total=sum(m["counters"]["stored"] for m in done),
-                duration_s=time.perf_counter() - started,
-                resumed=shard_index in resumed,
-            )
-        )
-
-    for shard_index in sorted(resumed):
-        note_progress(shard_index)
-
-    if pending:
-        if executor_kind == "inline":
-            for assignment in pending:
-                manifests[assignment.shard_index] = execute_shard(
-                    deployment,
-                    assignment,
-                    epoch,
-                    visits,
-                    campaign_root / assignment.directory_name,
-                    signature,
-                    visit_base,
+    started = monotonic()
+    # Progress and telemetry share one code path: shard completions are
+    # "shard" events on the tracer's stream, and the legacy callback rides
+    # them as a listener (NullTracer still dispatches listeners).
+    listener = None
+    if progress is not None:
+        listener = progress_listener(progress, "shard", ShardProgress)
+        tracer.add_listener(listener)
+    try:
+        with tracer.span("campaign", epoch=epoch, visits=visits, shards=num_shards):
+            manifests: dict[int, dict] = {}
+            resumed: set[int] = set()
+            pending: list[ShardAssignment] = []
+            for assignment in assignments:
+                manifest = load_manifest(
+                    campaign_root / assignment.directory_name, signature, assignment
                 )
-                note_progress(assignment.shard_index)
-        else:
-            _run_process_pool(
-                deployment, pending, epoch, visits, visit_base, campaign_root,
-                signature, manifests, note_progress,
-            )
+                if manifest is not None:
+                    manifests[assignment.shard_index] = manifest
+                    resumed.add(assignment.shard_index)
+                else:
+                    pending.append(assignment)
 
-    merged = [manifests[a.shard_index] for a in assignments]
-    merger = StoreMerger(deployment.collection.store)
-    executions = merger.merge(merged)
-    attempted = sum(m["counters"]["deliveries_attempted"] for m in merged)
-    failed = sum(m["counters"]["deliveries_failed"] for m in merged)
-    deployment.coordination.note_batch_deliveries(attempted, failed)
-    deployment.collection.unreachable_submissions += sum(
-        m["counters"]["unreachable_submissions"] for m in merged
-    )
-    for manifest in merged:
-        deployment.scheduler.absorb_counts(manifest["assignment_counts"])
-    return CampaignResult(
-        config=config,
-        collection=deployment.collection,
-        coordination=deployment.coordination,
-        visits_simulated=visits,
-        task_executions=executions,
-        feasibility=deployment.feasibility,
-        mode="sharded",
-    )
+            # A killed worker leaves a partial trace but no manifest; fold
+            # it into the campaign stream (open spans close as ``aborted``)
+            # before re-execution clears its directory.
+            for assignment in pending:
+                _salvage_aborted_trace(
+                    tracer, campaign_root / assignment.directory_name, assignment
+                )
+
+            completed: list[int] = []
+
+            def note_progress(shard_index: int) -> None:
+                completed.append(shard_index)
+                done = [manifests[i] for i in completed]
+                tracer.event(
+                    "shard",
+                    shard_index=shard_index,
+                    shard_count=len(assignments),
+                    shards_completed=len(completed),
+                    blocks_completed=sum(len(m["blocks"]) for m in done),
+                    blocks_total=planner.block_count,
+                    visits_completed=sum(
+                        block["visits"] for m in done for block in m["blocks"]
+                    ),
+                    visits_total=visits,
+                    measurements_added=manifests[shard_index]["counters"]["stored"],
+                    measurements_total=sum(m["counters"]["stored"] for m in done),
+                    duration_s=monotonic() - started,
+                    resumed=shard_index in resumed,
+                )
+
+            for shard_index in sorted(resumed):
+                note_progress(shard_index)
+
+            if pending:
+                if executor_kind == "inline":
+                    for assignment in pending:
+                        manifests[assignment.shard_index] = execute_shard(
+                            deployment,
+                            assignment,
+                            epoch,
+                            visits,
+                            campaign_root / assignment.directory_name,
+                            signature,
+                            visit_base,
+                            trace=tracer.enabled,
+                        )
+                        note_progress(assignment.shard_index)
+                else:
+                    _run_process_pool(
+                        deployment, pending, epoch, visits, visit_base,
+                        campaign_root, signature, manifests, note_progress,
+                        trace=tracer.enabled,
+                    )
+
+            # Fold each shard's committed span stream into the campaign
+            # trace, preserving parentage under a per-shard wrapper span.
+            if tracer.enabled:
+                for assignment in assignments:
+                    shard_trace = (
+                        campaign_root / assignment.directory_name / TRACE_FILENAME
+                    )
+                    with tracer.span(
+                        "shard",
+                        shard=assignment.shard_index,
+                        resumed=assignment.shard_index in resumed,
+                    ) as span:
+                        tracer.absorb_file(shard_trace, parent_id=span.id)
+
+            merged = [manifests[a.shard_index] for a in assignments]
+            merger = StoreMerger(deployment.collection.store)
+            with tracer.span("adopt", shards=len(merged)):
+                executions = merger.merge(merged)
+            attempted = sum(m["counters"]["deliveries_attempted"] for m in merged)
+            failed = sum(m["counters"]["deliveries_failed"] for m in merged)
+            deployment.coordination.note_batch_deliveries(attempted, failed)
+            deployment.collection.unreachable_submissions += sum(
+                m["counters"]["unreachable_submissions"] for m in merged
+            )
+            for manifest in merged:
+                deployment.scheduler.absorb_counts(manifest["assignment_counts"])
+            tracer.record_metrics(scope="campaign")
+            return CampaignResult(
+                config=config,
+                collection=deployment.collection,
+                coordination=deployment.coordination,
+                visits_simulated=visits,
+                task_executions=executions,
+                feasibility=deployment.feasibility,
+                mode="sharded",
+            )
+    finally:
+        if listener is not None:
+            tracer.remove_listener(listener)
+
+
+def _salvage_aborted_trace(tracer, shard_dir: Path, assignment) -> None:
+    """Absorb a dead attempt's partial trace before its directory is cleared.
+
+    The spans a killed worker left open are closed with ``aborted`` status
+    by :meth:`Tracer.absorb_file`, so the evidence of where the attempt
+    died survives the retry instead of being rmtree'd with the rest of the
+    partial output.
+    """
+    orphan = shard_dir / TRACE_FILENAME
+    if not tracer.enabled or not orphan.is_file():
+        return
+    with tracer.span(
+        "shard.aborted", shard=assignment.shard_index
+    ) as span:
+        tracer.absorb_file(orphan, parent_id=span.id)
 
 
 def _run_process_pool(
     deployment, pending, epoch, visits, visit_base, campaign_root, signature,
-    manifests, note_progress,
+    manifests, note_progress, trace=False,
 ) -> None:
     """Fan the pending shards out over a process pool.
 
@@ -782,6 +855,7 @@ def _run_process_pool(
             "visit_base": visit_base,
             "shard_dir": campaign_root / assignment.directory_name,
             "signature": signature,
+            "trace": trace,
             **rebuild_fields,
         }
         for assignment in pending

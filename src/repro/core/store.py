@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Iterable, NamedTuple, Sequence
 import numpy as np
 
 from repro.core.tasks import TaskOutcome, TaskType
+from repro.obs.metrics import get_registry
 from repro.web.url import URL
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (collection imports us)
@@ -386,6 +387,7 @@ class _Segment:
         np.savez(path, **self.columns)
         self.path = path
         self.columns = None
+        get_registry().counter("store.segments_spilled").add(1)
 
 
 class _IncrementalGroupCounts:
@@ -692,6 +694,7 @@ class MeasurementStore:
         self._pending_rows += n
         self._length += n
         self._version += 1
+        get_registry().counter("store.rows_ingested").add(n)
         threshold = self.segment_rows
         if self.max_rows_in_memory is not None:
             threshold = min(threshold, self.max_rows_in_memory)
@@ -712,6 +715,7 @@ class MeasurementStore:
         self._segments.append(_Segment(self._pending_rows, columns))
         self._pending = []
         self._pending_rows = 0
+        get_registry().counter("store.segments_sealed").add(1)
 
     def _maybe_spill(self) -> None:
         if self.max_rows_in_memory is None:
@@ -824,6 +828,9 @@ class MeasurementStore:
         self._segments.append(_Segment(length, None, Path(path), remap=remap))
         self._length += length
         self._version += 1
+        registry = get_registry()
+        registry.counter("store.segments_adopted").add(1)
+        registry.counter("store.rows_adopted").add(length)
 
     def adopt_segments_from(self, other: "MeasurementStore") -> int:
         """Mount every row of ``other`` into this store without copying any.
@@ -885,6 +892,11 @@ class MeasurementStore:
         self._adopted_sources.append(other)
         self._length += adopted
         self._version += 1
+        registry = get_registry()
+        registry.counter("store.segments_adopted").add(
+            len(other._segments) + len(other._pending)
+        )
+        registry.counter("store.rows_adopted").add(adopted)
         return adopted
 
     # ------------------------------------------------------------------
@@ -1053,9 +1065,14 @@ class MeasurementStore:
         names = ("outcome", "domain", "country") + (
             ("day",) if by_day else ()
         ) + (("automated",) if exclude_automated else ())
+        unfolded = len(self._segments) - state.segments_folded
         for seg in self._segments[state.segments_folded:]:
             state.fold(seg.load_columns(names), exclude_automated)
         state.segments_folded = len(self._segments)
+        if unfolded:
+            registry = get_registry()
+            registry.counter("store.fold_advances").add(1)
+            registry.counter("store.segments_folded").add(unfolded)
         totals_view = state
         if self._pending:
             totals_view = state.snapshot()

@@ -50,6 +50,11 @@ _WALL_CLOCK = {
 
 _BENCH_JSON_RE = re.compile(r"^BENCH_\w+\.json$")
 
+#: The one module in ``src/repro/`` allowed to touch the wall clock
+#: directly: everything else reads time through its Clock indirection so
+#: tests can freeze it (see docs/observability.md).
+_CLOCK_MODULE = "src/repro/obs/clock.py"
+
 
 def _dotted(node: ast.AST) -> str | None:
     """``a.b.c`` for a Name/Attribute chain, else ``None``."""
@@ -189,6 +194,8 @@ class RngDisciplineRule(Rule):
                     "np.random.default_rng instead",
                 )
         elif dotted in _WALL_CLOCK:
+            if file.relpath == _CLOCK_MODULE:
+                return  # the sanctioned Clock implementation itself
             yield self.finding(
                 file,
                 node,
@@ -196,6 +203,125 @@ class RngDisciplineRule(Rule):
                 "they ran; simulated time must come from campaign "
                 "configuration (time.perf_counter is fine for durations)",
             )
+
+
+# ----------------------------------------------------------------------
+class TelemetryHygieneRule(Rule):
+    """Telemetry must stay strictly write-only (PR 8 contract).
+
+    Two halves.  First, ``src/repro/`` may reach the stdlib ``time``
+    module only through ``repro.obs.clock`` — a direct import reopens the
+    wall-clock back door the Clock indirection exists to close (and makes
+    the module untestable under ``FrozenClock``).  Second, no value may
+    flow *out* of a tracer or metrics registry into non-obs code: the
+    moment simulation logic reads telemetry back, traces-on and
+    traces-off runs can diverge.  Syntactically, that means method calls
+    on telemetry-named receivers must come from the write-only surface.
+    """
+
+    id = "telemetry-hygiene"
+    summary = (
+        "src/repro/ imports time only via repro.obs.clock, and never reads "
+        "values back out of tracers or metric registries"
+    )
+
+    #: The telemetry write surface: emitting, wiring, and lifecycle.
+    #: Anything else on a telemetry object is a read-back.
+    WRITE_OK = {
+        "span",
+        "event",
+        "add",
+        "inc",
+        "observe",
+        "set",
+        "set_max",
+        "record_metrics",
+        "counter",
+        "gauge",
+        "histogram",
+        "close",
+        "flush",
+        "absorb_file",
+        "absorb",
+        "add_listener",
+        "remove_listener",
+        "record",
+        "emit",
+    }
+
+    #: A receiver whose name mentions one of these is treated as a
+    #: telemetry object.  Matched against the final identifier segment so
+    #: ``self.tracer``, ``metrics_registry``, and ``get_registry()`` all
+    #: qualify.
+    _TELEMETRY_NAME = re.compile(r"tracer|metric|registry|telemetry", re.IGNORECASE)
+
+    def applies(self, file: SourceFile) -> bool:
+        return _in_src(file)
+
+    def check(self, file: SourceFile, ctx: LintContext) -> Iterator[Finding]:
+        # obs/ is the telemetry implementation and devtools/ is tooling
+        # that inspects it — neither can leak state into simulation rows.
+        exempt_readback = file.relpath.startswith(
+            ("src/repro/obs/", "src/repro/devtools/")
+        )
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Import):
+                if file.relpath == _CLOCK_MODULE:
+                    continue
+                for alias in node.names:
+                    if alias.name == "time" or alias.name.startswith("time."):
+                        yield self.finding(
+                            file,
+                            node,
+                            "importing `time` outside repro.obs.clock bypasses "
+                            "the Clock indirection, so FrozenClock tests can "
+                            "no longer pin this module's timestamps; use "
+                            "repro.obs.clock.monotonic / .wall",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and file.relpath != _CLOCK_MODULE:
+                    yield self.finding(
+                        file,
+                        node,
+                        "importing from `time` outside repro.obs.clock "
+                        "bypasses the Clock indirection; use "
+                        "repro.obs.clock.monotonic / .wall",
+                    )
+            elif isinstance(node, ast.Call) and not exempt_readback:
+                finding = self._check_readback(file, node)
+                if finding is not None:
+                    yield finding
+
+    def _check_readback(self, file: SourceFile, node: ast.Call) -> Finding | None:
+        if not isinstance(node.func, ast.Attribute):
+            return None
+        method = node.func.attr
+        if method in self.WRITE_OK:
+            return None
+        receiver = self._receiver_name(node.func.value)
+        if receiver is None or not self._TELEMETRY_NAME.search(receiver):
+            return None
+        return self.finding(
+            file,
+            node,
+            f"{receiver}.{method}() reads telemetry state back into "
+            "simulation code — the observer-effect ban (telemetry is "
+            "write-only outside repro.obs) keeps traced and untraced runs "
+            "bit-identical",
+        )
+
+    @staticmethod
+    def _receiver_name(node: ast.AST) -> str | None:
+        """Final identifier segment of the receiver expression."""
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is not None:
+                return dotted.rsplit(".", 1)[-1]
+        return None
 
 
 # ----------------------------------------------------------------------
@@ -481,6 +607,7 @@ class BenchHygieneRule(Rule):
 
 RULES: tuple[Rule, ...] = (
     RngDisciplineRule(),
+    TelemetryHygieneRule(),
     AtomicJsonWriteRule(),
     OrderedIterationRule(),
     ReferencePairingRule(),

@@ -1,0 +1,71 @@
+"""``python -m repro.obs`` — the trace CLI.
+
+Commands::
+
+    python -m repro.obs summarize <trace.jsonl> [--json] [--out PATH]
+    python -m repro.obs diff <before.jsonl> <after.jsonl> [--json] [--out PATH]
+
+Exit codes: 0 on success, 1 on a malformed trace (the CI trace gate rides
+this), 2 on usage errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs import report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize or diff campaign trace streams.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    summarize = commands.add_parser(
+        "summarize", help="per-phase totals, per-shard critical path, metrics"
+    )
+    summarize.add_argument("trace", help="path to a trace.jsonl stream")
+    summarize.add_argument("--json", action="store_true", help="emit JSON")
+    summarize.add_argument(
+        "--out", help="also write the JSON payload atomically to this path"
+    )
+
+    diff = commands.add_parser("diff", help="compare per-phase totals of two traces")
+    diff.add_argument("before", help="baseline trace.jsonl")
+    diff.add_argument("after", help="candidate trace.jsonl")
+    diff.add_argument("--json", action="store_true", help="emit JSON")
+    diff.add_argument(
+        "--out", help="also write the JSON payload atomically to this path"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "summarize":
+            payload = report.summarize(report.load_trace(args.trace))
+            rendered = report.render_summary(payload)
+        else:
+            payload = report.diff(
+                report.load_trace(args.before), report.load_trace(args.after)
+            )
+            rendered = report.render_diff(payload)
+    except report.TraceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.out:
+        report.write_summary_json(payload, args.out)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""The only sanctioned clock access point inside ``src/repro/``.
+
+Campaign code must never read wall or monotonic time directly: timestamps
+are observational noise that would otherwise leak into planning, hashing,
+or checkpoint contents and break the block-keyed determinism contract.
+Everything time-shaped goes through this module — ``repro-lint``'s
+``telemetry-hygiene`` rule rejects any other ``import time`` under
+``src/repro/``, and ``rng-discipline`` carves out exactly this file from
+its wall-clock ban.
+
+Tests swap in a :class:`FrozenClock` via :func:`set_default_clock` to make
+span durations — and therefore ``summarize --json`` output — byte-stable.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Real clocks: monotonic for durations, wall for human-facing stamps."""
+
+    def monotonic(self) -> float:
+        return time.perf_counter()
+
+    def wall(self) -> float:
+        return time.time()
+
+
+class FrozenClock(Clock):
+    """A deterministic clock: every reading advances by a fixed tick.
+
+    Advancing on *read* (rather than standing still) keeps span durations
+    strictly positive and distinct, so ordering-sensitive report code is
+    exercised identically run to run.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 1.0) -> None:
+        self._now = float(start)
+        self._tick = float(tick)
+
+    def monotonic(self) -> float:
+        now = self._now
+        self._now += self._tick
+        return now
+
+    def wall(self) -> float:
+        return self.monotonic()
+
+
+_default: Clock = Clock()
+
+
+def default_clock() -> Clock:
+    """The process-wide clock new tracers bind to."""
+    return _default
+
+
+def set_default_clock(clock: Clock) -> Clock:
+    """Swap the process-wide clock (tests); returns the previous one."""
+    global _default
+    previous = _default
+    _default = clock
+    return previous
+
+
+def monotonic() -> float:
+    """Monotonic seconds from the current default clock."""
+    return _default.monotonic()
+
+
+def wall() -> float:
+    """Wall-clock seconds from the current default clock."""
+    return _default.wall()

@@ -1,0 +1,311 @@
+"""Trace analysis: load a JSONL span stream, summarize it, diff two runs.
+
+The loader is *strict* — a committed campaign trace must be well-formed
+(every line parses, every ``B`` has exactly one ``E``, ends never precede
+starts).  Kill-truncated worker streams are repaired at merge time by
+:meth:`~repro.obs.trace.Tracer.absorb_file`; anything malformed that
+survives to analysis is a bug, so :func:`load_trace` raises
+:class:`TraceError` and the CLI exits non-zero (the CI trace gate).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class TraceError(ValueError):
+    """A trace stream violating the format contract."""
+
+
+@dataclass
+class Span:
+    """One reconstructed span with its children."""
+
+    id: int
+    parent: int
+    name: str
+    start: float
+    attrs: dict
+    end: float | None = None
+    status: str | None = None
+    error: str | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """A fully parsed trace: span tree plus events and metric snapshots."""
+
+    spans: dict[int, Span]
+    roots: list[Span]
+    events: list[dict]
+    metrics: list[dict]
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Parse and validate one trace file; raise :class:`TraceError` if bad."""
+    path = Path(path)
+    if not path.is_file():
+        raise TraceError(f"{path}: no such trace file")
+    spans: dict[int, Span] = {}
+    roots: list[Span] = []
+    events: list[dict] = []
+    metrics: list[dict] = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TraceError(f"{path}:{lineno}: malformed JSON ({error.msg})")
+        kind = record.get("t")
+        if kind == "B":
+            span_id = record.get("id")
+            if span_id in spans:
+                raise TraceError(f"{path}:{lineno}: duplicate span id {span_id}")
+            span = Span(
+                id=span_id,
+                parent=record.get("parent", 0),
+                name=record.get("name", "?"),
+                start=record.get("ts", 0.0),
+                attrs=record.get("attrs") or {},
+            )
+            spans[span_id] = span
+        elif kind == "E":
+            span = spans.get(record.get("id"))
+            if span is None:
+                raise TraceError(
+                    f"{path}:{lineno}: end for unknown span {record.get('id')}"
+                )
+            if span.end is not None:
+                raise TraceError(f"{path}:{lineno}: span {span.id} ended twice")
+            span.end = record.get("ts", span.start)
+            span.status = record.get("status", "ok")
+            span.error = record.get("error")
+            if span.end < span.start:
+                raise TraceError(
+                    f"{path}:{lineno}: span {span.id} ends before it starts"
+                )
+        elif kind == "I":
+            events.append(record)
+        elif kind == "M":
+            metrics.append(record)
+        else:
+            raise TraceError(f"{path}:{lineno}: unknown record kind {kind!r}")
+    unclosed = sorted(span_id for span_id, span in spans.items() if span.end is None)
+    if unclosed:
+        raise TraceError(
+            f"{path}: unclosed span(s) {unclosed} — stream was not merged/closed"
+        )
+    for span in spans.values():
+        parent = spans.get(span.parent)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            roots.append(span)
+    for span in spans.values():
+        span.children.sort(key=lambda child: (child.start, child.id))
+    roots.sort(key=lambda span: (span.start, span.id))
+    return Trace(spans=spans, roots=roots, events=events, metrics=metrics)
+
+
+# ----------------------------------------------------------------------
+# Summaries
+# ----------------------------------------------------------------------
+def _critical_path(span: Span) -> list[dict]:
+    """The longest-duration child chain under ``span`` (span excluded)."""
+    path: list[dict] = []
+    node = span
+    while node.children:
+        node = max(node.children, key=lambda child: (child.duration, -child.id))
+        path.append({"name": node.name, "duration_s": node.duration})
+    return path
+
+
+def _shard_scope_rss(trace: Trace) -> dict[str, float]:
+    """Peak-RSS gauge per ``shard-*`` metrics scope in the stream."""
+    peaks: dict[str, float] = {}
+    for record in trace.metrics:
+        scope = record.get("scope", "")
+        if not scope.startswith("shard"):
+            continue
+        gauges = record.get("metrics", {}).get("gauges", {})
+        rss = gauges.get("process.peak_rss_kb")
+        if rss is not None:
+            peaks[scope] = max(peaks.get(scope, 0.0), rss)
+    return peaks
+
+
+def summarize(trace: Trace) -> dict:
+    """Per-phase totals, per-shard critical paths, per-epoch timings, metrics."""
+    phases: dict[str, dict] = {}
+    aborted = errors = 0
+    for span in trace.spans.values():
+        entry = phases.setdefault(
+            span.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += span.duration
+        entry["max_s"] = max(entry["max_s"], span.duration)
+        if span.status == "aborted":
+            aborted += 1
+        elif span.status == "error":
+            errors += 1
+
+    shard_rss = _shard_scope_rss(trace)
+    shards = []
+    for span in sorted(
+        (s for s in trace.spans.values() if s.name == "shard"),
+        key=lambda s: (s.attrs.get("shard", -1), s.id),
+    ):
+        index = span.attrs.get("shard")
+        shards.append(
+            {
+                "shard": index,
+                "duration_s": span.duration,
+                "status": span.status,
+                "resumed": bool(span.attrs.get("resumed", False)),
+                "spans": _count_subtree(span),
+                "critical_path": _critical_path(span),
+                "peak_rss_kb": shard_rss.get(f"shard-{index:03d}")
+                if isinstance(index, int)
+                else None,
+            }
+        )
+
+    epochs = [
+        {
+            "epoch": span.attrs.get("epoch"),
+            "duration_s": span.duration,
+            "status": span.status,
+        }
+        for span in sorted(
+            (s for s in trace.spans.values() if s.name == "epoch"),
+            key=lambda s: (s.attrs.get("epoch", -1), s.id),
+        )
+    ]
+
+    campaign_metrics: dict = {}
+    for record in trace.metrics:  # last campaign-scope snapshot wins
+        if record.get("scope") == "campaign":
+            campaign_metrics = record.get("metrics", {})
+    if not campaign_metrics and trace.metrics:
+        campaign_metrics = trace.metrics[-1].get("metrics", {})
+
+    starts = [span.start for span in trace.spans.values()]
+    ends = [span.end for span in trace.spans.values() if span.end is not None]
+    return {
+        "totals": {
+            "spans": len(trace.spans),
+            "events": len(trace.events),
+            "aborted_spans": aborted,
+            "error_spans": errors,
+            "wall_s": (max(ends) - min(starts)) if starts and ends else 0.0,
+        },
+        "phases": {name: phases[name] for name in sorted(phases)},
+        "shards": shards,
+        "epochs": epochs,
+        "metrics": campaign_metrics,
+    }
+
+
+def _count_subtree(span: Span) -> int:
+    count = 1
+    stack = list(span.children)
+    while stack:
+        node = stack.pop()
+        count += 1
+        stack.extend(node.children)
+    return count
+
+
+def diff(before: Trace, after: Trace) -> dict:
+    """Per-phase timing comparison between two traces."""
+    a = summarize(before)
+    b = summarize(after)
+    names = sorted(set(a["phases"]) | set(b["phases"]))
+    phases = {}
+    for name in names:
+        at = a["phases"].get(name, {}).get("total_s", 0.0)
+        bt = b["phases"].get(name, {}).get("total_s", 0.0)
+        phases[name] = {
+            "before_s": at,
+            "after_s": bt,
+            "delta_s": bt - at,
+            "ratio": (bt / at) if at else None,
+        }
+    return {
+        "phases": phases,
+        "totals": {"before": a["totals"], "after": b["totals"]},
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_summary(summary: dict) -> str:
+    lines = []
+    totals = summary["totals"]
+    lines.append(
+        f"trace: {totals['spans']} spans, {totals['events']} events, "
+        f"{totals['wall_s']:.3f}s wall, {totals['aborted_spans']} aborted, "
+        f"{totals['error_spans']} errored"
+    )
+    lines.append("phases:")
+    for name, entry in summary["phases"].items():
+        lines.append(
+            f"  {name:<16} x{entry['count']:<5} total {entry['total_s']:.3f}s "
+            f"max {entry['max_s']:.3f}s"
+        )
+    if summary["epochs"]:
+        lines.append("epochs:")
+        for epoch in summary["epochs"]:
+            lines.append(
+                f"  epoch {epoch['epoch']}: {epoch['duration_s']:.3f}s "
+                f"[{epoch['status']}]"
+            )
+    if summary["shards"]:
+        lines.append("shards:")
+        for shard in summary["shards"]:
+            rss = shard["peak_rss_kb"]
+            rss_text = f" peak-rss {rss:.0f}kB" if rss else ""
+            chain = " > ".join(step["name"] for step in shard["critical_path"])
+            lines.append(
+                f"  shard {shard['shard']}: {shard['duration_s']:.3f}s "
+                f"[{shard['status']}]{' resumed' if shard['resumed'] else ''}"
+                f"{rss_text}  critical: {chain or '-'}"
+            )
+    counters = summary["metrics"].get("counters", {})
+    gauges = summary["metrics"].get("gauges", {})
+    if counters or gauges:
+        lines.append("metrics:")
+        for name, value in counters.items():
+            lines.append(f"  {name} = {value}")
+        for name, value in gauges.items():
+            lines.append(f"  {name} = {value:.0f}")
+    return "\n".join(lines)
+
+
+def render_diff(result: dict) -> str:
+    lines = ["phase            before_s   after_s    delta_s"]
+    for name, entry in result["phases"].items():
+        lines.append(
+            f"{name:<16} {entry['before_s']:>8.3f} {entry['after_s']:>9.3f} "
+            f"{entry['delta_s']:>+10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def write_summary_json(payload: dict, out: str | Path) -> None:
+    """Write a summary/diff payload atomically (the sanctioned JSON path)."""
+    from repro.core.shard import write_json_atomic
+
+    write_json_atomic(Path(out), payload)

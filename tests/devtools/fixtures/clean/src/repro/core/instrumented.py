@@ -1,0 +1,12 @@
+"""Fixture: write-only telemetry usage the hygiene rule must accept."""
+
+from repro.obs.clock import monotonic
+from repro.obs.metrics import get_registry
+
+
+def traced_step(tracer, rows: int) -> None:
+    started = monotonic()
+    with tracer.span("ingest", block=0):
+        get_registry().counter("store.rows_ingested").add(rows)
+    tracer.event("batch", duration_s=monotonic() - started)
+    tracer.record_metrics(scope="campaign")

@@ -1,0 +1,12 @@
+"""Fixture: every flavor of telemetry-hygiene violation."""
+
+import time
+from time import perf_counter
+
+from repro.obs.metrics import get_registry
+
+
+def leak_telemetry(tracer) -> float:
+    snapshot = get_registry().snapshot()
+    spans = tracer.open_spans()
+    return snapshot["store.rows_ingested"] + spans + perf_counter()

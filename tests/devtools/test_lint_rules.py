@@ -34,6 +34,11 @@ class TestViolationsCorpus:
         ("worker-pickle-safety", "src/repro/core/pool_violations.py", 19),
         ("reference-pairing", "src/repro/core/reference_violations.py", 4),
         ("rng-discipline", "src/repro/core/rng_violations.py", 3),
+        ("telemetry-hygiene", "src/repro/core/rng_violations.py", 4),
+        ("telemetry-hygiene", "src/repro/core/telemetry_violations.py", 3),
+        ("telemetry-hygiene", "src/repro/core/telemetry_violations.py", 4),
+        ("telemetry-hygiene", "src/repro/core/telemetry_violations.py", 10),
+        ("telemetry-hygiene", "src/repro/core/telemetry_violations.py", 11),
         ("rng-discipline", "src/repro/core/rng_violations.py", 11),
         ("rng-discipline", "src/repro/core/rng_violations.py", 15),
         ("rng-discipline", "src/repro/core/rng_violations.py", 23),
@@ -53,6 +58,22 @@ class TestViolationsCorpus:
         assert len(hygiene) == 2
         assert any("RATIO_FIELDS" in f.message for f in hygiene)
         assert any("slow marker" in f.message for f in hygiene)
+
+    def test_telemetry_readbacks_cite_the_observer_effect_ban(self):
+        # Wall-clock imports and registry/tracer read-backs are distinct
+        # halves of the rule; each must carry its own diagnosis.
+        findings = lint_fixture("violations")
+        hygiene = [f for f in findings if f.rule == "telemetry-hygiene"]
+        readbacks = {f.line for f in hygiene if "reads telemetry" in f.message}
+        imports = {
+            (f.path, f.line) for f in hygiene if "Clock indirection" in f.message
+        }
+        assert readbacks == {10, 11}
+        assert imports == {
+            ("src/repro/core/rng_violations.py", 4),
+            ("src/repro/core/telemetry_violations.py", 3),
+            ("src/repro/core/telemetry_violations.py", 4),
+        }
 
     def test_findings_render_as_path_line_rule(self):
         finding = lint_fixture("violations")[0]

@@ -58,7 +58,7 @@ class TestCli:
         report = json.loads(result.stdout)
         assert report["clean"] is True
         assert report["findings"] == []
-        assert report["files_scanned"] == 2
+        assert report["files_scanned"] == 4
         assert "rng-discipline" in report["rules"]
 
     def test_json_report_carries_findings(self):
@@ -71,6 +71,7 @@ class TestCli:
         rules = {finding["rule"] for finding in report["findings"]}
         assert {
             "rng-discipline",
+            "telemetry-hygiene",
             "atomic-json-write",
             "ordered-iteration",
             "reference-pairing",
@@ -88,6 +89,7 @@ class TestCli:
         assert result.returncode == 0
         for rule_id in (
             "rng-discipline",
+            "telemetry-hygiene",
             "atomic-json-write",
             "ordered-iteration",
             "reference-pairing",
