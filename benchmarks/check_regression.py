@@ -37,6 +37,7 @@ RATIO_FIELDS = {
     "BENCH_robustness.json": "speedup",
     "BENCH_longitudinal.json": "speedup",
     "BENCH_monitor.json": "speedup",
+    "BENCH_query.json": "speedup",
 }
 #: Largest tolerated relative drop of a ratio before the gate fails.
 MAX_REGRESSION = 0.25

@@ -4,7 +4,7 @@ The longitudinal pipeline's hot loop is turning a whole campaign corpus into
 per-(domain, country, day) success-rate series and scanning them for change
 points.  The row path walks every measurement updating per-day dicts and
 then runs the scalar per-cell CUSUM walk; the columnar path is one streamed
-``success_counts(by_day=True)`` bincount pass over the store plus the
+``grouped_success_counts(store, by_day=True)`` bincount pass plus the
 vectorized day-column scan.  This benchmark pins the claim at ~100k
 measurements across 35 simulated days: aggregation + detection on the store
 path must be at least 5× faster while producing identical events.
@@ -26,6 +26,7 @@ import numpy as np
 import pytest
 
 from repro.core.inference import CusumChangePointDetector
+from repro.core.query import grouped_success_counts
 from repro.core.store import DayGroupedCounts, DictColumn, MeasurementStore
 from repro.core.tasks import TaskOutcome, TaskType
 from repro.web.url import URL
@@ -91,7 +92,7 @@ def run_columnar(store: MeasurementStore):
     gc.collect()
     gc.disable()
     t0 = time.perf_counter()
-    day_counts = store.success_counts(by_day=True)
+    day_counts = grouped_success_counts(store, by_day=True)
     t1 = time.perf_counter()
     events = detector().detect_events(day_counts)
     t2 = time.perf_counter()
@@ -128,7 +129,7 @@ class TestLongitudinalThroughput:
     def test_day_bucketed_aggregation_and_cusum_at_least_5x_faster(
         self, bench_report_writer
     ):
-        # Fresh stores per columnar run: success_counts caches per store,
+        # Fresh stores per columnar run: the query kernel caches per store,
         # and a cache hit would benchmark the cache, not the reduction.
         stores = [build_store(np.random.default_rng(2015)) for _ in range(3)]
         rows = stores[0].rows()  # materialized once, outside both timings

@@ -2,8 +2,8 @@
 
 A checkpointed longitudinal monitor does three things per epoch: seal the
 epoch's pending rows into a segment, fold only that new segment into the
-persistent day-bucketed accumulator (shared by ``success_counts`` and the
-dense ``success_day_series`` accessor, behind one fold watermark), and
+persistent fold state (shared by ``grouped_success_counts`` and the dense
+``dense_day_series`` accessor, behind one fold watermark), and
 advance a resumable CUSUM state over only the new day columns.  All three
 are O(new data), so per-epoch cost must stay flat as history grows.  The stateless alternative re-reduces the whole corpus and
 re-scans every day column each epoch — O(history) — which is what always-on
@@ -35,6 +35,7 @@ import numpy as np
 import pytest
 
 from repro.core.inference import CusumChangePointDetector
+from repro.core.query import dense_day_series, grouped_success_counts
 from repro.core.store import DictColumn, MeasurementStore
 from repro.core.tasks import TaskOutcome, TaskType
 from repro.web.url import URL
@@ -105,7 +106,7 @@ def run_full_rescan():
     gc.collect()
     gc.disable()
     t0 = time.perf_counter()
-    day_counts = store.success_counts(by_day=True)
+    day_counts = grouped_success_counts(store, by_day=True)
     events = detector().detect_events(day_counts)
     t1 = time.perf_counter()
     gc.enable()
@@ -131,7 +132,7 @@ class TestMonitorIncrementality:
             store.append_columns(**epoch_columns(rng, epoch))
             t0 = time.perf_counter()
             store.seal_pending()
-            day_series = store.success_day_series()
+            day_series = dense_day_series(store)
             monitor_detector.resume(state, day_series)
             t1 = time.perf_counter()
             epoch_seconds.append(t1 - t0)
@@ -142,7 +143,7 @@ class TestMonitorIncrementality:
         )
 
         # Identical aggregate and identical events to the cold full scan.
-        assert store.success_counts(by_day=True).as_dict() == (
+        assert grouped_success_counts(store, by_day=True).as_dict() == (
             full["day_counts"].as_dict()
         )
         assert state.events == full["events"]

@@ -1,0 +1,159 @@
+"""The composable query kernel vs. its per-row scalar reference.
+
+``run_query`` is the one group-by engine behind every store reduction; this
+benchmark pins its throughput on the kernel's richest workload: group ~60k
+measurements by (domain, country, day) and reduce with all four aggregate
+families at once — counts, success counts, three ``elapsed_ms`` quantiles,
+and distinct client addresses.  The reference path is
+``run_query_reference`` — the scalar twin the equivalence tests pin — whose
+timing includes the row materialization per-row semantics inherently pay
+(the same accounting the store benchmark uses for its seed path).
+
+Results are recorded in ``benchmarks/BENCH_query.json``; on hosts with
+fewer than 4 CPUs the speedup assertion is skipped loudly (matching the
+shard benchmark's convention) after the JSON is written and the
+equivalence check has run.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.query import (
+    Count,
+    DistinctCount,
+    Quantiles,
+    SuccessCount,
+    run_query,
+    run_query_reference,
+)
+from repro.core.store import DictColumn, MeasurementStore
+from repro.core.tasks import TaskOutcome, TaskType
+from repro.web.url import URL
+
+ROWS = 60_000
+DAYS = 30
+N_DOMAINS = 10
+N_COUNTRIES = 8
+THROTTLE_DAY = 12
+MIN_SPEEDUP = 5.0
+MIN_CPUS = 4
+REPORT_PATH = Path(__file__).parent / "BENCH_query.json"
+
+DOMAINS = tuple(f"domain-{i:02d}.org" for i in range(N_DOMAINS))
+COUNTRIES = tuple(f"C{i:02d}" for i in range(N_COUNTRIES))
+
+KEYS = ("domain", "country", "day")
+AGGREGATES = (
+    Count(),
+    SuccessCount(),
+    Quantiles("elapsed_ms", (0.5, 0.9, 0.99)),
+    DistinctCount("client_ip"),
+)
+
+
+def build_store(rng: np.random.Generator) -> MeasurementStore:
+    """~60k synthetic measurements with a mid-campaign timing shift."""
+    domain = rng.integers(0, N_DOMAINS, ROWS)
+    country = rng.integers(0, N_COUNTRIES, ROWS)
+    day = rng.integers(0, DAYS, ROWS)
+    success = rng.random(ROWS) < 0.93
+    throttled = (domain % 4 == 0) & (country % 3 == 1) & (day >= THROTTLE_DAY)
+    elapsed = rng.uniform(80.0, 600.0, ROWS) * np.where(throttled, 6.0, 1.0)
+    outcomes = (TaskOutcome.SUCCESS, TaskOutcome.FAILURE)
+    identities = np.asarray(
+        [f"10.{i // 256}.{i % 256}.9" for i in range(512)], dtype=np.str_
+    )
+    constant = np.zeros(ROWS, dtype=np.int64)
+    store = MeasurementStore()
+    store.append_columns(
+        measurement_id=np.char.add("m", np.arange(ROWS).astype(np.str_)),
+        task_type=DictColumn((TaskType.IMAGE,), constant),
+        target_url=DictColumn(
+            tuple(URL.parse(f"http://{d}/favicon.ico") for d in DOMAINS), domain
+        ),
+        target_domain=DictColumn(DOMAINS, domain),
+        outcome=DictColumn(outcomes, (~success).astype(np.int64)),
+        elapsed_ms=elapsed,
+        client_ip=DictColumn(identities, rng.integers(0, len(identities), ROWS)),
+        country_code=DictColumn(COUNTRIES, country),
+        isp=DictColumn(("bench-isp",), constant),
+        browser_family=DictColumn(("chrome",), constant),
+        origin_domain=DictColumn((None,), constant),
+        day=day,
+    )
+    return store
+
+
+def run_kernel(store: MeasurementStore):
+    """One streamed group-by pass over the store's code columns."""
+    gc.collect()
+    gc.disable()
+    t0 = time.perf_counter()
+    result = run_query(store, KEYS, AGGREGATES)
+    t1 = time.perf_counter()
+    gc.enable()
+    return {"seconds": t1 - t0, "result": result}
+
+
+def run_reference(store: MeasurementStore):
+    """The scalar twin: materialize rows, bucket with dicts, np.quantile."""
+    gc.collect()
+    gc.disable()
+    t0 = time.perf_counter()
+    cells = run_query_reference(store, KEYS, AGGREGATES)
+    t1 = time.perf_counter()
+    gc.enable()
+    return {"seconds": t1 - t0, "cells": cells}
+
+
+class TestQueryKernelThroughput:
+    def test_kernel_at_least_5x_faster_than_row_reference(
+        self, bench_report_writer
+    ):
+        # Fresh stores per kernel run: results cache per store version, and
+        # a cache hit would benchmark the cache, not the reduction.
+        stores = [build_store(np.random.default_rng(2015)) for _ in range(3)]
+        kernel_runs = [run_kernel(store) for store in stores]
+        reference_runs = [run_reference(stores[0]) for _ in range(2)]
+        kernel = min(kernel_runs, key=lambda r: r["seconds"])
+        reference = min(reference_runs, key=lambda r: r["seconds"])
+
+        # Identical cells on both paths — quantiles bit-for-bit included.
+        assert kernel["result"].as_dict() == reference["cells"]
+
+        report = {
+            "rows": ROWS,
+            "keys": list(KEYS),
+            "aggregates": [spec.name for spec in AGGREGATES],
+            "cells": len(kernel["result"]),
+            "kernel_seconds": round(kernel["seconds"], 4),
+            "reference_seconds": round(reference["seconds"], 4),
+            "kernel_rows_per_second": round(ROWS / kernel["seconds"], 1),
+            "reference_rows_per_second": round(ROWS / reference["seconds"], 1),
+            "speedup": round(reference["seconds"] / kernel["seconds"], 2),
+        }
+        bench_report_writer(
+            REPORT_PATH, report, rows=ROWS, seconds=kernel["seconds"]
+        )
+
+        print()
+        print("Query kernel throughput (4 aggregate families, ~60k rows):")
+        for key, value in report.items():
+            print(f"  {key:26s} {value}")
+
+        cpu_count = os.cpu_count() or 1
+        if cpu_count < MIN_CPUS:
+            pytest.skip(
+                f"speedup gate needs >= {MIN_CPUS} CPUs for stable wall-clock "
+                f"ratios, host has {cpu_count}; measured {report['speedup']}x "
+                f"and recorded it in {REPORT_PATH.name} — the equivalence "
+                f"check above did run."
+            )
+        assert report["speedup"] >= MIN_SPEEDUP, report

@@ -30,6 +30,7 @@ import pytest
 
 from repro.core.collection import CollectionServer, ColumnarRecords, Measurement
 from repro.core.inference import BinomialFilteringDetector, binomial_cdf
+from repro.core.query import grouped_success_counts
 from repro.core.store import DictColumn
 from repro.core.tasks import TaskOutcome, TaskType
 from repro.population.geoip import GeoIPDatabase
@@ -235,7 +236,7 @@ def run_store_path(corpus):
     )
     server.ingest_columns(corpus["columns"])
     t1 = time.perf_counter()
-    grouped = server.store.success_counts()
+    grouped = grouped_success_counts(server.store)
     t2 = time.perf_counter()
     report = BinomialFilteringDetector().detect_from_counts(grouped)
     t3 = time.perf_counter()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro import EncoreDeployment
 from repro.analysis.reports import format_table
 from repro.core.inference import AdaptiveFilteringDetector, BinomialFilteringDetector
+from repro.core.query import grouped_success_counts
 from repro.core.robustness import AdversarySweep, PoisoningCampaign
 
 
@@ -70,7 +71,7 @@ def main(seed: int = 13, visits: int = 10000) -> None:
     adaptive = AdaptiveFilteringDetector(min_measurements=10)
     fixed_report = detector.detect(store)
     adaptive_report = adaptive.detect(store)
-    priors = adaptive.country_priors(store.success_counts())
+    priors = adaptive.country_priors(grouped_success_counts(store))
     rows = [[country, f"{prior:.2f}"] for country, prior in sorted(priors.items())
             if country in ("US", "DE", "IN", "CN", "IR", "PK", "BR")]
     print("Adaptive per-country success priors (vs the fixed 0.70):")

@@ -30,7 +30,7 @@ Quick start::
     store = result.collection.store
     pakistan = store.select(domain="youtube.com", country_code="PK")
     print(pakistan.count, pakistan.success_rate)
-    for (domain, country), (n, ok) in store.success_counts().as_dict().items():
+    for (domain, country), (n, ok) in store.query().as_dict().items():
         print(domain, country, n, ok)
 
 Longitudinal monitoring — the paper's headline workload — runs a campaign
@@ -70,6 +70,7 @@ from repro.core import (
     TaskPool,
     TaskResult,
     TaskType,
+    TimingCusumDetector,
     execute_task,
 )
 from repro.population.world import World, WorldConfig
@@ -100,6 +101,7 @@ __all__ = [
     "TaskPool",
     "TaskResult",
     "TaskType",
+    "TimingCusumDetector",
     "execute_task",
     "World",
     "WorldConfig",

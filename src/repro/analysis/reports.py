@@ -246,9 +246,40 @@ def build_timeline_report(
     """
     if isinstance(events, CusumState):
         events = events.events
+    return _match_transitions(events, timeline.transitions(), {})
+
+
+def build_throttle_report(
+    events: Iterable[CensorshipEvent], timeline: PolicyTimeline
+) -> TimelineReport:
+    """Match a timing detector's events against scripted throttle transitions.
+
+    The throttling sibling of :func:`build_timeline_report`: ``events`` are
+    what :class:`~repro.core.inference.TimingCusumDetector` emitted
+    (``"throttle-onset"``/``"throttle-offset"`` kinds), graded against
+    :meth:`~repro.censor.policy.PolicyTimeline.throttle_transitions` with
+    the same greedy day-ordered matching and false-alarm accounting.
+    """
+    return _match_transitions(
+        events,
+        timeline.throttle_transitions(),
+        {"throttle": "throttle-onset", "offset": "throttle-offset"},
+    )
+
+
+def _match_transitions(
+    events: Iterable[CensorshipEvent], transitions, kind_map: dict[str, str]
+) -> TimelineReport:
+    """The greedy day-ordered transition/event matcher both reports share.
+
+    ``kind_map`` translates a transition's scripted action into the event
+    kind that detects it (missing actions match events of the same name).
+    """
     report = TimelineReport()
     remaining = list(events)
-    transitions = timeline.transitions()
+
+    def kind_of(transition) -> str:
+        return kind_map.get(transition.action, transition.action)
 
     def claim_window_end(index: int) -> float:
         this = transitions[index]
@@ -268,7 +299,7 @@ def build_timeline_report(
             for event in remaining
             if event.domain == transition.domain
             and event.country_code == transition.country_code
-            and event.kind == transition.action
+            and event.kind == kind_of(transition)
             and transition.day <= event.detected_day < window_end
         ]
         match = min(candidates, key=lambda e: e.detected_day, default=None)
@@ -279,7 +310,7 @@ def build_timeline_report(
                 day=transition.day,
                 country_code=transition.country_code,
                 domain=transition.domain,
-                kind=transition.action,
+                kind=kind_of(transition),
                 event=match,
             )
         )

@@ -269,3 +269,29 @@ class PolicyTimeline:
                 out.append(PolicyEvent(event.day, *key, "offset"))
             state[key] = posture
         return out
+
+    def throttle_transitions(self) -> list[PolicyEvent]:
+        """The effective throttle transitions — the timing detector's ground truth.
+
+        The throttling sibling of :meth:`transitions`: a pair entering the
+        throttled state (from clear *or* blocked) emits a ``"throttle"``
+        event; a pair leaving it emits an ``"offset"``.  Redundant events
+        emit nothing.  These are the changes
+        :class:`~repro.core.inference.TimingCusumDetector` can be expected
+        to find in the per-day ``elapsed_ms`` quantiles (throttled fetches
+        complete, so success rates never see them).
+        """
+        state: dict[tuple[str, str], str] = {}
+        out: list[PolicyEvent] = []
+        for event in self._events:
+            key = (event.country_code, event.domain)
+            previous = state.get(key, "clear")
+            posture = _ACTION_STATE[event.action]
+            if posture == previous:
+                continue
+            if posture == "throttle":
+                out.append(PolicyEvent(event.day, *key, "throttle"))
+            elif previous == "throttle":
+                out.append(PolicyEvent(event.day, *key, "offset"))
+            state[key] = posture
+        return out

@@ -33,12 +33,30 @@ from repro.core.scheduler import Scheduler, TaskPool
 from repro.core.coordination import CoordinationServer
 from repro.core.collection import CollectionServer, Measurement
 from repro.core.store import DayGroupedCounts, GroupedCounts, MeasurementStore, Selection
+from repro.core.query import (
+    Count,
+    DenseResult,
+    DistinctCount,
+    Quantiles,
+    Query,
+    QueryResult,
+    SuccessCount,
+    Sum,
+    TimingDaySeries,
+    dense_day_series,
+    distinct_ip_count,
+    grouped_success_counts,
+    masked_grouped_success_counts,
+    run_query,
+    timing_day_series,
+)
 from repro.core.inference import (
     AdaptiveFilteringDetector,
     BinomialFilteringDetector,
     CensorshipEvent,
     CusumChangePointDetector,
     FilteringDetection,
+    TimingCusumDetector,
 )
 from repro.core.longitudinal import (
     LongitudinalConfig,
@@ -91,11 +109,27 @@ __all__ = [
     "DayGroupedCounts",
     "GroupedCounts",
     "Selection",
+    "Count",
+    "DenseResult",
+    "DistinctCount",
+    "Quantiles",
+    "Query",
+    "QueryResult",
+    "SuccessCount",
+    "Sum",
+    "TimingDaySeries",
+    "dense_day_series",
+    "distinct_ip_count",
+    "grouped_success_counts",
+    "masked_grouped_success_counts",
+    "run_query",
+    "timing_day_series",
     "AdaptiveFilteringDetector",
     "BinomialFilteringDetector",
     "CensorshipEvent",
     "CusumChangePointDetector",
     "FilteringDetection",
+    "TimingCusumDetector",
     "LongitudinalConfig",
     "LongitudinalEngine",
     "LongitudinalResult",

@@ -26,6 +26,7 @@ from typing import Iterable, NamedTuple
 import numpy as np
 
 from repro.browser.engine import Browser
+from repro.core.query import distinct_ip_count, grouped_success_counts
 from repro.core.store import DictColumn, MeasurementStore
 from repro.core.tasks import TaskOutcome, TaskResult, TaskType
 from repro.population.clients import Client
@@ -358,7 +359,7 @@ class CollectionServer:
         ).materialize()
 
     def distinct_ips(self) -> int:
-        return self.store.distinct_ips()
+        return distinct_ip_count(self.store)
 
     def distinct_countries(self) -> int:
         return self.store.distinct_countries()
@@ -372,10 +373,12 @@ class CollectionServer:
         """Per (domain, country): (total measurements, successes).
 
         This is exactly the input the binomial detection test consumes; the
-        detector itself prefers the grouped-array form
-        (``store.success_counts()``) and skips this dict entirely.
+        detector itself prefers the grouped-array form (the query kernel's
+        ``grouped_success_counts``) and skips this dict entirely.
         """
-        return self.store.success_counts(exclude_automated=exclude_automated).as_dict()
+        return grouped_success_counts(
+            self.store, exclude_automated
+        ).as_dict()
 
     def summary(self) -> dict[str, float]:
         """Campaign-scale headline numbers (paper §7)."""

@@ -11,8 +11,8 @@ same test does not fail in other regions, which rules out the resource simply
 being down for everyone.
 
 The detector consumes the grouped cell arrays of
-:class:`~repro.core.store.GroupedCounts` (what
-``MeasurementStore.success_counts()`` returns) and evaluates the binomial
+:class:`~repro.core.store.GroupedCounts` (what the query kernel's
+``grouped_success_counts`` returns) and evaluates the binomial
 lower tail for *every* (domain, country) cell in one vectorized, SciPy-free
 pass over a ragged term matrix; the legacy ``{(domain, country): (n, s)}``
 dict is still accepted everywhere and converted on entry.
@@ -314,7 +314,9 @@ class BinomialFilteringDetector:
             else getattr(collection, "store", None)
         )
         if store is not None:
-            return self.detect_from_counts(store.success_counts())
+            from repro.core.query import grouped_success_counts
+
+            return self.detect_from_counts(grouped_success_counts(store))
         return self.detect_from_counts(collection.success_counts())
 
     def detect_from_measurements(self, measurements: Iterable[Measurement]) -> DetectionReport:
@@ -573,7 +575,7 @@ class CusumChangePointDetector:
 
         ``day_counts`` is the cumulative corpus (its day axis keeps growing
         as epochs append) — either ragged :class:`DayGroupedCounts` or the
-        monitor loop's dense ``MeasurementStore.success_day_series()``
+        monitor loop's dense ``repro.core.query.dense_day_series()``
         result; anything with ``n_days`` and ``cell_series()`` works, and
         both representations yield bit-identical events.  Only columns
         ``state.days_processed .. day_counts.n_days - 1`` are scanned, so
@@ -682,6 +684,201 @@ class CusumChangePointDetector:
                         )
                     )
                     censored = not censored
+                    stat = 0.0
+        return self._sorted(events)
+
+
+class TimingCusumDetector:
+    """Online CUSUM over per-day ``elapsed_ms`` quantiles — throttle detection.
+
+    Bandwidth throttling is the censorship signature success rates cannot
+    see: a throttled exchange still *completes*, just slowly (§1's subtle
+    filtering; ``THROTTLE_FACTOR`` stretches the transfer time), so
+    :class:`CusumChangePointDetector` scanning success rates stays silent.
+    This detector scans the timing side of the same corpus: a
+    :class:`~repro.core.query.TimingDaySeries` of per-(domain, country)
+    daily ``elapsed_ms`` quantiles, produced by the query kernel
+    (:func:`repro.core.query.timing_day_series`).
+
+    Each cell seeds its own healthy baseline — the median of its qualifying
+    daily quantiles over the first ``baseline_days`` days — because absolute
+    timings vary per (domain, country) with object size and link quality,
+    unlike success rates which share a global healthy level.  The walk then
+    mirrors the success-rate machine over the *ratio* ``r_d = q_d /
+    baseline``: while *clear* it accumulates ``S ← max(0, S + (r_d − 1 −
+    drift))`` — evidence the day ran slower than baseline — and emits a
+    ``"throttle-onset"`` when ``S`` crosses ``threshold``; while *throttled*
+    it accumulates ``S ← max(0, S + (slowdown − drift − r_d))`` and emits a
+    ``"throttle-offset"`` on recovery.  Days with fewer than
+    ``min_daily_measurements`` measurements (including the NaN no-data days)
+    carry the statistic unchanged, and a cell with no qualifying baseline
+    day never alarms — no baseline, no evidence.  The scan starts *after*
+    the baseline window: those days are the presumed-healthy training
+    period, so their noise can neither accumulate evidence nor pollute a
+    change-point estimate.
+
+    :meth:`detect_events` is the vectorized scan (one numpy pass per day
+    column); :meth:`detect_events_reference` is the readable per-cell scalar
+    walk; both consume the same values in the same order, so their events
+    are identical bit-for-bit — the same equivalence convention the
+    success-rate detector pins.
+    """
+
+    def __init__(
+        self,
+        slowdown: float = 3.0,
+        drift: float = 0.25,
+        threshold: float = 2.0,
+        min_daily_measurements: int = 5,
+        baseline_days: int = 5,
+    ) -> None:
+        if slowdown <= 1.0:
+            raise ValueError("slowdown must exceed 1 (a >1x throttled/healthy ratio)")
+        if drift < 0.0:
+            raise ValueError("drift must be non-negative")
+        if slowdown - drift <= 1.0 + drift:
+            raise ValueError("need slowdown - drift > 1 + drift (targets must not cross)")
+        if threshold <= 0.0:
+            raise ValueError("threshold must be positive")
+        if min_daily_measurements < 1:
+            raise ValueError("min_daily_measurements must be positive")
+        if baseline_days < 1:
+            raise ValueError("baseline_days must be positive")
+        self.slowdown = slowdown
+        self.drift = drift
+        self.threshold = threshold
+        self.min_daily_measurements = min_daily_measurements
+        self.baseline_days = baseline_days
+
+    # ------------------------------------------------------------------
+    def _confidence(self, statistic: float) -> float:
+        """Threshold overshoot mapped to [0.5, 1.0]."""
+        return min(1.0, statistic / (2.0 * self.threshold))
+
+    @staticmethod
+    def _sorted(events: list[CensorshipEvent]) -> list[CensorshipEvent]:
+        events.sort(key=lambda e: (e.detected_day, e.domain, e.country_code, e.kind))
+        return events
+
+    def config_key(self) -> tuple:
+        """Hashable identity of this detector's tuning (caches key on it)."""
+        return (
+            type(self).__name__,
+            self.slowdown,
+            self.drift,
+            self.threshold,
+            self.min_daily_measurements,
+            self.baseline_days,
+        )
+
+    def _baselines(self, counts: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Per-cell healthy timing baselines (NaN = cell never alarms).
+
+        The median of the cell's qualifying daily quantiles over the first
+        ``baseline_days`` days; days below ``min_daily_measurements`` (or
+        with no data at all) contribute nothing.
+        """
+        window = values[:, : self.baseline_days].copy()
+        window[counts[:, : self.baseline_days] < self.min_daily_measurements] = np.nan
+        baselines = np.full(len(window), np.nan)
+        has_baseline = ~np.isnan(window).all(axis=1)
+        if has_baseline.any():
+            baselines[has_baseline] = np.nanmedian(window[has_baseline], axis=1)
+        return baselines
+
+    def detect_events(self, timing_series) -> list[CensorshipEvent]:
+        """Scan every (domain, country) cell's daily quantile series, vectorized.
+
+        ``timing_series`` is a :class:`~repro.core.query.TimingDaySeries`
+        (anything with ``cell_series()`` returning ``(domains, countries,
+        counts, values)`` matrices works).  Sequential in days, whole-array
+        per day column; only threshold crossings drop to per-cell Python.
+        """
+        domains, countries, counts, values = timing_series.cell_series()
+        n_cells, n_days = counts.shape
+        events: list[CensorshipEvent] = []
+        if n_cells == 0 or n_days == 0:
+            return events
+        get_registry().counter("timing_cusum.cells_scanned").add(n_cells * n_days)
+        baselines = self._baselines(counts, values)
+        alarmable = ~np.isnan(baselines)
+        throttled = np.zeros(n_cells, dtype=bool)
+        stat = np.zeros(n_cells, dtype=np.float64)
+        excursion = np.zeros(n_cells, dtype=np.int64)
+        clear_target = 1.0 + self.drift
+        throttled_target = self.slowdown - self.drift
+        for day in range(self.baseline_days, n_days):
+            active = alarmable & (counts[:, day] >= self.min_daily_measurements)
+            if not active.any():
+                continue
+            ratio = np.ones(n_cells, dtype=np.float64)
+            ratio[active] = values[active, day] / baselines[active]
+            increment = np.where(
+                throttled, throttled_target - ratio, ratio - clear_target
+            )
+            new_stat = np.maximum(0.0, stat + increment)
+            started = active & (stat == 0.0) & (new_stat > 0.0)
+            excursion[started] = day
+            stat = np.where(active, new_stat, stat)
+            for cell in np.flatnonzero(active & (stat >= self.threshold)).tolist():
+                statistic = float(stat[cell])
+                events.append(
+                    CensorshipEvent(
+                        domain=str(domains[cell]),
+                        country_code=str(countries[cell]),
+                        kind="throttle-offset" if throttled[cell] else "throttle-onset",
+                        change_day=int(excursion[cell]),
+                        detected_day=day,
+                        statistic=statistic,
+                        confidence=self._confidence(statistic),
+                    )
+                )
+                throttled[cell] = ~throttled[cell]
+                stat[cell] = 0.0
+        return self._sorted(events)
+
+    def detect_events_reference(self, timing_series) -> list[CensorshipEvent]:
+        """The scalar per-cell reference walk; events identical to the fast path."""
+        domains, countries, counts, values = timing_series.cell_series()
+        events: list[CensorshipEvent] = []
+        clear_target = 1.0 + self.drift
+        throttled_target = self.slowdown - self.drift
+        for cell in range(counts.shape[0]):
+            window = [
+                float(values[cell, day])
+                for day in range(min(self.baseline_days, counts.shape[1]))
+                if counts[cell, day] >= self.min_daily_measurements
+            ]
+            if not window:
+                continue
+            baseline = float(np.median(window))
+            throttled = False
+            stat = 0.0
+            excursion = 0
+            for day in range(self.baseline_days, counts.shape[1]):
+                if counts[cell, day] < self.min_daily_measurements:
+                    continue
+                ratio = float(values[cell, day]) / baseline
+                increment = (
+                    (throttled_target - ratio) if throttled else (ratio - clear_target)
+                )
+                new_stat = max(0.0, stat + increment)
+                if stat == 0.0 and new_stat > 0.0:
+                    excursion = day
+                stat = new_stat
+                if stat >= self.threshold:
+                    events.append(
+                        CensorshipEvent(
+                            domain=str(domains[cell]),
+                            country_code=str(countries[cell]),
+                            kind="throttle-offset" if throttled else "throttle-onset",
+                            change_day=excursion,
+                            detected_day=day,
+                            statistic=float(stat),
+                            confidence=self._confidence(float(stat)),
+                        )
+                    )
+                    throttled = not throttled
                     stat = 0.0
         return self._sorted(events)
 

@@ -19,14 +19,20 @@ sequence of **epochs** over simulated days:
    planner, so an epoch is reproducible from ``(seed, epoch)`` alone and
    can fan out across worker processes with ``mode="sharded"``.  All epochs
    ingest into one (possibly spilled) collection store.
-3. **Aggregate.**  ``store.success_counts(by_day=True)`` reduces the whole
-   corpus to ragged (domain, country, day) cells — streamed
-   segment-by-segment, fully vectorized, nothing concatenated.
+3. **Aggregate.**  The query kernel
+   (:func:`repro.core.query.grouped_success_counts` ``by_day=True``)
+   reduces the whole corpus to ragged (domain, country, day) cells —
+   streamed segment-by-segment, fully vectorized, nothing concatenated.
 4. **Detect.**  :class:`~repro.core.inference.CusumChangePointDetector`
    scans every cell's daily success-rate series online and emits
    :class:`~repro.core.inference.CensorshipEvent` onsets/offsets with their
    detection lag; :func:`~repro.analysis.reports.build_timeline_report`
-   grades them against the scripted ground truth.
+   grades them against the scripted ground truth.  The same kernel's
+   ``Quantiles("elapsed_ms", ...)`` aggregate feeds a
+   :class:`~repro.core.inference.TimingCusumDetector`
+   (:meth:`LongitudinalResult.timing_events`) that catches *throttling* —
+   the censorship signature success rates cannot see, graded by
+   :func:`~repro.analysis.reports.build_throttle_report`.
 
 **Always-on monitoring.**  With ``LongitudinalConfig.checkpoint_dir`` set,
 the run becomes an incremental, killable monitor loop.  Per epoch the engine
@@ -62,7 +68,18 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.censor.policy import PolicyTimeline
-from repro.core.inference import CensorshipEvent, CusumChangePointDetector, CusumState
+from repro.core.inference import (
+    CensorshipEvent,
+    CusumChangePointDetector,
+    CusumState,
+    TimingCusumDetector,
+)
+from repro.core.query import (
+    TimingDaySeries,
+    dense_day_series,
+    grouped_success_counts,
+    timing_day_series,
+)
 from repro.core.store import DayGroupedCounts
 from repro.obs.metrics import get_registry
 from repro.obs.trace import NULL_TRACER, TRACE_FILENAME, Tracer
@@ -94,6 +111,11 @@ class LongitudinalConfig:
     trailing_epochs: int = 5
     #: The online change-point detector run over the day-bucketed rates.
     detector: CusumChangePointDetector = field(default_factory=CusumChangePointDetector)
+    #: The timing-side detector run over per-day ``elapsed_ms`` quantiles —
+    #: catches the throttle events success rates cannot see.
+    timing_detector: TimingCusumDetector = field(default_factory=TimingCusumDetector)
+    #: Which daily ``elapsed_ms`` quantile the timing detector scans.
+    timing_quantile: float = 0.9
     #: Directory for the always-on monitor's resumable state: per-epoch
     #: shard manifests (epoch-level crash resume) plus the CUSUM state
     #: checkpoint.  ``None`` (the default) runs the engine statelessly.
@@ -161,6 +183,8 @@ class LongitudinalResult:
     def __post_init__(self) -> None:
         self._events: list[CensorshipEvent] | None = None
         self._events_key: tuple | None = None
+        self._timing_events: list[CensorshipEvent] | None = None
+        self._timing_events_key: tuple | None = None
         # The store version + detector tuning the monitor state was built
         # under; if either moves, events() falls back to a full scan.
         self._monitor_key = (
@@ -184,10 +208,43 @@ class LongitudinalResult:
     def day_counts(self) -> DayGroupedCounts:
         """Ragged (domain, country, day) success counts over the whole run.
 
-        Streamed straight off the (possibly spilled) store; cached there, so
-        repeated calls are free until the store grows.
+        Streamed straight off the (possibly spilled) store via the query
+        kernel; cached there, so repeated calls are free until the store
+        grows.
         """
-        return self.collection.store.success_counts(by_day=True)
+        return grouped_success_counts(self.collection.store, by_day=True)
+
+    def timing_series(self) -> TimingDaySeries:
+        """Per-(domain, country) day matrices of the configured timing quantile.
+
+        The query kernel's ``Quantiles("elapsed_ms", ...)`` aggregate over
+        the same grouping as :meth:`day_counts` — what the timing detector
+        scans.  Cached on the store per version.
+        """
+        return timing_day_series(
+            self.collection.store, quantile=self.config.timing_quantile
+        )
+
+    def timing_events(self) -> list[CensorshipEvent]:
+        """Detected throttle onsets/offsets from the timing CUSUM (cached).
+
+        The events success rates cannot see: bandwidth throttling completes
+        every fetch, so :meth:`events` stays silent while the per-day
+        ``elapsed_ms`` quantiles shift by the throttle factor.  Cache keyed
+        on the store version and the timing detector's tuning, mirroring
+        :meth:`events`.
+        """
+        key = (
+            self.collection.store.version,
+            self.config.timing_detector.config_key(),
+            self.config.timing_quantile,
+        )
+        if self._timing_events is None or self._timing_events_key != key:
+            self._timing_events = self.config.timing_detector.detect_events(
+                self.timing_series()
+            )
+            self._timing_events_key = key
+        return self._timing_events
 
     def events(self) -> list[CensorshipEvent]:
         """Detected censorship onsets/offsets (vectorized CUSUM, cached).
@@ -213,6 +270,12 @@ class LongitudinalResult:
         from repro.analysis.reports import build_timeline_report
 
         return build_timeline_report(self.events(), self.timeline)
+
+    def throttle_report(self):
+        """Grade the timing detector's events against scripted throttles."""
+        from repro.analysis.reports import build_throttle_report
+
+        return build_throttle_report(self.timing_events(), self.timeline)
 
 
 class LongitudinalEngine:
@@ -385,7 +448,7 @@ class LongitudinalEngine:
                                 and monitor.days_processed == 0
                             ):
                                 monitor.baselines = config.detector.seeded_baselines(
-                                    store.success_counts()
+                                    grouped_success_counts(store)
                                 )
                             # Dense matrices straight off the fold
                             # accumulator: same events as the ragged
@@ -393,7 +456,7 @@ class LongitudinalEngine:
                             # materialization per epoch.
                             with tracer.span("detect", epoch=epoch):
                                 config.detector.resume(
-                                    monitor, store.success_day_series()
+                                    monitor, dense_day_series(store)
                                 )
                             with tracer.span("checkpoint", epoch=epoch):
                                 monitor.save(

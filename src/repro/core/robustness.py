@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.core.collection import CollectionServer, ColumnarRecords, Measurement
 from repro.core.inference import BinomialFilteringDetector
+from repro.core.query import masked_grouped_success_counts
 from repro.core.shard import (
     MANIFEST_NAME,
     StoreMerger,
@@ -243,8 +244,8 @@ class StoreReputationReport:
         re-run detection on the filtered corpus — the store-path equivalent
         of detecting over ``report.kept`` — without materializing a row.
         """
-        return self.store.masked_success_counts(
-            self.keep_mask, exclude_automated=exclude_automated
+        return masked_grouped_success_counts(
+            self.store, self.keep_mask, exclude_automated=exclude_automated
         )
 
 

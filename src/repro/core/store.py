@@ -15,9 +15,11 @@ instead:
   client IP) stay as numpy unicode arrays.
 * **Vectorized queries.**  :meth:`MeasurementStore.select` evaluates all
   filter criteria as boolean masks and returns a :class:`Selection` (mask +
-  column views); :meth:`MeasurementStore.success_counts` computes the
-  per-(domain, country) totals the binomial detector consumes with two
-  ``bincount`` passes instead of a per-row dict update.
+  column views); :meth:`MeasurementStore.query` hands any keyed reduction —
+  per-(domain, country[, day]) counts, timing quantiles, distinct clients —
+  to the one group-by kernel in :mod:`repro.core.query`.  The legacy
+  bespoke reductions (``success_counts`` and friends) survive as deprecated
+  thin wrappers over it, pinned row-identical by equivalence tests.
 * **Bounded memory.**  With ``max_rows_in_memory=`` set, sealed column
   segments spill to ``.npz`` files under ``spill_dir`` (a temporary
   directory if none is given).  Queries transparently concatenate spilled
@@ -33,6 +35,7 @@ instead:
 from __future__ import annotations
 
 import tempfile
+import warnings
 from collections import Counter
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, NamedTuple, Sequence
@@ -390,87 +393,6 @@ class _Segment:
         get_registry().counter("store.segments_spilled").add(1)
 
 
-class _IncrementalGroupCounts:
-    """Persistent fold state behind :meth:`MeasurementStore.success_counts`.
-
-    Holds the running ``(domain, country[, day])`` bincount accumulator plus
-    a watermark of how many *sealed* segments have been folded into it.
-    Sealed segments are immutable, so each is folded exactly once over the
-    store's lifetime; pending (still-mutable) chunks are only ever folded
-    into a per-call copy.  The code axes match the store's value tables and
-    are padded when the tables grow (codes are stable once assigned, so old
-    folds stay valid); the day axis grows geometrically like the old
-    full-scan path did.
-    """
-
-    __slots__ = ("by_day", "segments_folded", "n_days", "capacity", "totals", "successes")
-
-    def __init__(self, by_day: bool) -> None:
-        self.by_day = by_day
-        self.segments_folded = 0
-        self.n_days = 0    #: largest day seen + 1
-        self.capacity = 0  #: allocated day-axis width of the accumulators
-        shape = (0, 0, 0) if by_day else (0, 0)
-        self.totals = np.zeros(shape, dtype=np.int64)
-        self.successes = np.zeros(shape, dtype=np.int64)
-
-    def snapshot(self) -> "_IncrementalGroupCounts":
-        """A deep copy pending chunks can be folded into without corrupting us."""
-        copy = _IncrementalGroupCounts(self.by_day)
-        copy.n_days = self.n_days
-        copy.capacity = self.capacity
-        copy.totals = self.totals.copy()
-        copy.successes = self.successes.copy()
-        return copy
-
-    def grow_codes(self, n_domains: int, n_countries: int) -> None:
-        """Pad the code axes out to the store's current value-table sizes."""
-        have = self.totals.shape
-        if have[0] == n_domains and have[1] == n_countries:
-            return
-        pad = ((0, n_domains - have[0]), (0, n_countries - have[1]))
-        if self.by_day:
-            pad = pad + ((0, 0),)
-        self.totals = np.pad(self.totals, pad)
-        self.successes = np.pad(self.successes, pad)
-
-    def fold(self, part: dict[str, np.ndarray], exclude_automated: bool) -> None:
-        """Accumulate one segment's (or pending chunk's) columns."""
-        outcome = part["outcome"]
-        valid = outcome != OUTCOME_INCONCLUSIVE
-        if exclude_automated:
-            valid &= ~part["automated"]
-        domain = part["domain"][valid].astype(np.int64)
-        if not domain.size:
-            return
-        n_domains, n_countries = self.totals.shape[:2]
-        key = domain * n_countries + part["country"][valid]
-        if self.by_day:
-            day = part["day"][valid].astype(np.int64)
-            # Later segments may reveal later days (longitudinal ingest is
-            # strictly day-ordered, so this happens per segment); grow the
-            # day axis geometrically so the copies amortize to O(1) per
-            # segment.
-            segment_days = int(day.max()) + 1
-            if segment_days > self.n_days:
-                if segment_days > self.capacity:
-                    capacity = max(segment_days, 2 * self.capacity)
-                    pad = ((0, 0), (0, 0), (0, capacity - self.capacity))
-                    self.totals = np.pad(self.totals, pad)
-                    self.successes = np.pad(self.successes, pad)
-                    self.capacity = capacity
-                self.n_days = segment_days
-            key = key * self.capacity + day
-            shape = (n_domains, n_countries, self.capacity)
-        else:
-            shape = (n_domains, n_countries)
-        minlength = int(np.prod(shape))
-        self.totals += np.bincount(key, minlength=minlength).reshape(shape)
-        self.successes += np.bincount(
-            key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
-        ).reshape(shape)
-
-
 class MeasurementStore:
     """Struct-of-arrays storage for measurements, with optional disk spill.
 
@@ -527,10 +449,11 @@ class MeasurementStore:
         self._column_cache_version = -1
         self._derived_cache: dict[object, object] = {}
         self._derived_cache_version = -1
-        # Incremental aggregation state: unlike ``_derived_cache`` (whole
-        # results, discarded on every append) these survive version bumps
-        # and track how far into the sealed-segment list they have folded.
-        self._count_states: dict[tuple, _IncrementalGroupCounts] = {}
+        # Incremental fold state for the query kernel: unlike
+        # ``_derived_cache`` (whole results, discarded on every append)
+        # these survive version bumps and track how far into the
+        # sealed-segment list they have folded (repro.core.query).
+        self._query_states: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -980,247 +903,212 @@ class MeasurementStore:
             mask &= self.column("task") == _TASK_CODES[task_type]
         return Selection(self, mask)
 
-    def _segment_parts(self, names: Sequence[str]):
-        """Yield the requested columns segment-by-segment (pending included).
+    def _segment_chunks(self, names: Sequence[str]):
+        """Yield ``(offset, length, columns)`` segment-by-segment (pending too).
 
-        Streamed aggregations use this to touch one segment's worth of data
-        at a time: each spilled ``.npz`` is opened once for all requested
-        columns, and nothing is ever concatenated into a full-corpus array.
+        The query kernel's streaming surface: each spilled ``.npz`` is
+        opened once for all requested columns, nothing is ever concatenated
+        into a full-corpus array, and the running row offset lets a caller
+        slice a store-wide mask per segment.
         """
+        offset = 0
         for seg in self._segments:
-            yield seg.load_columns(names)
+            yield offset, seg.length, seg.load_columns(names)
+            offset += seg.length
         for chunk in self._pending:
-            yield {name: chunk[name] for name in names}
+            length = len(chunk["day"])
+            yield offset, length, {name: chunk[name] for name in names}
+            offset += length
+
+    def _segment_parts(self, names: Sequence[str]):
+        """Yield the requested columns segment-by-segment (pending included)."""
+        for _, _, part in self._segment_chunks(names):
+            yield part
+
+    def query(
+        self,
+        keys: Sequence[str] = ("domain", "country"),
+        aggregates=None,
+        *,
+        mask: np.ndarray | None = None,
+        exclude_automated: bool = True,
+        exclude_inconclusive: bool = True,
+        shape: str = "cells",
+        tracer=None,
+    ):
+        """Group rows by ``keys`` and reduce with ``aggregates`` — the one
+        query surface every reduction goes through.
+
+        ``keys`` is any subset of ``("domain", "country", "day", "isp",
+        "family", "task")``; ``aggregates`` are specs from
+        :mod:`repro.core.query` (:class:`~repro.core.query.Count`,
+        :class:`~repro.core.query.SuccessCount`,
+        :class:`~repro.core.query.Sum`,
+        :class:`~repro.core.query.Quantiles`,
+        :class:`~repro.core.query.DistinctCount`), defaulting to
+        ``(Count(), SuccessCount())``.  ``mask`` restricts to a boolean
+        row subset; ``shape="dense"`` returns full key-space accumulator
+        arrays instead of per-group cells (foldable maskless queries only).
+        Maskless all-foldable queries advance a fold-once incremental
+        accumulator (each sealed segment folded exactly once over the
+        store's lifetime), so an always-on monitor's per-call cost tracks
+        the new rows.  See ``docs/query_api.md`` for the model and the
+        migration table from the deprecated bespoke reductions.
+        """
+        from repro.core import query as _query
+
+        return _query.run_query(
+            self,
+            keys,
+            _query._COUNT_AGGS if aggregates is None else aggregates,
+            mask=mask,
+            exclude_automated=exclude_automated,
+            exclude_inconclusive=exclude_inconclusive,
+            shape=shape,
+            tracer=_query.NULL_TRACER if tracer is None else tracer,
+        )
 
     def success_counts(
         self, exclude_automated: bool = True, *, by_day: bool = False
     ) -> "GroupedCounts | DayGroupedCounts":
-        """Per-(domain, country) totals and successes by grouped reduction.
+        """Deprecated: per-(domain, country[, day]) totals and successes.
 
-        Incremental: each *sealed* segment (spilled or resident) is folded
-        into a persistent bincount accumulator exactly once over the store's
-        lifetime — a call after an append only touches the segments (and
-        pending rows) that arrived since the last call, never the whole
-        corpus, which is what gives an always-on monitor flat per-epoch
-        aggregation cost.  Each segment contributes two ``bincount`` passes
-        over a combined ``domain * n_countries + country`` key; no column is
-        ever concatenated across segments, so spilled and multi-worker
-        merged stores stay cheap too.  Inconclusive outcomes (and by default
-        automated traffic) are excluded, exactly as the binomial detection
-        test requires.
-
-        ``by_day=True`` buckets the same reduction by the ``day`` column too
-        and returns :class:`DayGroupedCounts` — the ragged (domain, country,
-        day) cells the longitudinal change-point pipeline consumes — with
-        the same fold-once accumulator (the key gains a day axis, grown as
-        later segments reveal later days).
+        A thin wrapper over :meth:`query` (keys ``(domain, country[, day])``,
+        aggregates ``(Count(), SuccessCount())``), kept for callers of the
+        pre-kernel API and pinned row-identical to it by equivalence tests.
+        Use :meth:`query` or :func:`repro.core.query.grouped_success_counts`.
         """
-        cache_key = ("success_counts", exclude_automated, by_day)
-        cached = self._derived(cache_key)
-        if cached is not None:
-            return cached
-        n_countries = len(self._country_values)
-        empty_str = np.empty(0, dtype=np.str_)
-        empty_int = np.empty(0, dtype=np.int64)
-        if len(self) == 0 or not n_countries:
+        warnings.warn(
+            "MeasurementStore.success_counts() is deprecated; use "
+            "store.query() or repro.core.query.grouped_success_counts()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.query import grouped_success_counts
+
+        return grouped_success_counts(self, exclude_automated, by_day=by_day)
+
+    def success_counts_reference(
+        self, exclude_automated: bool = True, *, by_day: bool = False
+    ) -> "GroupedCounts | DayGroupedCounts":
+        """Per-row reference for the grouped success reduction.
+
+        The readable dict-update walk over materialized rows that the
+        equivalence tests pin the query kernel against.
+        """
+        counts: dict[tuple, tuple[int, int]] = {}
+        for m in self.rows():
+            if m.outcome is TaskOutcome.INCONCLUSIVE:
+                continue
+            if exclude_automated and m.is_automated:
+                continue
             if by_day:
-                empty = DayGroupedCounts(
-                    empty_str, empty_str, empty_int, empty_int, empty_int, 0
-                )
+                key = (m.target_domain, m.country_code, m.day)
             else:
-                empty = GroupedCounts(empty_str, empty_str, empty_int, empty_int)
-            return self._derive(cache_key, empty)
-        n_domains = len(self._domain_values)
-        totals_view = self._advanced_count_state(exclude_automated, by_day)
+                key = (m.target_domain, m.country_code)
+            n, s = counts.get(key, (0, 0))
+            counts[key] = (n + 1, s + (m.outcome is TaskOutcome.SUCCESS))
         if by_day:
-            n_days = totals_view.n_days
-            flat_totals = totals_view.totals.reshape(
-                n_domains * n_countries, totals_view.capacity
-            )[:, :n_days]
-            flat_successes = totals_view.successes.reshape(
-                n_domains * n_countries, totals_view.capacity
-            )[:, :n_days]
-            result = self._day_grouped_from_flat(flat_totals, flat_successes, n_days)
-        else:
-            result = self._grouped_from_flat(
-                totals_view.totals.reshape(-1), totals_view.successes.reshape(-1)
-            )
-        return self._derive(cache_key, result)
-
-    def _advanced_count_state(
-        self, exclude_automated: bool, by_day: bool
-    ) -> _IncrementalGroupCounts:
-        """The fold-once accumulator, advanced over all unfolded rows.
-
-        Sealed segments past the watermark are folded into the persistent
-        state exactly once; pending chunks (not immutable yet — the next
-        seal rebinds them into a segment) only ever touch a snapshot copy,
-        which is what gets returned in that case.
-        """
-        cache_key = ("success_counts", exclude_automated, by_day)
-        state = self._count_states.get(cache_key)
-        if state is None:
-            state = self._count_states[cache_key] = _IncrementalGroupCounts(by_day)
-        state.grow_codes(len(self._domain_values), len(self._country_values))
-        names = ("outcome", "domain", "country") + (
-            ("day",) if by_day else ()
-        ) + (("automated",) if exclude_automated else ())
-        unfolded = len(self._segments) - state.segments_folded
-        for seg in self._segments[state.segments_folded:]:
-            state.fold(seg.load_columns(names), exclude_automated)
-        state.segments_folded = len(self._segments)
-        if unfolded:
-            registry = get_registry()
-            registry.counter("store.fold_advances").add(1)
-            registry.counter("store.segments_folded").add(unfolded)
-        totals_view = state
-        if self._pending:
-            totals_view = state.snapshot()
-            for chunk in self._pending:
-                totals_view.fold(
-                    {name: chunk[name] for name in names}, exclude_automated
-                )
-        return totals_view
+            return DayGroupedCounts.from_dict(counts)
+        return GroupedCounts.from_dict(counts)
 
     def success_day_series(self, exclude_automated: bool = True) -> DenseDayCounts:
-        """Dense (pair, day) success matrices for the always-on monitor loop.
+        """Deprecated: dense (pair, day) success matrices for the monitor loop.
 
-        Rides the same fold-once accumulator (and watermark) as
-        ``success_counts(by_day=True)``, but skips the ragged (domain,
-        country, day) cell materialization — no per-cell string arrays, no
-        lexsort over all of history — so per-epoch cost stays flat as the
-        day axis grows (``benchmarks/test_bench_monitor.py``).  Pairs carry
-        the same members and the same sorted (domain, country) order as
-        ``DayGroupedCounts.cell_series`` on the same corpus, so feeding
-        either representation to the CUSUM scan yields bit-identical
-        events.  The matrices are fancy-indexed copies, never views of the
-        live accumulator, so later folds cannot mutate a served result.
+        A thin wrapper over :meth:`query` with ``shape="dense"`` — same
+        fold-once accumulator and watermark as the by-day grouped counts,
+        no ragged cell materialization, so per-epoch monitor cost stays
+        flat.  Use :func:`repro.core.query.dense_day_series`.
         """
-        n_countries = len(self._country_values)
-        if len(self) == 0 or not n_countries:
-            empty_str = np.empty(0, dtype=np.str_)
-            empty_2d = np.zeros((0, 0), dtype=np.int64)
-            return DenseDayCounts(empty_str, empty_str, empty_2d, empty_2d.copy(), 0)
-        view = self._advanced_count_state(exclude_automated, by_day=True)
-        n_days = view.n_days
-        n_pairs_total = len(self._domain_values) * n_countries
-        totals = view.totals.reshape(n_pairs_total, view.capacity)[:, :n_days]
-        successes = view.successes.reshape(n_pairs_total, view.capacity)[:, :n_days]
-        pairs = np.flatnonzero(totals.any(axis=1))
-        domains = np.asarray(self._domain_values, dtype=np.str_)[pairs // n_countries]
-        countries = np.asarray(self._country_values, dtype=np.str_)[pairs % n_countries]
-        order = np.lexsort((countries, domains))
-        return DenseDayCounts(
-            domains[order],
-            countries[order],
-            totals[pairs[order]],
-            successes[pairs[order]],
-            n_days,
+        warnings.warn(
+            "MeasurementStore.success_day_series() is deprecated; use "
+            "repro.core.query.dense_day_series()",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from repro.core.query import dense_day_series
 
-    def _grouped_from_flat(self, totals: np.ndarray, successes: np.ndarray) -> GroupedCounts:
-        """Cell arrays (sorted by domain, country) from flat bincount tables."""
-        n_countries = len(self._country_values)
-        cells = np.flatnonzero(totals)
-        domains = np.asarray(self._domain_values, dtype=np.str_)[cells // n_countries]
-        countries = np.asarray(self._country_values, dtype=np.str_)[cells % n_countries]
-        order = np.lexsort((countries, domains))
-        return GroupedCounts(
-            domains[order],
-            countries[order],
-            totals[cells][order],
-            successes[cells][order],
-        )
+        return dense_day_series(self, exclude_automated)
 
-    def _day_grouped_from_flat(
-        self, totals: np.ndarray, successes: np.ndarray, n_days: int
-    ) -> DayGroupedCounts:
-        """Cell arrays (sorted by domain, country, day) from ``(pair, day)`` tables."""
-        n_countries = len(self._country_values)
-        flat_totals = totals.ravel()
-        cells = np.flatnonzero(flat_totals)
-        if not len(cells):
-            empty_str = np.empty(0, dtype=np.str_)
-            empty_int = np.empty(0, dtype=np.int64)
-            return DayGroupedCounts(empty_str, empty_str, empty_int, empty_int, empty_int, n_days)
-        pair = cells // n_days
-        days = cells % n_days
-        domains = np.asarray(self._domain_values, dtype=np.str_)[pair // n_countries]
-        countries = np.asarray(self._country_values, dtype=np.str_)[pair % n_countries]
-        order = np.lexsort((days, countries, domains))
-        return DayGroupedCounts(
-            domains[order],
-            countries[order],
-            days[order],
-            flat_totals[cells][order],
-            successes.ravel()[cells][order],
-            n_days,
-        )
+    def success_day_series_reference(
+        self, exclude_automated: bool = True
+    ) -> DenseDayCounts:
+        """Per-row reference for the dense day series (densified reference cells)."""
+        ref = self.success_counts_reference(exclude_automated, by_day=True)
+        domains, countries, totals, successes = ref.cell_series()
+        return DenseDayCounts(domains, countries, totals, successes, ref.n_days)
 
     def masked_success_counts(
         self, mask: np.ndarray, exclude_automated: bool = True, *, by_day: bool = False
     ) -> "GroupedCounts | DayGroupedCounts":
-        """:meth:`success_counts` restricted to the rows where ``mask`` holds.
+        """Deprecated: :meth:`success_counts` restricted to ``mask`` rows.
 
-        What the reputation filter's store verdict uses to re-run detection
-        over only the surviving rows of a poisoned store, without ever
-        materializing them.  Inconclusive outcomes (and by default automated
-        traffic) are excluded exactly like :meth:`success_counts`; the
-        result is not cached because masks vary call to call.  ``by_day=True``
-        buckets by the ``day`` column and returns :class:`DayGroupedCounts`.
+        A thin wrapper over :meth:`query` with a row mask — what the
+        reputation filter's store verdict uses to re-run detection over only
+        the surviving rows of a poisoned store.  Use :meth:`query` or
+        :func:`repro.core.query.masked_grouped_success_counts`.
         """
+        warnings.warn(
+            "MeasurementStore.masked_success_counts() is deprecated; use "
+            "store.query(mask=...) or "
+            "repro.core.query.masked_grouped_success_counts()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.query import masked_grouped_success_counts
+
+        return masked_grouped_success_counts(
+            self, mask, exclude_automated, by_day=by_day
+        )
+
+    def masked_success_counts_reference(
+        self, mask: np.ndarray, exclude_automated: bool = True, *, by_day: bool = False
+    ) -> "GroupedCounts | DayGroupedCounts":
+        """Per-row reference for the masked grouped reduction."""
         mask = np.asarray(mask, dtype=bool)
         if len(mask) != len(self):
             raise ValueError(
                 f"mask has {len(mask)} entries for a store of {len(self)} rows"
             )
-        if len(self) == 0 or not self._country_values:
-            empty = np.empty(0, dtype=np.int64)
-            empty_str = np.empty(0, dtype=np.str_)
+        counts: dict[tuple, tuple[int, int]] = {}
+        for m, keep in zip(self.rows(), mask.tolist()):
+            if not keep or m.outcome is TaskOutcome.INCONCLUSIVE:
+                continue
+            if exclude_automated and m.is_automated:
+                continue
             if by_day:
-                return DayGroupedCounts(empty_str, empty_str, empty, empty, empty, 0)
-            return GroupedCounts(empty_str, empty_str, empty, empty)
-        outcome = self.column("outcome")
-        valid = mask & (outcome != OUTCOME_INCONCLUSIVE)
-        if exclude_automated:
-            valid &= ~self.column("automated")
-        n_countries = len(self._country_values)
-        n_pairs = len(self._domain_values) * n_countries
-        key = self.column("domain")[valid].astype(np.int64) * n_countries
-        key += self.column("country")[valid]
+                key = (m.target_domain, m.country_code, m.day)
+            else:
+                key = (m.target_domain, m.country_code)
+            n, s = counts.get(key, (0, 0))
+            counts[key] = (n + 1, s + (m.outcome is TaskOutcome.SUCCESS))
         if by_day:
-            day = self.column("day")[valid]
-            n_days = int(day.max()) + 1 if day.size else 0
-            key = key * n_days + day
-            minlength = n_pairs * n_days
-            totals = np.bincount(key, minlength=minlength).reshape(n_pairs, n_days)
-            successes = np.bincount(
-                key[outcome[valid] == OUTCOME_SUCCESS], minlength=minlength
-            ).reshape(n_pairs, n_days)
-            return self._day_grouped_from_flat(totals, successes, n_days)
-        totals = np.bincount(key, minlength=n_pairs)
-        successes = np.bincount(
-            key[outcome[valid] == OUTCOME_SUCCESS], minlength=n_pairs
-        )
-        return self._grouped_from_flat(totals, successes)
+            return DayGroupedCounts.from_dict(counts)
+        return GroupedCounts.from_dict(counts)
 
     def distinct_ips(self) -> int:
-        """Distinct client addresses, streamed segment by segment.
+        """Deprecated: distinct client addresses over all rows.
 
-        Each segment's ``client_ip`` column is uniqued on its own and folded
-        into one running set, so a spilled store never holds (or
-        concatenates) the full string column — the per-segment unique is the
-        only transient allocation.
+        A thin wrapper over :meth:`query` with a
+        :class:`~repro.core.query.DistinctCount` aggregate (per-segment
+        deduplication keeps a spilled store from concatenating the full
+        string column).  Use :meth:`query` or
+        :func:`repro.core.query.distinct_ip_count`.
         """
-        cached = self._derived("distinct_ips")
-        if cached is None:
-            unique: set[str] = set()
-            for part in self._segment_parts(("client_ip",)):
-                column = part["client_ip"]
-                if column.size:
-                    unique.update(np.unique(column).tolist())
-            cached = self._derive("distinct_ips", len(unique))
-        return cached
+        warnings.warn(
+            "MeasurementStore.distinct_ips() is deprecated; use "
+            "store.query() with DistinctCount('client_ip') or "
+            "repro.core.query.distinct_ip_count()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.query import distinct_ip_count
+
+        return distinct_ip_count(self)
+
+    def distinct_ips_reference(self) -> int:
+        """Per-row reference for the distinct-client count (no exclusions)."""
+        return len({m.client_ip for m in self.rows()})
 
     def distinct_countries(self) -> int:
         cached = self._derived("distinct_countries")

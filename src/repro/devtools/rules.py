@@ -481,6 +481,44 @@ class ReferencePairingRule(Rule):
 
 
 # ----------------------------------------------------------------------
+class SegmentStreamingRule(Rule):
+    """Segment iteration belongs to the store and the query kernel alone.
+
+    The query kernel (PR 9) is the one engine that may walk a store's
+    sealed segments and pending chunks: it owns the fold-once watermark,
+    the mask offsets, and the spill streaming.  A reduction that re-rolls
+    its own segment loop elsewhere silently forks those invariants — it
+    rescans history every call and bypasses the incremental fold state —
+    so reaching for the segment surface outside ``store.py``/``query.py``
+    is a finding, not a style choice.
+    """
+
+    id = "segment-streaming"
+    summary = (
+        "no hand-rolled segment loops outside src/repro/core/store.py and "
+        "query.py; express reductions as store.query()/repro.core.query"
+    )
+
+    ALLOWED = ("src/repro/core/store.py", "src/repro/core/query.py")
+    _ATTRS = ("_segments", "_segment_chunks", "_segment_parts", "load_columns")
+
+    def applies(self, file: SourceFile) -> bool:
+        return _in_src(file) and file.relpath not in self.ALLOWED
+
+    def check(self, file: SourceFile, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Attribute) and node.attr in self._ATTRS:
+                yield self.finding(
+                    file,
+                    node,
+                    f"`.{node.attr}` re-rolls a segment loop the query "
+                    "kernel already streams (and skips its fold-once "
+                    "watermark); express the reduction through "
+                    "store.query(...) or a repro.core.query aggregate",
+                )
+
+
+# ----------------------------------------------------------------------
 class WorkerPickleSafetyRule(Rule):
     """Work shipped to process pools must survive pickling."""
 
@@ -611,6 +649,7 @@ RULES: tuple[Rule, ...] = (
     AtomicJsonWriteRule(),
     OrderedIterationRule(),
     ReferencePairingRule(),
+    SegmentStreamingRule(),
     WorkerPickleSafetyRule(),
     BenchHygieneRule(),
 )

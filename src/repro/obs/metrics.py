@@ -14,11 +14,13 @@ Metric names in use across the tree (dotted, lowercase):
 ``store.segments_sealed``      pending chunks sealed into columnar segments
 ``store.segments_spilled``     segments written to ``.npz`` spill files
 ``store.segments_adopted``     spilled/resident segments adopted zero-copy
-``store.fold_advances``        fold-once ``success_counts`` watermark advances
+``store.fold_advances``        fold-once query watermark advances
 ``store.segments_folded``      segments folded into incremental count state
+``store.query_folds``          segment/pending chunks the query kernel folded
 ``runner.blocks_planned``      visit blocks planned from scratch
 ``runner.blocks_replayed``     visit blocks replayed from the plan cache
 ``cusum.cells_scanned``        (cell, day) positions the CUSUM scan visited
+``timing_cusum.cells_scanned``  (cell, day) positions the timing scan visited
 ``longitudinal.epochs_run``    epochs executed by the engine
 ``longitudinal.epochs_resumed``  epochs adopted from checkpoints instead
 ``sweep.cells_forged``         adversary grid cells forged

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.censor.policy import PolicyTimeline
-from repro.core.inference import CusumChangePointDetector, CusumState
+from repro.core.inference import (
+    CusumChangePointDetector,
+    CusumState,
+    TimingCusumDetector,
+)
 from repro.core.longitudinal import LongitudinalConfig, LongitudinalEngine
 from repro.core.pipeline import CampaignConfig, EncoreDeployment
 from repro.core.store import DayGroupedCounts
@@ -310,6 +314,54 @@ class TestLongitudinalRun:
         assert timeline.transitions() == []
         throttled = [e for e in result.epochs if ("DE", "facebook.com") in e.throttled]
         assert [e.first_day for e in throttled] == list(range(5, 12))
+
+    def test_timing_cusum_catches_throttle_success_cusum_misses(self):
+        """The kernel's timing quantiles expose what success rates cannot.
+
+        Full-size image fetches (not favicons) make the 40x throttle shift
+        seconds-scale while every exchange still completes, so the
+        success-rate CUSUM stays silent and the timing CUSUM must call the
+        scripted throttle onset on the day it happened.
+        """
+        config = CampaignConfig(
+            visits=200,
+            include_testbed=False,
+            favicons_only=False,
+            target_domains=("facebook.com", "youtube.com", "twitter.com"),
+            seed=31,
+            country_code="DE",
+        )
+        deployment = EncoreDeployment(longitudinal_world(seed=7), config)
+        timeline = PolicyTimeline().throttle(5, "DE", "facebook.com")
+        result = deployment.run_longitudinal(
+            timeline, LongitudinalConfig(epochs=12, visits_per_epoch=200)
+        )
+        # Throttled fetches complete: the success-rate detector is blind.
+        assert result.events() == []
+        # The timing detector sees the slowdown, on the throttled pair only.
+        events = result.timing_events()
+        assert [
+            (e.kind, e.domain, e.country_code, e.change_day) for e in events
+        ] == [("throttle-onset", "facebook.com", "DE", 5)]
+        assert events[0].detection_lag >= 1
+        # Vectorized scan ≡ scalar reference on the real corpus's series.
+        series = result.timing_series()
+        detector = result.config.timing_detector
+        assert detector.detect_events(series) == (
+            detector.detect_events_reference(series)
+        )
+        # The throttle scorecard grades it: one transition, found, no noise.
+        report = result.throttle_report()
+        assert report.detection_rate == 1.0
+        assert report.false_events == []
+        assert report.matches[0].change_day_error == 0
+        # Retuning the timing detector invalidates the cache (the same
+        # contract the success-rate events cache pins).
+        default_detector = result.config.timing_detector
+        result.config.timing_detector = TimingCusumDetector(threshold=10_000.0)
+        assert result.timing_events() == []
+        result.config.timing_detector = default_detector
+        assert result.timing_events() == events
 
     def test_epochs_default_covers_timeline_with_trailing_slack(self):
         timeline = PolicyTimeline().onset(9, "DE", "facebook.com")

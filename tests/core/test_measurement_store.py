@@ -363,10 +363,11 @@ class TestDayBucketedCounts:
             if corpus:
                 store.append_rows(corpus[:1])
                 store.success_counts(exclude_automated, by_day=by_day)
-                state = store._count_states[
-                    ("success_counts", exclude_automated, by_day)
-                ]
-                assert state.segments_folded == len(store._segments)
+                assert store._query_states
+                assert all(
+                    state.segments_folded == len(store._segments)
+                    for state in store._query_states.values()
+                )
 
     @given(corpus=corpora, split=st.integers(min_value=0, max_value=60))
     @settings(max_examples=30, deadline=None)

@@ -1,0 +1,16 @@
+"""The segment-owning module: the one place segment loops may live."""
+
+
+class TinyStore:
+    def __init__(self):
+        self._segments = []
+
+    def _segment_chunks(self, names):
+        offset = 0
+        for seg in self._segments:
+            yield offset, seg.length, seg.load_columns(names)
+            offset += seg.length
+
+    def _segment_parts(self, names):
+        for _offset, _length, part in self._segment_chunks(names):
+            yield part

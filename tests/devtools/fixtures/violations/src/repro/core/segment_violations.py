@@ -1,0 +1,12 @@
+"""Hand-rolled segment loops the query kernel already streams."""
+
+
+def bad_row_count(store):
+    total = 0
+    for part in store._segment_parts(("day",)):
+        total += len(part["day"])
+    for _offset, length, _part in store._segment_chunks(("day",)):
+        total += length
+    for seg in store._segments:
+        total += len(seg.load_columns(("day",))["day"])
+    return total

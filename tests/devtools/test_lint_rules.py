@@ -33,6 +33,10 @@ class TestViolationsCorpus:
         ("worker-pickle-safety", "src/repro/core/pool_violations.py", 14),
         ("worker-pickle-safety", "src/repro/core/pool_violations.py", 19),
         ("reference-pairing", "src/repro/core/reference_violations.py", 4),
+        ("segment-streaming", "src/repro/core/segment_violations.py", 6),
+        ("segment-streaming", "src/repro/core/segment_violations.py", 8),
+        ("segment-streaming", "src/repro/core/segment_violations.py", 10),
+        ("segment-streaming", "src/repro/core/segment_violations.py", 11),
         ("rng-discipline", "src/repro/core/rng_violations.py", 3),
         ("telemetry-hygiene", "src/repro/core/rng_violations.py", 4),
         ("telemetry-hygiene", "src/repro/core/telemetry_violations.py", 3),

@@ -58,7 +58,7 @@ class TestCli:
         report = json.loads(result.stdout)
         assert report["clean"] is True
         assert report["findings"] == []
-        assert report["files_scanned"] == 4
+        assert report["files_scanned"] == 5
         assert "rng-discipline" in report["rules"]
 
     def test_json_report_carries_findings(self):
