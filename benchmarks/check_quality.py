@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Fail CI when detection quality regresses against the committed baseline.
+
+The scenario harness (``python -m repro.scenarios run all --out DIR``)
+reduces every registered suite to one deterministic
+``QUALITY_<suite>.json``.  Those artifacts are committed under
+``benchmarks/``, so the repository always carries the last accepted
+quality numbers; after the scheduled lane re-runs the suites, this script
+compares each freshly written artifact against the baseline copy
+(``git show HEAD:benchmarks/<name>`` by default, ``--baseline-dir`` for
+snapshot copies — see ``baselines.py``) and fails on:
+
+* ``lag_p90`` growing by more than ``MAX_REGRESSION`` (25%) — or
+  appearing at all where the baseline had none, or disappearing where the
+  baseline had one (a vanished lag means the detections vanished);
+* any **new** false alarm (``false_alarms`` above the baseline count).
+
+Everything else — miss rate, attack success rates, lag p50/max, mean lag,
+detection rate — is trended *warn-only*: drift is printed for the reviewer
+but does not fail the gate, mirroring how ``check_regression.py`` treats
+peak RSS.  Unlike the benchmark gate there is **no CPU-count skip**:
+quality is seeded and deterministic, so a 1-core container measures
+exactly the same numbers as a 64-core one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from baselines import BENCH_DIR, load_baseline
+
+#: Largest tolerated relative growth of ``lag_p90`` before the gate fails.
+MAX_REGRESSION = 0.25
+
+#: Warn-only trended fields: (field, direction) where direction says which
+#: way is worse.  Drift prints a WARN line but never fails the gate.
+WARN_FIELDS = (
+    ("miss_rate", "higher"),
+    ("attack_success_rate_naive", "higher"),
+    ("attack_success_rate_defended", "higher"),
+    ("lag_p50", "higher"),
+    ("lag_max", "higher"),
+    ("mean_lag_days", "higher"),
+    ("detection_rate", "lower"),
+)
+
+
+def fresh_quality_files(directory: Path) -> list[Path]:
+    return sorted(directory.glob("QUALITY_*.json"))
+
+
+def _num(quality: dict, field: str) -> float | None:
+    value = quality.get(field)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def gate_lag_p90(old: float | None, new: float | None, max_regression: float) -> str | None:
+    """The hard lag gate; returns a failure message or ``None``."""
+    if old is None and new is None:
+        return None
+    if old is None:
+        return f"lag_p90 appeared ({new}) where the baseline detected with no lag data"
+    if new is None:
+        return f"lag_p90 vanished (baseline {old}) — the detections themselves vanished"
+    if old == 0.0:
+        if new > 0.0:
+            return f"lag_p90 rose from 0 to {new}"
+        return None
+    ceiling = old * (1.0 + max_regression)
+    if new > ceiling:
+        return f"lag_p90 {old} -> {new} exceeds ceiling {round(ceiling, 6)}"
+    return None
+
+
+def check_suite(
+    name: str, fresh: dict, baseline: dict, max_regression: float
+) -> tuple[list[str], list[str]]:
+    """(failures, warnings) for one suite's fresh-vs-baseline comparison."""
+    fq = fresh.get("quality", {})
+    bq = baseline.get("quality", {})
+    failures: list[str] = []
+    warnings: list[str] = []
+
+    lag_failure = gate_lag_p90(
+        _num(bq, "lag_p90"), _num(fq, "lag_p90"), max_regression
+    )
+    if lag_failure is not None:
+        failures.append(lag_failure)
+
+    old_fa, new_fa = _num(bq, "false_alarms"), _num(fq, "false_alarms")
+    if new_fa is not None and new_fa > (old_fa or 0.0):
+        failures.append(f"new false alarms: {old_fa or 0:g} -> {new_fa:g}")
+
+    for field, direction in WARN_FIELDS:
+        old, new = _num(bq, field), _num(fq, field)
+        if old is None or new is None or old == new:
+            continue
+        worse = new > old if direction == "higher" else new < old
+        if worse:
+            warnings.append(f"{field} drifted worse: {old:g} -> {new:g}")
+    return failures, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh-dir", type=Path, default=BENCH_DIR,
+        help="directory the scenario run wrote fresh QUALITY_*.json into "
+             "(default: benchmarks/ itself)",
+    )
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=None,
+        help="directory holding baseline QUALITY_*.json copies "
+             "(default: read them from git HEAD)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=MAX_REGRESSION,
+        help="largest tolerated relative lag_p90 growth (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_paths = fresh_quality_files(args.fresh_dir)
+    if not fresh_paths:
+        print(f"FAIL: no fresh QUALITY_*.json in {args.fresh_dir} — did the "
+              "scenario run happen?")
+        return 1
+
+    failed = []
+    for path in fresh_paths:
+        name = path.name
+        try:
+            fresh = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"{name}: FAIL (unreadable fresh artifact: {exc})")
+            failed.append(name)
+            continue
+        baseline = load_baseline(name, args.baseline_dir)
+        if baseline is None:
+            print(f"{name}: SKIP (no committed baseline — commit this "
+                  "artifact to benchmarks/ to start trending it)")
+            continue
+        failures, warnings = check_suite(name, fresh, baseline, args.max_regression)
+        for message in warnings:
+            print(f"{name}: WARN {message}")
+        if failures:
+            for message in failures:
+                print(f"{name}: FAIL {message}")
+            failed.append(name)
+        else:
+            fq = fresh.get("quality", {})
+            print(
+                f"{name}: ok (lag_p90 {fq.get('lag_p90')}, "
+                f"false_alarms {fq.get('false_alarms')})"
+            )
+
+    if failed:
+        print(f"FAIL: quality regressions in: {', '.join(failed)}")
+        return 1
+    print("All quality metrics within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

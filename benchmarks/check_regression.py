@@ -24,11 +24,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import subprocess
 import sys
 from pathlib import Path
 
-BENCH_DIR = Path(__file__).parent
+from baselines import BENCH_DIR, load_baseline
 #: File -> field holding the pinned ratio.
 RATIO_FIELDS = {
     "BENCH_runner.json": "speedup",
@@ -58,31 +57,6 @@ def peak_rss_kb(report: dict | None) -> float | None:
         return None
     value = telemetry.get("peak_rss_kb")
     return float(value) if isinstance(value, (int, float)) and value > 0 else None
-
-
-def committed_baseline(name: str) -> dict | None:
-    """The committed copy of ``benchmarks/<name>`` at HEAD, if any."""
-    try:
-        blob = subprocess.run(
-            ["git", "show", f"HEAD:benchmarks/{name}"],
-            capture_output=True, check=True, cwd=BENCH_DIR,
-        ).stdout
-    except (OSError, subprocess.CalledProcessError):
-        return None
-    try:
-        return json.loads(blob)
-    except json.JSONDecodeError:
-        return None
-
-
-def snapshot_baseline(directory: Path, name: str) -> dict | None:
-    path = directory / name
-    if not path.is_file():
-        return None
-    try:
-        return json.loads(path.read_text())
-    except json.JSONDecodeError:
-        return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -119,11 +93,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name}: SKIP (no fresh file written by this benchmark run)")
             continue
         fresh = json.loads(fresh_path.read_text())
-        baseline = (
-            snapshot_baseline(args.baseline_dir, name)
-            if args.baseline_dir is not None
-            else committed_baseline(name)
-        )
+        baseline = load_baseline(name, args.baseline_dir)
         if baseline is None or field not in baseline:
             print(f"{name}: SKIP (no committed baseline to compare against)")
             continue

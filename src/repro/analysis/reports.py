@@ -200,10 +200,77 @@ class TimelineReport:
         return self.detected_count / self.transitions if self.transitions else 0.0
 
     @property
-    def mean_detection_lag(self) -> float:
-        """Mean days-to-detection over the transitions that were detected."""
+    def miss_rate(self) -> float:
+        return self.missed_count / self.transitions if self.transitions else 0.0
+
+    @property
+    def detected_lags(self) -> list[int]:
+        """Detection lags of the transitions that were detected, in day order."""
         lags = [match.detection_lag for match in self.matches if match.detected]
-        return sum(lags) / len(lags) if lags else 0.0
+        return [lag for lag in lags if lag is not None]
+
+    @property
+    def mean_detection_lag(self) -> float | None:
+        """Mean days-to-detection over the transitions that were detected.
+
+        ``None`` when nothing was detected: a lag is a property of a
+        detection, so an all-miss (or transition-free) report has no lag at
+        all — returning 0.0 would read as instant detection and poison any
+        trend gate comparing against it.
+        """
+        lags = self.detected_lags
+        if not lags:
+            return None
+        return sum(lags) / len(lags)
+
+    def lag_cdf(self) -> dict[str, float | None]:
+        """CDF-style detection-lag summary: p50 / p90 / max, in days.
+
+        Every value is ``None`` when nothing was detected (the same
+        no-detections-means-no-lag convention as :attr:`mean_detection_lag`,
+        serialized as JSON ``null`` in QUALITY artifacts).
+        """
+        lags = np.asarray(self.detected_lags, dtype=np.float64)
+        if lags.size == 0:
+            return {"p50": None, "p90": None, "max": None}
+        return {
+            "p50": round(float(np.quantile(lags, 0.5)), 6),
+            "p90": round(float(np.quantile(lags, 0.9)), 6),
+            "max": float(lags.max()),
+        }
+
+    def quality_summary(self) -> dict[str, object]:
+        """The trend-gated quality fields of one graded run.
+
+        This is the ``quality`` section of a ``QUALITY_<suite>.json``
+        artifact (see ``repro.scenarios``), so both the field set and the
+        insertion order are part of a byte-compared contract:
+        ``benchmarks/check_quality.py`` hard-gates ``lag_p90`` and
+        ``false_alarms`` and trends the rest warn-only.
+        """
+        lag = self.lag_cdf()
+        mean_lag = self.mean_detection_lag
+        errors = [
+            abs(match.change_day_error)
+            for match in self.matches
+            if match.change_day_error is not None
+        ]
+        return {
+            "transitions": self.transitions,
+            "detected": self.detected_count,
+            "missed": self.missed_count,
+            "detection_rate": round(self.detection_rate, 6),
+            "miss_rate": round(self.miss_rate, 6),
+            "false_alarms": len(self.false_events),
+            "lag_p50": lag["p50"],
+            "lag_p90": lag["p90"],
+            "lag_max": lag["max"],
+            "mean_lag_days": None if mean_lag is None else round(mean_lag, 6),
+            "change_day_error_mean_abs": (
+                round(sum(errors) / len(errors), 6) if errors else None
+            ),
+            "change_day_error_max_abs": max(errors) if errors else None,
+        }
 
     def rows(self) -> list[dict[str, object]]:
         """One row per scripted transition, ready for table formatting."""

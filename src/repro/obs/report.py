@@ -193,6 +193,19 @@ def summarize(trace: Trace) -> dict:
         )
     ]
 
+    scenarios = [
+        {
+            "suite": span.attrs.get("suite"),
+            "kind": span.attrs.get("kind"),
+            "duration_s": span.duration,
+            "status": span.status,
+        }
+        for span in sorted(
+            (s for s in trace.spans.values() if s.name == "scenario"),
+            key=lambda s: (str(s.attrs.get("suite", "")), s.id),
+        )
+    ]
+
     campaign_metrics: dict = {}
     for record in trace.metrics:  # last campaign-scope snapshot wins
         if record.get("scope") == "campaign":
@@ -213,6 +226,7 @@ def summarize(trace: Trace) -> dict:
         "phases": {name: phases[name] for name in sorted(phases)},
         "shards": shards,
         "epochs": epochs,
+        "scenarios": scenarios,
         "metrics": campaign_metrics,
     }
 
@@ -271,6 +285,13 @@ def render_summary(summary: dict) -> str:
             lines.append(
                 f"  epoch {epoch['epoch']}: {epoch['duration_s']:.3f}s "
                 f"[{epoch['status']}]"
+            )
+    if summary.get("scenarios"):
+        lines.append("scenarios:")
+        for scenario in summary["scenarios"]:
+            lines.append(
+                f"  {scenario['suite']} ({scenario['kind']}): "
+                f"{scenario['duration_s']:.3f}s [{scenario['status']}]"
             )
     if summary["shards"]:
         lines.append("shards:")

@@ -1,0 +1,45 @@
+"""Scenario-suite harness: detection quality as trend-gated CI artifacts.
+
+Front door::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run <suite|all> [--json] [--out DIR] [--trace DIR]
+    python -m repro.scenarios diff <before> <after> [--json]
+
+Each registered suite (see :mod:`repro.scenarios.base`) composes the
+existing engines end to end against scripted ground truth and reduces the
+outcome to one deterministic ``QUALITY_<suite>.json`` artifact that
+``benchmarks/check_quality.py`` trend-gates in CI.
+"""
+
+from repro.scenarios.base import (
+    QUALITY_SCHEMA,
+    Scenario,
+    get_suite,
+    quality_diff,
+    quality_filename,
+    quality_payload,
+    register,
+    registered_suites,
+)
+from repro.scenarios.runner import (
+    ScenarioOutcome,
+    resolve_names,
+    run_suite,
+    run_suites,
+)
+
+__all__ = [
+    "QUALITY_SCHEMA",
+    "Scenario",
+    "ScenarioOutcome",
+    "get_suite",
+    "quality_diff",
+    "quality_filename",
+    "quality_payload",
+    "register",
+    "registered_suites",
+    "resolve_names",
+    "run_suite",
+    "run_suites",
+]

@@ -1,0 +1,138 @@
+"""CLI front door for the scenario-suite harness.
+
+Exit codes: 0 success, 1 operational failure (unknown suite, unreadable
+artifact), 2 usage error (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.scenarios.base import get_suite, quality_diff, registered_suites
+from repro.scenarios.runner import render_outcomes, run_suites
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in registered_suites():
+        scenario = get_suite(name)
+        rows.append(
+            {
+                "suite": scenario.name,
+                "kind": scenario.kind,
+                "seed": scenario.seed,
+                "smoke": scenario.smoke,
+                "description": scenario.description,
+            }
+        )
+    if args.json:
+        print(json.dumps({"suites": rows}, indent=2, sort_keys=True))
+    else:
+        for row in rows:
+            smoke = " [smoke]" if row["smoke"] else ""
+            print(f"{row['suite']} ({row['kind']}, seed {row['seed']}){smoke}")
+            print(f"  {row['description']}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        outcomes = run_suites(args.suite, out_dir=args.out, trace_dir=args.trace)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                {"suites": [outcome.payload for outcome in outcomes]},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(render_outcomes(outcomes))
+    return 0
+
+
+def _load_payload(path: Path) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _diff_pairs(before: Path, after: Path) -> list[tuple[Path, Path]]:
+    """File/file, or directory/directory matched on QUALITY_*.json names."""
+    if before.is_dir() != after.is_dir():
+        raise ValueError("diff arguments must both be files or both directories")
+    if not before.is_dir():
+        return [(before, after)]
+    names = sorted(
+        {p.name for p in before.glob("QUALITY_*.json")}
+        & {p.name for p in after.glob("QUALITY_*.json")}
+    )
+    if not names:
+        raise ValueError("no QUALITY_*.json names common to both directories")
+    return [(before / name, after / name) for name in names]
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    try:
+        pairs = _diff_pairs(Path(args.before), Path(args.after))
+        diffs = [
+            quality_diff(_load_payload(b), _load_payload(a)) for b, a in pairs
+        ]
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({"diffs": diffs}, indent=2, sort_keys=True))
+        return 0
+    for diff in diffs:
+        print(f"{diff['suite']}:")
+        if not diff["changed"]:
+            print("  (no quality changes)")
+            continue
+        for name in diff["changed"]:
+            entry = diff["fields"][name]
+            delta = entry.get("delta")
+            suffix = f" (delta {delta:+g})" if isinstance(delta, (int, float)) else ""
+            print(f"  {name}: {entry['before']} -> {entry['after']}{suffix}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run seeded scenario suites and emit QUALITY artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered suites")
+    p_list.add_argument("--json", action="store_true")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one suite, or 'all'")
+    p_run.add_argument("suite", help="suite name or 'all'")
+    p_run.add_argument("--json", action="store_true", help="print payloads as JSON")
+    p_run.add_argument("--out", default=None, help="write QUALITY_<suite>.json here")
+    p_run.add_argument("--trace", default=None, help="write a trace stream here")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_diff = sub.add_parser("diff", help="compare two QUALITY artifacts or dirs")
+    p_diff.add_argument("before")
+    p_diff.add_argument("after")
+    p_diff.add_argument("--json", action="store_true")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Execute registered scenario suites and write their QUALITY artifacts.
+
+One suite run is: resolve the :class:`~repro.scenarios.base.Scenario`, run
+its composition under a ``scenario`` span (suite-level telemetry rides the
+PR 8 tracer — ``NULL_TRACER`` by default, so untraced runs pay nothing and
+the observer-effect ban holds), wrap the returned metrics in the
+``repro-quality/1`` payload, and — when an output directory is given —
+write ``QUALITY_<suite>.json`` through the sanctioned atomic writer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.shard import write_json_atomic
+from repro.obs.metrics import get_registry
+from repro.obs.trace import NULL_TRACER, TRACE_FILENAME, Tracer
+from repro.scenarios.base import (
+    get_suite,
+    quality_filename,
+    quality_payload,
+    registered_suites,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One executed suite: its payload and where (if anywhere) it landed."""
+
+    suite: str
+    payload: dict
+    path: Path | None
+
+
+def resolve_names(selector: str) -> tuple[str, ...]:
+    """Suite names for a CLI selector: a suite name, or ``"all"``."""
+    if selector == "all":
+        return registered_suites()
+    return (get_suite(selector).name,)
+
+
+def run_suite(name: str, out_dir: str | Path | None = None, tracer=NULL_TRACER) -> ScenarioOutcome:
+    """Run one registered suite; write its artifact when ``out_dir`` is set."""
+    scenario = get_suite(name)
+    with tracer.span(
+        "scenario", suite=scenario.name, kind=scenario.kind, seed=scenario.seed
+    ):
+        quality = scenario.build(tracer)
+    get_registry().counter("scenarios.suites_run").add(1)
+    payload = quality_payload(scenario, quality)
+    path = None
+    if out_dir is not None:
+        directory = Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = write_json_atomic(directory / quality_filename(scenario.name), payload)
+    return ScenarioOutcome(suite=scenario.name, payload=payload, path=path)
+
+
+def run_suites(
+    selector: str,
+    out_dir: str | Path | None = None,
+    trace_dir: str | Path | None = None,
+) -> list[ScenarioOutcome]:
+    """Run a selector's suites in registry order; one merged trace stream."""
+    names = resolve_names(selector)
+    tracer = (
+        Tracer(Path(trace_dir) / TRACE_FILENAME)
+        if trace_dir is not None
+        else NULL_TRACER
+    )
+    outcomes: list[ScenarioOutcome] = []
+    try:
+        for name in names:
+            outcomes.append(run_suite(name, out_dir=out_dir, tracer=tracer))
+    finally:
+        tracer.record_metrics(scope="campaign")
+        tracer.close()
+    return outcomes
+
+
+def render_outcomes(outcomes: list[ScenarioOutcome]) -> str:
+    """Human-readable per-suite quality listing (scalar fields only)."""
+    lines: list[str] = []
+    for outcome in outcomes:
+        quality = outcome.payload.get("quality", {})
+        lines.append(f"{outcome.suite} [{outcome.payload.get('kind')}]:")
+        for field, value in quality.items():
+            if isinstance(value, (dict, list)):
+                continue
+            lines.append(f"  {field} = {value}")
+        if outcome.path is not None:
+            lines.append(f"  -> {outcome.path}")
+    return "\n".join(lines)

@@ -6,10 +6,13 @@ import pytest
 from repro.analysis.reports import (
     SoundnessReport,
     TaskTypeSoundness,
+    TimelineReport,
+    TransitionMatch,
     build_soundness_report,
     format_table,
 )
 from repro.analysis.stats import Ecdf, fraction_at_least, fraction_at_most, summarise_distribution
+from repro.core.inference import CensorshipEvent
 from repro.core.tasks import TaskType
 
 
@@ -108,3 +111,59 @@ class TestFormatTable:
         text = format_table(["x"], [["a-very-long-value"]])
         header, rule, row = text.splitlines()
         assert len(header) == len(row)
+
+
+class TestTimelineReportAggregates:
+    """The empty/all-miss aggregate contract the quality gate relies on."""
+
+    def event(self, *, change_day, detected_day, kind="onset"):
+        return CensorshipEvent(
+            domain="facebook.com", country_code="DE", kind=kind,
+            change_day=change_day, detected_day=detected_day,
+            statistic=5.0, confidence=0.99,
+        )
+
+    def miss(self, day=4):
+        return TransitionMatch(day=day, country_code="DE", domain="facebook.com", kind="onset")
+
+    def test_empty_report_has_no_lag_not_zero_lag(self):
+        # Regression: a transition-free (or all-miss) report used to answer
+        # mean_detection_lag == 0.0, which reads as *instant* detection and
+        # would poison any trend gate comparing against it.
+        report = TimelineReport()
+        assert report.mean_detection_lag is None
+        assert report.detection_rate == 0.0
+        assert report.miss_rate == 0.0
+        assert report.lag_cdf() == {"p50": None, "p90": None, "max": None}
+
+    def test_all_miss_report_has_no_lag(self):
+        report = TimelineReport(matches=[self.miss(4), self.miss(9)])
+        assert report.mean_detection_lag is None
+        assert report.miss_rate == 1.0
+        assert report.quality_summary()["lag_p90"] is None
+        assert report.quality_summary()["mean_lag_days"] is None
+
+    def test_quality_summary_is_json_safe_when_empty(self):
+        import json
+
+        payload = TimelineReport().quality_summary()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_detected_lags_skip_misses(self):
+        report = TimelineReport(matches=[
+            TransitionMatch(day=4, country_code="DE", domain="facebook.com",
+                            kind="onset", event=self.event(change_day=4, detected_day=5)),
+            self.miss(9),
+            TransitionMatch(day=12, country_code="DE", domain="facebook.com",
+                            kind="offset",
+                            event=self.event(change_day=13, detected_day=15, kind="offset")),
+        ])
+        assert report.detected_lags == [1, 3]
+        assert report.mean_detection_lag == 2.0
+        cdf = report.lag_cdf()
+        assert cdf["max"] == 3.0
+        assert cdf["p50"] == 2.0
+        summary = report.quality_summary()
+        assert summary["change_day_error_mean_abs"] == 0.5
+        assert summary["change_day_error_max_abs"] == 1
+        assert summary["detection_rate"] == pytest.approx(2 / 3)

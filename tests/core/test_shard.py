@@ -27,6 +27,7 @@ from repro.core.shard import (
     load_manifest,
     write_json_atomic,
 )
+from repro.core.query import grouped_success_counts
 from repro.core.store import MeasurementStore
 from repro.core.tasks import TaskOutcome, TaskType
 from repro.population.world import World, WorldConfig
@@ -460,7 +461,7 @@ class TestStoreMerger:
         ]
         assert all(isinstance(m.target_url, URL) for m in rows)
         # Grouped queries see one coherent code space.
-        counts = merged.success_counts(exclude_automated=False).as_dict()
+        counts = grouped_success_counts(merged, exclude_automated=False).as_dict()
         assert counts[("alpha.org", "DE")] == (2, 1)
         assert counts[("beta.org", "IR")] == (2, 1)
 
@@ -491,8 +492,8 @@ class TestStoreMerger:
         reference = MeasurementStore()
         reference.append_rows(merged.rows())
         assert (
-            merged.success_counts(exclude_automated=False).as_dict()
-            == reference.success_counts(exclude_automated=False).as_dict()
+            grouped_success_counts(merged, exclude_automated=False).as_dict()
+            == grouped_success_counts(reference, exclude_automated=False).as_dict()
         )
 
 

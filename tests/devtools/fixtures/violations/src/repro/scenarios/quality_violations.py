@@ -1,0 +1,13 @@
+"""Fixture: a scenario suite breaking the quality-harness invariants."""
+
+import json
+
+import numpy as np
+
+
+def leaky_suite(tracer, out_dir):
+    jitter = np.random.default_rng().random()
+    spans = tracer.spans()
+    payload = {"lag_p90": jitter, "spans": spans}
+    with open(out_dir / "QUALITY_leaky.json", "w") as handle:
+        json.dump(payload, handle)

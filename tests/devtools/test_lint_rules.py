@@ -48,6 +48,11 @@ class TestViolationsCorpus:
         ("rng-discipline", "src/repro/core/rng_violations.py", 23),
         ("rng-discipline", "src/repro/core/rng_violations.py", 24),
         ("rng-discipline", "src/repro/core/runner.py", 7),
+        # The scenario-harness corpus: suites are under the same contracts.
+        ("rng-discipline", "src/repro/scenarios/quality_violations.py", 9),
+        ("telemetry-hygiene", "src/repro/scenarios/quality_violations.py", 10),
+        ("atomic-json-write", "src/repro/scenarios/quality_violations.py", 12),
+        ("atomic-json-write", "src/repro/scenarios/quality_violations.py", 13),
     }
 
     def test_every_rule_fires_at_the_expected_lines(self):

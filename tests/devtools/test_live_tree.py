@@ -36,6 +36,14 @@ class TestLiveTree:
         assert result.returncode == 0, result.stdout + result.stderr
         assert "clean" in result.stdout
 
+    def test_scenario_harness_is_lint_clean(self):
+        # The quality suites are day-one citizens of the rng-discipline /
+        # atomic-json-write / telemetry-hygiene contracts; pin the package
+        # explicitly so a future suite can't drift out from under the rules.
+        result = run_cli("src/repro/scenarios")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout
+
     def test_fixture_corpus_fails_with_rule_ids_and_lines(self):
         result = run_cli(
             "--root", str(FIXTURES / "violations"), "src", "benchmarks"
@@ -58,7 +66,7 @@ class TestCli:
         report = json.loads(result.stdout)
         assert report["clean"] is True
         assert report["findings"] == []
-        assert report["files_scanned"] == 5
+        assert report["files_scanned"] == 6
         assert "rng-discipline" in report["rules"]
 
     def test_json_report_carries_findings(self):

@@ -1,0 +1,122 @@
+"""The quality trend gate: fails on seeded regressions, passes on baselines.
+
+``benchmarks/check_quality.py`` is exercised exactly as CI invokes it — a
+subprocess over directories of QUALITY artifacts — against synthetic
+fresh/baseline pairs, plus one real-artifact case: the committed
+``benchmarks/QUALITY_*.json`` baselines compared against themselves must
+pass, or the repository is carrying a red gate.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+GATE = BENCH_DIR / "check_quality.py"
+
+
+def run_gate(*argv):
+    return subprocess.run(
+        [sys.executable, str(GATE), *argv],
+        capture_output=True, text=True, cwd=REPO_ROOT, env={**os.environ},
+    )
+
+
+def payload(suite="onset-smoke", **quality):
+    base = {"lag_p90": 1.0, "false_alarms": 0, "detection_rate": 1.0}
+    base.update(quality)
+    return {"schema": "repro-quality/1", "suite": suite, "quality": base}
+
+
+@pytest.fixture
+def pair(tmp_path):
+    """(fresh_dir, baseline_dir) seeded with one identical artifact each."""
+    fresh, baseline = tmp_path / "fresh", tmp_path / "baseline"
+    fresh.mkdir()
+    baseline.mkdir()
+    for directory in (fresh, baseline):
+        (directory / "QUALITY_onset-smoke.json").write_text(json.dumps(payload()))
+    return fresh, baseline
+
+
+def rewrite(directory, **quality):
+    path = directory / "QUALITY_onset-smoke.json"
+    path.write_text(json.dumps(payload(**quality)))
+
+
+class TestGateVerdicts:
+    def test_identical_artifacts_pass(self, pair):
+        fresh, baseline = pair
+        result = run_gate("--fresh-dir", str(fresh), "--baseline-dir", str(baseline))
+        assert result.returncode == 0, result.stdout
+        assert "within tolerance" in result.stdout
+
+    def test_lag_p90_regression_fails(self, pair):
+        fresh, baseline = pair
+        rewrite(fresh, lag_p90=2.0)  # +100% against a 25% ceiling
+        result = run_gate("--fresh-dir", str(fresh), "--baseline-dir", str(baseline))
+        assert result.returncode == 1
+        assert "lag_p90" in result.stdout and "FAIL" in result.stdout
+
+    def test_lag_p90_within_tolerance_passes(self, pair):
+        fresh, baseline = pair
+        rewrite(fresh, lag_p90=1.2)  # +20% < 25%
+        result = run_gate("--fresh-dir", str(fresh), "--baseline-dir", str(baseline))
+        assert result.returncode == 0, result.stdout
+
+    def test_new_false_alarm_fails(self, pair):
+        fresh, baseline = pair
+        rewrite(fresh, false_alarms=1)
+        result = run_gate("--fresh-dir", str(fresh), "--baseline-dir", str(baseline))
+        assert result.returncode == 1
+        assert "false alarms" in result.stdout
+
+    def test_vanished_detections_fail(self, pair):
+        # lag_p90 going numeric -> null means the detections disappeared;
+        # that must not read as "no lag, great".
+        fresh, baseline = pair
+        rewrite(fresh, lag_p90=None)
+        result = run_gate("--fresh-dir", str(fresh), "--baseline-dir", str(baseline))
+        assert result.returncode == 1
+        assert "vanished" in result.stdout
+
+    def test_warn_fields_drift_without_failing(self, pair):
+        fresh, baseline = pair
+        rewrite(fresh, detection_rate=0.5)
+        result = run_gate("--fresh-dir", str(fresh), "--baseline-dir", str(baseline))
+        assert result.returncode == 0
+        assert "WARN" in result.stdout and "detection_rate" in result.stdout
+
+    def test_missing_baseline_is_a_loud_skip(self, pair):
+        fresh, baseline = pair
+        (baseline / "QUALITY_onset-smoke.json").unlink()
+        result = run_gate("--fresh-dir", str(fresh), "--baseline-dir", str(baseline))
+        assert result.returncode == 0
+        assert "SKIP" in result.stdout and "commit" in result.stdout
+
+    def test_no_fresh_artifacts_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        result = run_gate("--fresh-dir", str(empty))
+        assert result.returncode == 1
+        assert "no fresh QUALITY" in result.stdout
+
+
+class TestCommittedBaselines:
+    def test_committed_artifacts_pass_against_themselves(self, tmp_path):
+        committed = sorted(BENCH_DIR.glob("QUALITY_*.json"))
+        assert len(committed) >= 5, "expected committed QUALITY baselines"
+        snapshot = tmp_path / "snapshot"
+        snapshot.mkdir()
+        for path in committed:
+            shutil.copy(path, snapshot / path.name)
+        result = run_gate(
+            "--fresh-dir", str(BENCH_DIR), "--baseline-dir", str(snapshot)
+        )
+        assert result.returncode == 0, result.stdout

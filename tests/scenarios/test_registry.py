@@ -1,0 +1,45 @@
+"""Scenario-registry meta-test: no suite ships undocumented or ungated.
+
+Registering a suite is a three-part contract — the catalog in
+``docs/scenarios.md`` describes it, CI runs it (the scheduled lane's
+``run all`` covers every suite; the fast lane additionally pins the smoke
+suite by name), and ``benchmarks/`` carries its committed QUALITY baseline
+so ``check_quality.py`` trends it from the first scheduled run.  This test
+makes forgetting any leg a red build instead of a silent gap.
+"""
+
+from pathlib import Path
+
+from repro.scenarios import get_suite, quality_filename, registered_suites
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestEverySuiteIsWired:
+    def test_documented_in_the_catalog(self):
+        catalog = (REPO_ROOT / "docs" / "scenarios.md").read_text()
+        for name in registered_suites():
+            assert f"`{name}`" in catalog, (
+                f"suite {name!r} is registered but missing from docs/scenarios.md"
+            )
+
+    def test_ci_runs_every_suite(self):
+        workflow = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        # The scheduled lane runs the whole registry...
+        assert "repro.scenarios run all" in workflow
+        # ...and the fast lane gates on the smoke suite by name.
+        smoke = [n for n in registered_suites() if get_suite(n).smoke]
+        for name in smoke:
+            assert f"repro.scenarios run {name}" in workflow, (
+                f"smoke suite {name!r} is not a fast-lane CI gate"
+            )
+        assert "check_quality.py" in workflow
+
+    def test_committed_quality_baseline_exists(self):
+        for name in registered_suites():
+            baseline = REPO_ROOT / "benchmarks" / quality_filename(name)
+            assert baseline.is_file(), (
+                f"suite {name!r} has no committed {baseline.name}; run "
+                "`python -m repro.scenarios run all --out benchmarks` and "
+                "commit the artifact"
+            )

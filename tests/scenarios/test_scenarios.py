@@ -1,0 +1,211 @@
+"""The scenario-suite harness: registry, determinism, CLI, and telemetry.
+
+The harness's contract is that a suite is a *function* of its seed: same
+suite, same seed, byte-identical ``QUALITY_<suite>.json`` — even with a
+ticking wall clock frozen out of the picture entirely.  These tests pin
+that property on the fast-lane smoke suite, the artifact schema the gate
+consumes, the CLI front door's exit codes, and the scenario spans the
+runner emits into the PR 8 trace stream.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.clock import FrozenClock, set_default_clock
+from repro.obs.metrics import get_registry
+from repro.obs.report import load_trace, render_summary, summarize
+from repro.obs.trace import TRACE_FILENAME
+from repro.scenarios import (
+    QUALITY_SCHEMA,
+    get_suite,
+    quality_diff,
+    quality_filename,
+    registered_suites,
+    resolve_names,
+    run_suite,
+    run_suites,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Every field the quality gate and the docs promise a timeline suite carries.
+TIMELINE_FIELDS = {
+    "transitions", "detected", "missed", "detection_rate", "miss_rate",
+    "false_alarms", "lag_p50", "lag_p90", "lag_max", "mean_lag_days",
+    "change_day_error_mean_abs", "change_day_error_max_abs",
+}
+
+
+def run_cli(*argv, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.scenarios", *argv],
+        capture_output=True, text=True, cwd=cwd,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+
+
+@pytest.fixture
+def frozen_clock():
+    clock = FrozenClock(start=0.0, tick=1.0)
+    previous = set_default_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_default_clock(previous)
+
+
+class TestRegistry:
+    def test_suites_are_registered_and_sorted(self):
+        names = registered_suites()
+        assert names == tuple(sorted(names))
+        assert len(names) >= 5
+        assert "onset-smoke" in names
+
+    def test_resolve_all_is_every_suite(self):
+        assert resolve_names("all") == registered_suites()
+        assert resolve_names("onset-smoke") == ("onset-smoke",)
+
+    def test_unknown_suite_names_its_peers(self):
+        with pytest.raises(KeyError, match="onset-smoke"):
+            get_suite("no-such-suite")
+
+    def test_smoke_suite_exists_for_the_fast_lane(self):
+        smoke = [n for n in registered_suites() if get_suite(n).smoke]
+        assert smoke == ["onset-smoke"]
+
+
+class TestDeterminism:
+    def test_quality_artifact_is_byte_identical_across_runs(self, tmp_path, frozen_clock):
+        """Two FrozenClock runs of the same suite+seed: identical bytes."""
+        first = run_suite("onset-smoke", out_dir=tmp_path / "a")
+        second = run_suite("onset-smoke", out_dir=tmp_path / "b")
+        assert first.path.read_bytes() == second.path.read_bytes()
+
+    def test_payload_schema_and_cdf_fields(self, tmp_path):
+        outcome = run_suite("onset-smoke", out_dir=tmp_path)
+        payload = json.loads(outcome.path.read_text())
+        assert outcome.path.name == quality_filename("onset-smoke")
+        assert payload["schema"] == QUALITY_SCHEMA
+        assert payload["suite"] == "onset-smoke"
+        assert payload["kind"] == "longitudinal"
+        assert TIMELINE_FIELDS <= set(payload["quality"])
+        # The smoke suite genuinely detects: a real lag CDF, no noise.
+        assert payload["quality"]["detection_rate"] == 1.0
+        assert payload["quality"]["false_alarms"] == 0
+        assert payload["quality"]["lag_p90"] is not None
+        assert payload["quality"]["lag_p50"] <= payload["quality"]["lag_p90"]
+        assert payload["quality"]["lag_p90"] <= payload["quality"]["lag_max"]
+
+    def test_payload_carries_no_timestamps(self, tmp_path):
+        # Byte-determinism holds with a *ticking* clock because the payload
+        # is timestamp-free by design; pin that no time-ish key sneaks in.
+        outcome = run_suite("onset-smoke", out_dir=tmp_path)
+        flat = json.dumps(outcome.payload).lower()
+        for banned in ("timestamp", "wall_", "duration", '"ts"'):
+            assert banned not in flat
+
+
+class TestRunnerTelemetry:
+    def test_scenario_spans_and_counter_reach_the_trace(self, tmp_path, frozen_clock):
+        get_registry().reset()
+        run_suites("onset-smoke", out_dir=tmp_path, trace_dir=tmp_path)
+        trace = load_trace(tmp_path / TRACE_FILENAME)
+        scenario_spans = [s for s in trace.spans.values() if s.name == "scenario"]
+        assert [s.attrs["suite"] for s in scenario_spans] == ["onset-smoke"]
+        assert scenario_spans[0].attrs["kind"] == "longitudinal"
+        assert scenario_spans[0].status == "ok"
+        # The engine's own spans nest under the scenario span.
+        assert any(s.name == "longitudinal" for s in scenario_spans[0].children)
+        counters = {}
+        for record in trace.metrics:
+            if record.get("scope") == "campaign":
+                counters = record.get("metrics", {}).get("counters", {})
+        assert counters.get("scenarios.suites_run") == 1
+
+    def test_summarize_reports_the_scenario_section(self, tmp_path, frozen_clock):
+        run_suites("onset-smoke", out_dir=tmp_path, trace_dir=tmp_path)
+        summary = summarize(load_trace(tmp_path / TRACE_FILENAME))
+        assert summary["scenarios"] == [
+            {
+                "suite": "onset-smoke",
+                "kind": "longitudinal",
+                "duration_s": summary["scenarios"][0]["duration_s"],
+                "status": "ok",
+            }
+        ]
+        assert summary["scenarios"][0]["duration_s"] > 0
+        assert "scenarios:" in render_summary(summary)
+
+    def test_untraced_run_writes_nothing_but_artifacts(self, tmp_path):
+        run_suites("onset-smoke", out_dir=tmp_path)
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {quality_filename("onset-smoke")}
+
+
+class TestQualityDiff:
+    def payload(self, **quality):
+        return {"schema": QUALITY_SCHEMA, "suite": "s", "quality": quality}
+
+    def test_changed_fields_get_deltas(self):
+        diff = quality_diff(
+            self.payload(lag_p90=1.0, false_alarms=0, cells=[1]),
+            self.payload(lag_p90=2.0, false_alarms=0, cells=[2]),
+        )
+        assert diff["changed"] == ["lag_p90"]
+        assert diff["fields"]["lag_p90"]["delta"] == 1.0
+        assert "cells" not in diff["fields"]  # nested detail is not trended
+
+    def test_none_transitions_are_reported_without_delta(self):
+        diff = quality_diff(
+            self.payload(lag_p90=None), self.payload(lag_p90=3.0)
+        )
+        assert diff["changed"] == ["lag_p90"]
+        assert "delta" not in diff["fields"]["lag_p90"]
+
+
+class TestCli:
+    def test_list_names_every_registered_suite(self):
+        result = run_cli("list", "--json")
+        assert result.returncode == 0
+        listed = [row["suite"] for row in json.loads(result.stdout)["suites"]]
+        assert listed == list(registered_suites())
+
+    def test_run_smoke_json_round_trips(self, tmp_path):
+        result = run_cli("run", "onset-smoke", "--json", "--out", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        payloads = json.loads(result.stdout)["suites"]
+        assert [p["suite"] for p in payloads] == ["onset-smoke"]
+        on_disk = json.loads((tmp_path / quality_filename("onset-smoke")).read_text())
+        assert on_disk == payloads[0]
+
+    def test_run_unknown_suite_exits_one(self):
+        result = run_cli("run", "no-such-suite")
+        assert result.returncode == 1
+        assert "no-such-suite" in result.stderr
+
+    def test_missing_subcommand_is_a_usage_error(self):
+        assert run_cli().returncode == 2
+
+    def test_diff_directories_reports_changes(self, tmp_path):
+        before, after = tmp_path / "before", tmp_path / "after"
+        run_cli("run", "onset-smoke", "--out", str(before))
+        run_cli("run", "onset-smoke", "--out", str(after))
+        name = quality_filename("onset-smoke")
+        edited = json.loads((after / name).read_text())
+        edited["quality"]["lag_p90"] = 9.0
+        (after / name).write_text(json.dumps(edited))
+        result = run_cli("diff", str(before), str(after), "--json")
+        assert result.returncode == 0
+        diffs = json.loads(result.stdout)["diffs"]
+        assert diffs[0]["changed"] == ["lag_p90"]
+        clean = run_cli("diff", str(before), str(before), "--json")
+        assert json.loads(clean.stdout)["diffs"][0]["changed"] == []
+
+    def test_diff_unreadable_artifact_exits_one(self, tmp_path):
+        result = run_cli("diff", str(tmp_path / "a.json"), str(tmp_path / "b.json"))
+        assert result.returncode == 1
